@@ -1,0 +1,49 @@
+//! Micro-benchmarks for the Table II/III decode-slot arbitration: the
+//! per-cycle `slot_grant` function is on the hot path of the cycle-level
+//! core, so its cost matters.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mtb_smtsim::decode::{decode_share, grant_census, slot_grant};
+use mtb_smtsim::HwPriority;
+
+fn bench_slot_grant(c: &mut Criterion) {
+    let mut g = c.benchmark_group("decode_arbitration");
+    for &(pa, pb, label) in &[
+        (4u8, 4u8, "equal(4,4)"),
+        (6, 2, "diff4(6,2)"),
+        (1, 4, "leftover(1,4)"),
+        (1, 1, "powersave(1,1)"),
+        (0, 4, "st(0,4)"),
+    ] {
+        let a = HwPriority::new(pa).unwrap();
+        let b = HwPriority::new(pb).unwrap();
+        g.bench_function(format!("slot_grant/{label}"), |bench| {
+            let mut cycle = 0u64;
+            bench.iter(|| {
+                cycle = cycle.wrapping_add(1);
+                black_box(slot_grant(black_box(a), black_box(b), cycle))
+            })
+        });
+    }
+    g.bench_function("grant_census/3200", |bench| {
+        let a = HwPriority::HIGH;
+        let b = HwPriority::LOW;
+        bench.iter(|| black_box(grant_census(a, b, 3200)))
+    });
+    g.bench_function("decode_share/all_pairs", |bench| {
+        bench.iter(|| {
+            let mut acc = 0.0;
+            for a in HwPriority::ALL {
+                for b in HwPriority::ALL {
+                    let (sa, sb) = decode_share(a, b);
+                    acc += sa + sb;
+                }
+            }
+            black_box(acc)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_slot_grant);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! ABL-3: issue-window (out-of-order) ablation of the cycle core.
+//!
+//! `CoreConfig::lookahead` = 1 gives strict in-order issue; the default
+//! scans a 16-entry window like a real out-of-order machine. This bench
+//! records both the simulation cost and (printed once) the IPC gap, which
+//! justifies the default.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mtb_smtsim::inst::StreamSpec;
+use mtb_smtsim::model::{CoreModel, ThreadId, Workload};
+use mtb_smtsim::{CoreConfig, HwPriority, SmtCore};
+
+fn run(lookahead: usize, cycles: u64) -> u64 {
+    let cfg = CoreConfig { lookahead, ..CoreConfig::default() };
+    let mut core = SmtCore::new(cfg);
+    core.assign(ThreadId::A, Workload::from_spec("w", StreamSpec::balanced(1)));
+    core.set_priority(ThreadId::A, HwPriority::VERY_HIGH);
+    core.set_priority(ThreadId::B, HwPriority::OFF);
+    core.advance(cycles)[0]
+}
+
+fn bench_ooo(c: &mut Criterion) {
+    let n = 100_000;
+    let inorder = run(1, n);
+    let windowed = run(16, n);
+    println!(
+        "ABL-3 issue window (balanced stream, {n} ST cycles):\n\
+         in-order (lookahead 1): {inorder} retired ({:.2} IPC)\n\
+         windowed (lookahead 16): {windowed} retired ({:.2} IPC, {:.2}x)",
+        inorder as f64 / n as f64,
+        windowed as f64 / n as f64,
+        windowed as f64 / inorder as f64
+    );
+
+    let mut g = c.benchmark_group("ooo_issue");
+    g.bench_function("inorder/100k_cycles", |b| b.iter(|| black_box(run(1, n))));
+    g.bench_function("window16/100k_cycles", |b| b.iter(|| black_box(run(16, n))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_ooo);
+criterion_main!(benches);

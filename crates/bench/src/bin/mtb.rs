@@ -1,0 +1,248 @@
+//! `mtb` — the mtbalance experiment driver.
+//!
+//! ```text
+//! mtb run --app <metbench|btmz|siesta|synthetic> [options]
+//! mtb tables [1..6|all]
+//! mtb sweep --app <app>
+//! mtb help
+//! ```
+//!
+//! Run any of the paper's workloads under any case configuration, kernel
+//! flavour, noise level and balancing policy from the command line:
+//!
+//! ```sh
+//! cargo run -p mtb-bench --release --bin mtb -- run --app btmz --case D --gantt
+//! cargo run -p mtb-bench --release --bin mtb -- run --app siesta --dynamic
+//! cargo run -p mtb-bench --release --bin mtb -- run --app metbench --case C \
+//!     --kernel vanilla --noise 5
+//! ```
+
+use mtb_core::balance::{execute, execute_with, StaticRun};
+use mtb_core::dynamic::DynamicBalancer;
+use mtb_core::paper_cases;
+use mtb_core::policy::PrioritySetting;
+use mtb_mpisim::engine::RunResult;
+use mtb_oskernel::noise::interrupt_annoyance;
+use mtb_oskernel::{CtxAddr, KernelConfig, NoiseSource};
+use mtb_trace::{cycles_to_seconds, render_gantt, GanttConfig};
+use mtb_workloads::{BtMzConfig, MetBenchConfig, SiestaConfig};
+
+use mtb_bench::cli::{build_app, parse_opts, AppOverrides};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+mtb — balancing HPC applications on MT processors (IPDPS 2008 reproduction)
+
+USAGE:
+    mtb run --app <APP> [OPTIONS]     simulate one configuration
+    mtb tables [N|all]                regenerate paper tables (default: all)
+    mtb sweep --app <APP>             sweep the priority difference
+    mtb help                          this text
+
+APPS:   metbench | btmz | siesta | synthetic
+
+RUN OPTIONS:
+    --case <ST|A|B|C|D>     paper case configuration     [default: A]
+    --kernel <patched|vanilla>                           [default: patched]
+    --dynamic               drive priorities with the feedback balancer
+    --noise <duty-pct>      CPU0 device-IRQ duty cycle (0-50)
+    --scale <f>             work multiplier               [default: 1.0]
+    --iterations <n>        override the iteration count
+    --seed <n>              workload seed
+    --gantt                 render the trace Gantt chart
+    --cycle-accurate        use the cycle-level core model (slow)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("run") => cmd_run(&args[1..]),
+        Some("tables") => cmd_tables(&args[1..]),
+        Some("sweep") => cmd_sweep(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn noise_for(duty_pct: u64) -> Vec<NoiseSource> {
+    if duty_pct == 0 {
+        return Vec::new();
+    }
+    let period = 500_000;
+    interrupt_annoyance(2, 1_500_000, 7_500, period, period * duty_pct.min(50) / 100)
+}
+
+fn print_result(label: &str, r: &RunResult, gantt: bool) {
+    println!(
+        "{label}: exec {:.2}s, imbalance {:.2}%",
+        cycles_to_seconds(r.total_cycles),
+        r.metrics.imbalance_pct
+    );
+    for p in &r.metrics.procs {
+        println!(
+            "  {}: comp {:5.2}%  sync {:5.2}%  comm {:4.2}%  interrupted {:4.2}%",
+            p.label, p.comp_pct, p.sync_pct, p.comm_pct, p.interrupt_pct
+        );
+    }
+    if gantt {
+        println!();
+        println!(
+            "{}",
+            render_gantt(
+                &r.timelines,
+                &GanttConfig { width: 100, legend: true, title: None, window: None }
+            )
+        );
+    }
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let (opts, flags) = match parse_opts(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let app = opts.get("app").map(String::as_str).unwrap_or("");
+    let case_name = opts.get("case").map(String::as_str).unwrap_or("A");
+    let scale: f64 = opts.get("scale").map_or(Ok(1.0), |s| s.parse()).unwrap_or(1.0);
+    let iterations = opts.get("iterations").and_then(|s| s.parse().ok());
+    let seed = opts.get("seed").and_then(|s| s.parse().ok());
+    let duty: u64 = opts.get("noise").and_then(|s| s.parse().ok()).unwrap_or(0);
+    let kernel = match opts.get("kernel").map(String::as_str) {
+        Some("vanilla") => KernelConfig::vanilla(),
+        _ => KernelConfig::patched(),
+    };
+
+    let overrides = AppOverrides { scale: Some(scale), iterations, seed };
+    let (programs, case) = match build_app(app, case_name, overrides) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut run = StaticRun::new(&programs, case.placement.clone())
+        .with_priorities(case.priorities.clone())
+        .with_kernel(kernel)
+        .with_noise(noise_for(duty));
+    if flags.iter().any(|f| f == "cycle-accurate") {
+        run = run.cycle_accurate();
+    }
+
+    let result = if flags.iter().any(|f| f == "dynamic") {
+        let mut balancer = DynamicBalancer::with_defaults(&case.placement);
+        let r = execute_with(run, &mut balancer);
+        if let Ok(ref _r) = r {
+            println!(
+                "dynamic policy: {} adjustments, {} reverts",
+                balancer.adjustments(),
+                balancer.reverts()
+            );
+        }
+        r
+    } else {
+        execute(run)
+    };
+
+    match result {
+        Ok(r) => {
+            print_result(
+                &format!("{app} case {case_name}"),
+                &r,
+                flags.iter().any(|f| f == "gantt"),
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("run failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_tables(args: &[String]) -> ExitCode {
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let all = which == "all";
+    // The table binaries own the formatting; reuse their logic by calling
+    // the harness directly.
+    if all || which == "4" {
+        let cfg = MetBenchConfig::default();
+        let runs = mtb_bench::run_cases(paper_cases::metbench_cases(), |_| cfg.programs());
+        println!("{}", mtb_bench::report("TABLE IV — METBENCH", "A", &runs));
+    }
+    if all || which == "5" {
+        let st_cfg = BtMzConfig::st_mode();
+        let st = mtb_bench::run_case(&st_cfg.programs(), &paper_cases::btmz_st_case());
+        let cfg = BtMzConfig::default();
+        let mut runs = vec![(paper_cases::btmz_st_case(), st)];
+        runs.extend(mtb_bench::run_cases(paper_cases::btmz_cases(), |_| cfg.programs()));
+        println!("{}", mtb_bench::report("TABLE V — BT-MZ", "A", &runs));
+    }
+    if all || which == "6" {
+        let st_cfg = SiestaConfig::st_mode();
+        let st = mtb_bench::run_case(&st_cfg.programs(), &paper_cases::siesta_st_case());
+        let cfg = SiestaConfig::default();
+        let mut runs = vec![(paper_cases::siesta_st_case(), st)];
+        runs.extend(mtb_bench::run_cases(paper_cases::siesta_cases(), |_| cfg.programs()));
+        println!("{}", mtb_bench::report("TABLE VI — SIESTA", "A", &runs));
+    }
+    if !(all || ["4", "5", "6"].contains(&which)) {
+        eprintln!("tables: expected 4, 5, 6 or all (tables 1-3 have dedicated binaries)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_sweep(args: &[String]) -> ExitCode {
+    let (opts, _) = match parse_opts(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let app = opts.get("app").map(String::as_str).unwrap_or("metbench");
+    println!("priority-difference sweep for {app} (light rank demoted, heavy boosted):\n");
+    for diff in 0..=4u8 {
+        let heavy = 6u8.min(4 + diff);
+        let light = heavy - diff;
+        let prios: Vec<PrioritySetting> = (0..4)
+            .map(|r| {
+                if r % 2 == 1 {
+                    PrioritySetting::ProcFs(heavy)
+                } else {
+                    PrioritySetting::ProcFs(light)
+                }
+            })
+            .collect();
+        let (programs, case) = match build_app(app, "A", AppOverrides::default()) {
+            Ok(x) => x,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let placement: Vec<CtxAddr> = case.placement.clone();
+        match execute(StaticRun::new(&programs, placement).with_priorities(prios)) {
+            Ok(r) => println!(
+                "  diff {diff} ({light}/{heavy}): exec {:7.2}s, imbalance {:5.2}%",
+                cycles_to_seconds(r.total_cycles),
+                r.metrics.imbalance_pct
+            ),
+            Err(e) => {
+                eprintln!("sweep point failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,20 @@
+//! Regenerate Table I: hardware thread priorities, privilege levels and
+//! or-nop encodings.
+
+use mtb_smtsim::HwPriority;
+use mtb_trace::Table;
+
+fn main() {
+    let mut t = Table::new(&["Priority", "Priority level", "Privilege level", "or-nop inst."])
+        .with_title("TABLE I — HARDWARE THREAD PRIORITIES IN THE IBM POWER5 PROCESSOR");
+    for p in HwPriority::ALL {
+        t.row_owned(vec![
+            p.value().to_string(),
+            p.level_name().to_string(),
+            p.required_privilege().to_string(),
+            p.or_nop_register()
+                .map_or("-".to_string(), |r| format!("or {r},{r},{r}")),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,14 @@
+//! Regenerate Table IV (MetBench cases A-D) and Figure 2 (trace Gantts).
+
+use mtb_bench::{gantts, report, run_cases};
+use mtb_core::paper_cases::metbench_cases;
+use mtb_workloads::metbench::MetBenchConfig;
+
+fn main() {
+    let cfg = MetBenchConfig::default();
+    let runs = run_cases(metbench_cases(), |_| cfg.programs());
+    println!("{}", report("TABLE IV — METBENCH BALANCED AND IMBALANCED CHARACTERIZATION", "A", &runs));
+    if std::env::args().any(|a| a == "--gantt") {
+        println!("{}", gantts("Figure 2", &runs, 100));
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerate Table V (BT-MZ: ST row + cases A-D) and Figure 3.
+
+use mtb_bench::{gantts, report, run_case, run_cases};
+use mtb_core::paper_cases::{btmz_cases, btmz_st_case};
+use mtb_workloads::btmz::BtMzConfig;
+
+fn main() {
+    let st_cfg = BtMzConfig::st_mode();
+    let st_case = btmz_st_case();
+    let st = run_case(&st_cfg.programs(), &st_case);
+
+    let cfg = BtMzConfig::default();
+    let mut runs = vec![(st_case, st)];
+    runs.extend(run_cases(btmz_cases(), |_| cfg.programs()));
+
+    println!("{}", report("TABLE V — BT-MZ BALANCED AND IMBALANCED CHARACTERIZATION", "A", &runs));
+    if std::env::args().any(|a| a == "--gantt") {
+        println!("{}", gantts("Figure 3", &runs[1..], 100));
+    }
+}

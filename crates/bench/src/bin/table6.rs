@@ -1,0 +1,20 @@
+//! Regenerate Table VI (SIESTA: ST row + cases A-D) and Figure 4.
+
+use mtb_bench::{gantts, report, run_case, run_cases};
+use mtb_core::paper_cases::{siesta_cases, siesta_st_case};
+use mtb_workloads::siesta::SiestaConfig;
+
+fn main() {
+    let st_cfg = SiestaConfig::st_mode();
+    let st_case = siesta_st_case();
+    let st = run_case(&st_cfg.programs(), &st_case);
+
+    let cfg = SiestaConfig::default();
+    let mut runs = vec![(st_case, st)];
+    runs.extend(run_cases(siesta_cases(), |_| cfg.programs()));
+
+    println!("{}", report("TABLE VI — SIESTA BALANCED AND IMBALANCED CHARACTERIZATION", "A", &runs));
+    if std::env::args().any(|a| a == "--gantt") {
+        println!("{}", gantts("Figure 4", &runs[1..], 100));
+    }
+}

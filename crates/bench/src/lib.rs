@@ -1,0 +1,95 @@
+//! # mtb-bench — the benchmark harness
+//!
+//! One binary per table/figure of the paper (run with
+//! `cargo run -p mtb-bench --release --bin tableN`), plus Criterion
+//! benches for the performance-sensitive pieces. The binaries print the
+//! same rows the paper reports; `EXPERIMENTS.md` records the comparison.
+
+pub mod cli;
+
+use mtb_core::analysis::{improvements_over, render_case_table};
+use mtb_core::balance::{execute, StaticRun};
+use mtb_core::paper_cases::Case;
+use mtb_mpisim::engine::RunResult;
+use mtb_mpisim::program::Program;
+use mtb_trace::{cycles_to_seconds, render_gantt, GanttConfig};
+
+/// Execute `case` over `programs`.
+///
+/// # Panics
+/// Panics when the priority configuration is invalid for the kernel — the
+/// paper-case configurations are always valid on the patched kernel.
+pub fn run_case(programs: &[Program], case: &Case) -> RunResult {
+    execute(
+        StaticRun::new(programs, case.placement.clone())
+            .with_priorities(case.priorities.clone()),
+    )
+    .unwrap_or_else(|e| panic!("case {} failed: {e}", case.name))
+}
+
+/// Run every case with programs built per rank count (ST rows use 2-rank
+/// programs).
+pub fn run_cases(
+    cases: Vec<Case>,
+    programs_for: impl Fn(&Case) -> Vec<Program>,
+) -> Vec<(Case, RunResult)> {
+    cases
+        .into_iter()
+        .map(|case| {
+            let progs = programs_for(&case);
+            let result = run_case(&progs, &case);
+            (case, result)
+        })
+        .collect()
+}
+
+/// Render the paper-style table plus the improvement summary.
+pub fn report(title: &str, reference: &str, runs: &[(Case, RunResult)]) -> String {
+    let mut out = render_case_table(title, runs);
+    out.push('\n');
+    for (name, imp) in improvements_over(reference, runs) {
+        out.push_str(&format!(
+            "case {name}: exec {:.2}s, improvement over {reference}: {imp:+.2}%\n",
+            cycles_to_seconds(
+                runs.iter().find(|(c, _)| c.name == name).unwrap().1.total_cycles
+            )
+        ));
+    }
+    out
+}
+
+/// Render the per-case Gantt charts (the paper's Figures 2-4).
+pub fn gantts(figure: &str, runs: &[(Case, RunResult)], width: usize) -> String {
+    let mut out = String::new();
+    for (case, result) in runs {
+        let cfg = GanttConfig {
+            width,
+            legend: false,
+            title: Some(format!("{figure} — Case {}", case.name)),
+            window: None,
+        };
+        out.push_str(&render_gantt(&result.timelines, &cfg));
+        out.push('\n');
+    }
+    out.push_str("legend: i=init #=compute .=sync %=comm !=interrupt f=final\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtb_core::paper_cases::metbench_cases;
+    use mtb_workloads::metbench::MetBenchConfig;
+
+    #[test]
+    fn harness_runs_a_tiny_table() {
+        let cfg = MetBenchConfig::tiny();
+        let runs = run_cases(metbench_cases(), |_| cfg.programs());
+        assert_eq!(runs.len(), 4);
+        let rep = report("TABLE IV (tiny)", "A", &runs);
+        assert!(rep.contains("case A"));
+        assert!(rep.contains("case D"));
+        let g = gantts("Figure 2 (tiny)", &runs, 40);
+        assert!(g.contains("Case A"));
+    }
+}

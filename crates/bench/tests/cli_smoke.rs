@@ -1,0 +1,79 @@
+//! End-to-end smoke tests of the `mtb` CLI binary.
+
+use std::process::Command;
+
+fn mtb(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_mtb"))
+        .args(args)
+        .output()
+        .expect("mtb binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn help_prints_usage() {
+    let (ok, stdout, _) = mtb(&["help"]);
+    assert!(ok);
+    assert!(stdout.contains("USAGE"));
+    assert!(stdout.contains("metbench | btmz | siesta | synthetic"));
+}
+
+#[test]
+fn run_executes_a_tiny_case() {
+    let (ok, stdout, stderr) = mtb(&[
+        "run", "--app", "metbench", "--case", "C", "--scale", "0.001", "--iterations", "5",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("metbench case C"), "{stdout}");
+    assert!(stdout.contains("imbalance"));
+}
+
+#[test]
+fn run_with_gantt_renders_a_chart() {
+    let (ok, stdout, _) = mtb(&[
+        "run", "--app", "synthetic", "--scale", "0.001", "--iterations", "2", "--gantt",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("legend:"), "{stdout}");
+}
+
+#[test]
+fn dynamic_flag_reports_policy_activity() {
+    let (ok, stdout, _) = mtb(&[
+        "run", "--app", "metbench", "--scale", "0.002", "--iterations", "10", "--dynamic",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("dynamic policy:"), "{stdout}");
+}
+
+#[test]
+fn vanilla_kernel_rejects_procfs_cases() {
+    let (ok, _, stderr) = mtb(&[
+        "run", "--app", "metbench", "--case", "C", "--scale", "0.001", "--kernel", "vanilla",
+    ]);
+    assert!(!ok, "case C needs priority 6 via procfs — impossible on vanilla");
+    assert!(stderr.contains("hmt_priority"), "{stderr}");
+}
+
+#[test]
+fn bad_arguments_fail_with_usage() {
+    let (ok, _, stderr) = mtb(&["run", "--app", "nonsense"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown app"));
+    let (ok2, _, stderr2) = mtb(&["frobnicate"]);
+    assert!(!ok2);
+    assert!(stderr2.contains("unknown command"));
+}
+
+#[test]
+fn sweep_prints_all_differences() {
+    let (ok, stdout, _) = mtb(&["sweep", "--app", "synthetic"]);
+    assert!(ok);
+    for d in 0..=4 {
+        assert!(stdout.contains(&format!("diff {d}")), "{stdout}");
+    }
+}

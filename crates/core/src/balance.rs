@@ -1,0 +1,206 @@
+//! The balancing runner.
+//!
+//! Wraps the system simulator with the balancing configuration surface the
+//! paper describes: a rank-to-context mapping plus per-rank hardware
+//! priorities (static balancing, Section VII), optionally driven by a
+//! feedback observer (dynamic balancing, Section VIII).
+
+use crate::policy::{apply_priorities, PrioritySetting};
+use mtb_mpisim::engine::{Engine, Observer, RunResult, SimConfig};
+use mtb_mpisim::program::Program;
+use mtb_oskernel::{CtxAddr, KernelConfig, NoiseSource, PriorityError, Topology, WaitPolicy};
+use mtb_smtsim::chip::Fidelity;
+use mtb_smtsim::perfmodel::MesoConfig;
+use mtb_smtsim::CoreConfig;
+
+/// A fully-specified balancing experiment.
+pub struct StaticRun<'a> {
+    /// The rank programs.
+    pub programs: &'a [Program],
+    /// Rank -> hardware context mapping.
+    pub placement: Vec<CtxAddr>,
+    /// Per-rank priority settings (padded with `Default` if short).
+    pub priorities: Vec<PrioritySetting>,
+    /// Kernel flavour (the paper's experiments need `Patched`).
+    pub kernel: KernelConfig,
+    /// Extrinsic noise sources.
+    pub noise: Vec<NoiseSource>,
+    /// Core model selection and configuration (mesoscale by default).
+    pub fidelity: Fidelity,
+    /// Number of cores (default 2, the paper's machine).
+    pub cores: usize,
+    /// Core-to-node grouping (single node by default).
+    pub topology: Topology,
+    /// How ranks wait in MPI calls (stock-MPICH spinning by default).
+    pub wait_policy: WaitPolicy,
+}
+
+impl<'a> StaticRun<'a> {
+    /// A run with default (MEDIUM) priorities on a patched kernel.
+    pub fn new(programs: &'a [Program], placement: Vec<CtxAddr>) -> StaticRun<'a> {
+        StaticRun {
+            programs,
+            placement,
+            priorities: Vec::new(),
+            kernel: KernelConfig::patched(),
+            noise: Vec::new(),
+            fidelity: Fidelity::default(),
+            cores: 2,
+            topology: Topology::single_node(),
+            wait_policy: WaitPolicy::default(),
+        }
+    }
+
+    /// Set the per-rank priorities.
+    pub fn with_priorities(mut self, p: Vec<PrioritySetting>) -> Self {
+        self.priorities = p;
+        self
+    }
+
+    /// Set the kernel flavour.
+    pub fn with_kernel(mut self, k: KernelConfig) -> Self {
+        self.kernel = k;
+        self
+    }
+
+    /// Add noise sources.
+    pub fn with_noise(mut self, n: Vec<NoiseSource>) -> Self {
+        self.noise = n;
+        self
+    }
+
+    /// Select the cycle-level core model at default configuration.
+    pub fn cycle_accurate(mut self) -> Self {
+        self.fidelity = Fidelity::Cycle(CoreConfig::default());
+        self
+    }
+
+    /// Use a custom mesoscale configuration (e.g. the EXT-5 share-law
+    /// ablation).
+    pub fn with_meso(mut self, cfg: MesoConfig) -> Self {
+        self.fidelity = Fidelity::Meso(cfg);
+        self
+    }
+
+    /// Run on a cluster: `nodes` nodes of `cores_per_node` SMT cores each
+    /// (cross-node messages pay network latency).
+    pub fn on_cluster(mut self, nodes: usize, cores_per_node: usize) -> Self {
+        self.cores = nodes * cores_per_node;
+        self.topology = Topology::cluster(cores_per_node);
+        self
+    }
+
+    /// Choose how ranks wait inside MPI calls (Section VI's discussion:
+    /// spin at own priority, spin at a lowered priority, or block).
+    pub fn with_wait_policy(mut self, p: WaitPolicy) -> Self {
+        self.wait_policy = p;
+        self
+    }
+
+    fn build_engine(&self) -> Engine {
+        let mut cfg = SimConfig::power5(self.programs.len());
+        cfg.cores = self.cores;
+        cfg.topology = self.topology;
+        cfg.placement = self.placement.clone();
+        cfg.kernel = self.kernel;
+        cfg.noise = self.noise.clone();
+        cfg.fidelity = self.fidelity.clone();
+        cfg.wait_policy = self.wait_policy;
+        if matches!(self.fidelity, Fidelity::Cycle(_)) {
+            // The cycle model costs real time per simulated cycle; keep
+            // event steps bounded so rate estimates stay fresh.
+            cfg.quantum = 50_000;
+        }
+        Engine::new(self.programs, cfg)
+    }
+}
+
+/// Execute a static balancing run.
+pub fn execute(run: StaticRun<'_>) -> Result<RunResult, PriorityError> {
+    let mut engine = run.build_engine();
+    let mut settings = run.priorities.clone();
+    settings.resize(run.programs.len(), PrioritySetting::Default);
+    apply_priorities(engine.machine_mut(), &settings)?;
+    Ok(engine.run())
+}
+
+/// Execute a run with a feedback observer (e.g.
+/// [`crate::dynamic::DynamicBalancer`]).
+pub fn execute_with(
+    run: StaticRun<'_>,
+    observer: &mut dyn Observer,
+) -> Result<RunResult, PriorityError> {
+    let mut engine = run.build_engine();
+    let mut settings = run.priorities.clone();
+    settings.resize(run.programs.len(), PrioritySetting::Default);
+    apply_priorities(engine.machine_mut(), &settings)?;
+    Ok(engine.run_with(observer))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtb_workloads::synthetic::SyntheticConfig;
+
+    #[test]
+    fn boosting_the_bottleneck_shortens_the_run() {
+        // The Figure 1 story end to end: P1 is the bottleneck; give it
+        // HIGH priority (its core-mate P2 implicitly loses bandwidth) and
+        // the total execution time must drop.
+        let cfg = SyntheticConfig { base_work: 20_000_000, iterations: 2, ..Default::default() };
+        let progs = cfg.programs();
+
+        let base = execute(StaticRun::new(&progs, cfg.placement())).unwrap();
+        // A bounded boost (diff 1): P1 speeds up, P2 slows but has slack.
+        let boosted = execute(
+            StaticRun::new(&progs, cfg.placement()).with_priorities(vec![
+                PrioritySetting::ProcFs(5),
+                PrioritySetting::Default,
+                PrioritySetting::Default,
+                PrioritySetting::Default,
+            ]),
+        )
+        .unwrap();
+        assert!(
+            boosted.total_cycles < base.total_cycles,
+            "boosting the bottleneck must help: {} vs {}",
+            boosted.total_cycles,
+            base.total_cycles
+        );
+        assert!(boosted.metrics.imbalance_pct < base.metrics.imbalance_pct);
+    }
+
+    #[test]
+    fn overboosting_inverts_the_imbalance() {
+        // The MetBench case-D phenomenon: penalize the co-runner too much
+        // and it becomes the new bottleneck.
+        let cfg = SyntheticConfig { base_work: 20_000_000, iterations: 2, skew: 1.3, ..Default::default() };
+        let progs = cfg.programs();
+        let base = execute(StaticRun::new(&progs, cfg.placement())).unwrap();
+        let inverted = execute(
+            StaticRun::new(&progs, cfg.placement()).with_priorities(vec![
+                PrioritySetting::ProcFs(6),
+                PrioritySetting::ProcFs(2), // crush P2 (priority difference 4)
+                PrioritySetting::Default,
+                PrioritySetting::Default,
+            ]),
+        )
+        .unwrap();
+        // P2 now dominates the run.
+        let p2 = &inverted.metrics.procs[1];
+        assert!(p2.sync_pct < 5.0, "P2 must be the new bottleneck: {p2:?}");
+        assert!(inverted.total_cycles > base.total_cycles);
+    }
+
+    #[test]
+    fn priorities_are_rejected_on_vanilla_kernels() {
+        let cfg = SyntheticConfig::tiny();
+        let progs = cfg.programs();
+        let res = execute(
+            StaticRun::new(&progs, cfg.placement())
+                .with_kernel(KernelConfig::vanilla())
+                .with_priorities(vec![PrioritySetting::ProcFs(6)]),
+        );
+        assert!(res.is_err(), "procfs needs the patch");
+    }
+}

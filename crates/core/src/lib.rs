@@ -1,0 +1,51 @@
+//! # mtb-core — smart allocation of MT processor resources
+//!
+//! The paper's contribution: reduce the imbalance of an MPI application —
+//! transparently to the user — by steering the SMT hardware thread
+//! priorities of the contexts its ranks run on, so the bottleneck rank
+//! receives more decode bandwidth and the ranks with slack donate theirs.
+//!
+//! * [`policy`] — priority settings and how they are applied through the
+//!   OS interfaces (`/proc/<pid>/hmt_priority` or or-nop).
+//! * [`balance`] — the runner: execute a set of rank programs under a
+//!   placement + priority configuration (static balancing, as in the
+//!   paper's experiments) or under a feedback policy (dynamic).
+//! * [`paper_cases`] — the exact case configurations of Tables IV-VI
+//!   (mappings and priorities the authors chose by hand).
+//! * [`dynamic`] — the paper's proposed future work (Section VIII):
+//!   a policy that observes per-iteration compute/wait times and adjusts
+//!   priorities automatically, with bounded differences and hysteresis so
+//!   it cannot run into the case-D inversion.
+//! * [`predictor`] — a what-if model over the decode-share mathematics:
+//!   predicts per-rank speed at candidate priority pairs and picks the
+//!   pair minimizing the core's makespan.
+//! * [`mapper`] — core-pairing heuristics (pair the heaviest rank with the
+//!   lightest, Section VII-B's mapping argument).
+//! * [`observe`] — epoch-window recording for offline analysis of
+//!   dynamic behaviour.
+//! * [`remap`] — online rank remapping: the Section VII-B pairing
+//!   argument applied at run time via process migration, composable with
+//!   the dynamic balancer.
+//! * [`redistribution`] — the related-work baseline (Section III):
+//!   METIS/LPT-style data repartitioning, with its movement cost, so the
+//!   two approaches can be compared head-to-head (EXT-4).
+//! * [`analysis`] — turns a run into the paper's characterization rows
+//!   (Comp %, Sync %, Imb %, execution time).
+
+pub mod analysis;
+pub mod balance;
+pub mod dynamic;
+pub mod mapper;
+pub mod observe;
+pub mod paper_cases;
+pub mod policy;
+pub mod predictor;
+pub mod redistribution;
+pub mod remap;
+
+pub use analysis::{characterize, CaseRow};
+pub use balance::{execute, StaticRun};
+pub use dynamic::{DynamicBalancer, DynamicConfig};
+pub use mapper::pair_by_load;
+pub use policy::PrioritySetting;
+pub use predictor::{best_priority_pair, predict_pair};

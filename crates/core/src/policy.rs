@@ -1,0 +1,100 @@
+//! Priority settings and their application.
+
+use mtb_oskernel::{Machine, PriorityError};
+use mtb_smtsim::PrivilegeLevel;
+
+/// How one rank's hardware priority is configured for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PrioritySetting {
+    /// Leave the kernel default (MEDIUM).
+    Default,
+    /// Write `/proc/<pid>/hmt_priority` (needs the patched kernel);
+    /// valid values 1..=6.
+    ProcFs(u8),
+    /// Execute the magic or-nop at the given privilege level (works on any
+    /// kernel; user space reaches only 2..=4 this way).
+    OrNop(u8, PrivilegeLevel),
+}
+
+impl PrioritySetting {
+    /// Shorthand for the common patched-kernel path.
+    pub fn procfs(v: u8) -> PrioritySetting {
+        PrioritySetting::ProcFs(v)
+    }
+
+    /// The numeric priority this setting requests (4 for `Default`).
+    pub fn requested(&self) -> u8 {
+        match self {
+            PrioritySetting::Default => 4,
+            PrioritySetting::ProcFs(v) | PrioritySetting::OrNop(v, _) => *v,
+        }
+    }
+}
+
+/// Apply one setting per rank (pid = rank). Fails fast on the first
+/// rejected request — a rejected priority means the experiment
+/// configuration is invalid for this kernel.
+pub fn apply_priorities(
+    machine: &mut Machine,
+    settings: &[PrioritySetting],
+) -> Result<(), PriorityError> {
+    for (rank, s) in settings.iter().enumerate() {
+        match *s {
+            PrioritySetting::Default => {}
+            PrioritySetting::ProcFs(v) => machine.set_priority_procfs(rank, v)?,
+            PrioritySetting::OrNop(v, privilege) => {
+                machine.set_priority_ornop(rank, v, privilege)?
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtb_oskernel::{CtxAddr, KernelConfig};
+    use mtb_smtsim::chip::build_cores;
+    use mtb_smtsim::HwPriority;
+
+    fn machine(kernel: KernelConfig) -> Machine {
+        let mut m = Machine::new(build_cores(2, false), kernel);
+        for r in 0..4 {
+            m.spawn(r, format!("P{}", r + 1), CtxAddr::from_cpu(r)).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn settings_apply_in_rank_order() {
+        let mut m = machine(KernelConfig::patched());
+        apply_priorities(
+            &mut m,
+            &[
+                PrioritySetting::Default,
+                PrioritySetting::ProcFs(6),
+                PrioritySetting::OrNop(3, PrivilegeLevel::User),
+                PrioritySetting::ProcFs(2),
+            ],
+        )
+        .unwrap();
+        assert_eq!(m.pcb(0).unwrap().hmt_priority, HwPriority::MEDIUM);
+        assert_eq!(m.pcb(1).unwrap().hmt_priority, HwPriority::HIGH);
+        assert_eq!(m.pcb(2).unwrap().hmt_priority, HwPriority::MEDIUM_LOW);
+        assert_eq!(m.pcb(3).unwrap().hmt_priority, HwPriority::LOW);
+    }
+
+    #[test]
+    fn procfs_on_vanilla_kernel_is_rejected() {
+        let mut m = machine(KernelConfig::vanilla());
+        let err = apply_priorities(&mut m, &[PrioritySetting::ProcFs(5)]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn requested_reports_the_value() {
+        assert_eq!(PrioritySetting::Default.requested(), 4);
+        assert_eq!(PrioritySetting::procfs(6).requested(), 6);
+        assert_eq!(PrioritySetting::OrNop(2, PrivilegeLevel::User).requested(), 2);
+    }
+}

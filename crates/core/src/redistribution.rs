@@ -1,0 +1,196 @@
+//! The data-redistribution baseline (related work, Section III).
+//!
+//! The classical answer to load imbalance is to move the *data*: METIS-
+//! style static partitioning, or dynamic mesh repartitioning (Schloegel,
+//! Walshaw). The paper contrasts its approach with these: redistribution
+//! can balance better, but must be redone for every input and
+//! architecture, requires application cooperation, and pays a data-
+//! movement cost. This module implements the baseline so the EXT-4
+//! experiment can compare fairly:
+//!
+//! * [`lpt`] — Longest-Processing-Time greedy partitioning of work items
+//!   (zones) into ranks: the standard makespan heuristic, guaranteed
+//!   within 4/3 of optimal.
+//! * [`moved_items`] / [`redistribution_cycles`] — how much data a new
+//!   partition moves relative to the old one, and what that costs through
+//!   the communication model.
+
+use mtb_mpisim::comm::LatencyModel;
+use mtb_trace::Cycles;
+
+/// Partition `items` (work weights) into `bins` groups minimizing the
+/// maximum group sum, with the LPT greedy rule: place each item, largest
+/// first, into the currently lightest bin. Returns the item indices per
+/// bin.
+///
+/// ```
+/// use mtb_core::redistribution::{lpt, makespan};
+/// let zones = [9u64, 7, 6, 5, 4, 3];
+/// let part = lpt(&zones, 2);
+/// assert_eq!(makespan(&zones, &part), 17); // optimal for this instance
+/// ```
+///
+/// # Panics
+/// Panics when `bins` is zero.
+pub fn lpt(items: &[u64], bins: usize) -> Vec<Vec<usize>> {
+    assert!(bins > 0, "need at least one bin");
+    let mut order: Vec<usize> = (0..items.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(items[i]));
+
+    let mut out = vec![Vec::new(); bins];
+    let mut sums = vec![0u64; bins];
+    for idx in order {
+        let lightest = (0..bins).min_by_key(|&b| sums[b]).expect("bins > 0");
+        sums[lightest] += items[idx];
+        out[lightest].push(idx);
+    }
+    out
+}
+
+/// The maximum bin sum of a partition (the balance quality; lower is
+/// better).
+pub fn makespan(items: &[u64], partition: &[Vec<usize>]) -> u64 {
+    partition
+        .iter()
+        .map(|bin| bin.iter().map(|&i| items[i]).sum())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Imbalance of a partition as the paper would measure it: the share of
+/// the makespan the *least*-loaded bin would wait, in percent.
+pub fn partition_imbalance_pct(items: &[u64], partition: &[Vec<usize>]) -> f64 {
+    let max = makespan(items, partition);
+    if max == 0 {
+        return 0.0;
+    }
+    let min: u64 = partition
+        .iter()
+        .map(|bin| bin.iter().map(|&i| items[i]).sum())
+        .min()
+        .unwrap_or(0);
+    100.0 * (max - min) as f64 / max as f64
+}
+
+/// Item indices that change owner between two partitions.
+pub fn moved_items(old: &[Vec<usize>], new: &[Vec<usize>]) -> Vec<usize> {
+    let owner = |part: &[Vec<usize>]| {
+        let mut map = std::collections::BTreeMap::new();
+        for (bin, items) in part.iter().enumerate() {
+            for &i in items {
+                map.insert(i, bin);
+            }
+        }
+        map
+    };
+    let old_owner = owner(old);
+    let new_owner = owner(new);
+    new_owner
+        .iter()
+        .filter(|(i, bin)| old_owner.get(i) != Some(bin))
+        .map(|(&i, _)| i)
+        .collect()
+}
+
+/// Cost (cycles) of physically moving the changed items' data across the
+/// machine: each moved item of `bytes_per_unit * weight` bytes crosses
+/// the chip interconnect once. This is the one-time price redistribution
+/// pays that priority balancing does not.
+pub fn redistribution_cycles(
+    items: &[u64],
+    moved: &[usize],
+    bytes_per_unit: f64,
+    latency: &LatencyModel,
+) -> Cycles {
+    moved
+        .iter()
+        .map(|&i| {
+            let bytes = (items[i] as f64 * bytes_per_unit) as u64;
+            latency.same_chip + (bytes as f64 * latency.per_byte).ceil() as Cycles
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lpt_balances_the_btmz_zones_well() {
+        let zones = mtb_workloads::btmz::zone_sizes();
+        let contiguous = mtb_workloads::btmz::contiguous_partition(4);
+        let balanced = lpt(&zones, 4);
+        let before = partition_imbalance_pct(&zones, &contiguous);
+        let after = partition_imbalance_pct(&zones, &balanced);
+        assert!(before > 60.0, "contiguous partition is badly imbalanced: {before:.1}");
+        assert!(after < 10.0, "LPT gets within granularity limits: {after:.1}");
+        assert!(makespan(&zones, &balanced) < makespan(&zones, &contiguous));
+    }
+
+    #[test]
+    fn lpt_covers_every_item_exactly_once() {
+        let items = [5u64, 3, 8, 1, 9, 2];
+        let part = lpt(&items, 3);
+        let mut seen: Vec<usize> = part.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn moved_items_detects_ownership_changes() {
+        let old = vec![vec![0, 1], vec![2, 3]];
+        let new = vec![vec![0, 3], vec![2, 1]];
+        let mut moved = moved_items(&old, &new);
+        moved.sort_unstable();
+        assert_eq!(moved, vec![1, 3]);
+        assert!(moved_items(&old, &old).is_empty());
+    }
+
+    #[test]
+    fn redistribution_cost_scales_with_moved_bytes() {
+        let items = [100u64, 200];
+        let lat = LatencyModel::default();
+        let none = redistribution_cycles(&items, &[], 1.0, &lat);
+        let one = redistribution_cycles(&items, &[0], 1.0, &lat);
+        let both = redistribution_cycles(&items, &[0, 1], 1.0, &lat);
+        assert_eq!(none, 0);
+        assert!(one > 0);
+        assert!(both > one);
+        let heavier = redistribution_cycles(&items, &[1], 1.0, &lat);
+        assert!(heavier > one, "moving the bigger item costs more");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn zero_bins_panics() {
+        let _ = lpt(&[1, 2], 0);
+    }
+
+    proptest! {
+        /// LPT's makespan respects the greedy guarantee: no bin exceeds
+        /// the mean load plus one item (Graham's argument — when the last
+        /// item lands in the lightest bin, that bin was below the mean).
+        #[test]
+        fn prop_lpt_quality(items in proptest::collection::vec(1u64..10_000, 1..24), bins in 1usize..6) {
+            let part = lpt(&items, bins);
+            let ms = makespan(&items, &part);
+            let total: u64 = items.iter().sum();
+            let mean = total as f64 / bins as f64;
+            let max_item = *items.iter().max().unwrap() as f64;
+            prop_assert!(ms as f64 <= mean + max_item + 1.0,
+                "greedy bound violated: {ms} vs mean {mean} + max {max_item}");
+        }
+
+        /// Every partition covers all items exactly once.
+        #[test]
+        fn prop_lpt_is_a_partition(items in proptest::collection::vec(1u64..1000, 0..32), bins in 1usize..5) {
+            let part = lpt(&items, bins);
+            prop_assert_eq!(part.len(), bins);
+            let mut seen: Vec<usize> = part.iter().flatten().copied().collect();
+            seen.sort_unstable();
+            let expect: Vec<usize> = (0..items.len()).collect();
+            prop_assert_eq!(seen, expect);
+        }
+    }
+}

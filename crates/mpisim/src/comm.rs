@@ -1,0 +1,334 @@
+//! Point-to-point communication: latency model and message matching.
+//!
+//! The paper's Section II lists communication distance as an imbalance
+//! source: exchanging data within a node is fast, across nodes slow. Our
+//! experiments run on one chip (like the paper's OpenPower 710), but the
+//! latency model distinguishes the tiers so the network-topology noise
+//! experiments can exercise them.
+//!
+//! The protocol is *eager*: a send deposits the message and completes
+//! after a software-overhead window; the payload arrives at the receiver
+//! `latency(bytes)` after the send was posted. Matching is MPI-like:
+//! by (source, tag), FIFO within a (source, destination, tag) triple.
+
+use std::collections::VecDeque;
+
+use crate::program::{Rank, Tag};
+use mtb_oskernel::{CtxAddr, Topology};
+use mtb_trace::Cycles;
+
+/// Latency/bandwidth parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyModel {
+    /// Base latency between contexts of the same core, cycles.
+    pub same_core: Cycles,
+    /// Base latency between cores of the same chip, cycles.
+    pub same_chip: Cycles,
+    /// Base latency between nodes (unused on a single-chip machine but
+    /// exercised by the topology experiments), cycles.
+    pub cross_node: Cycles,
+    /// Cycles per payload byte within a node (inverse chip bandwidth).
+    pub per_byte: f64,
+    /// Cycles per payload byte across the network (inverse network
+    /// bandwidth; much slower than the chip interconnect).
+    pub per_byte_cross_node: f64,
+    /// Software overhead charged to the *caller* of any communication
+    /// primitive (the MPI library's per-call cost), cycles.
+    pub sw_overhead: Cycles,
+    /// Fixed cost of a barrier release after the last rank arrives,
+    /// cycles.
+    pub barrier_cost: Cycles,
+}
+
+impl Default for LatencyModel {
+    /// Shared-memory MPICH-like numbers at a 1.5 GHz clock: ~0.5 µs
+    /// same-core, ~1 µs cross-core, ~10 µs cross-node, ~1.5 GB/s.
+    fn default() -> Self {
+        LatencyModel {
+            same_core: 750,
+            same_chip: 1_500,
+            cross_node: 15_000,
+            per_byte: 1.0,
+            per_byte_cross_node: 10.0,
+            sw_overhead: 300,
+            barrier_cost: 2_000,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// End-to-end delivery latency for `bytes` between two placed ranks,
+    /// dispatching on the machine topology: SMT siblings exchange through
+    /// the shared cache, cores of one node through the chip interconnect,
+    /// and nodes through the network.
+    pub fn latency(&self, topo: &Topology, from: CtxAddr, to: CtxAddr, bytes: u64) -> Cycles {
+        let (base, per_byte) = if topo.same_core(from, to) {
+            (self.same_core, self.per_byte)
+        } else if topo.same_node(from, to) {
+            (self.same_chip, self.per_byte)
+        } else {
+            (self.cross_node, self.per_byte_cross_node)
+        };
+        base + (bytes as f64 * per_byte).ceil() as Cycles
+    }
+
+    /// Cost of an `n`-rank allreduce of `bytes`: a log₂-depth tree of
+    /// exchanges at chip latency.
+    pub fn allreduce_cost(&self, n: usize, bytes: u64) -> Cycles {
+        if n <= 1 {
+            return self.sw_overhead;
+        }
+        let depth = usize::BITS - (n - 1).leading_zeros(); // ceil(log2 n)
+        Cycles::from(depth) * (self.same_chip + (bytes as f64 * self.per_byte).ceil() as Cycles)
+    }
+}
+
+/// A message in flight or queued at the receiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    /// Sender rank.
+    pub from: Rank,
+    /// Destination rank.
+    pub to: Rank,
+    /// Tag.
+    pub tag: Tag,
+    /// Payload size.
+    pub bytes: u64,
+    /// Absolute time at which the payload is available at the receiver.
+    pub arrival: Cycles,
+}
+
+/// A pending non-blocking operation handle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Handle {
+    /// When the operation completes; `None` for an irecv that has not been
+    /// matched by any send yet.
+    pub complete_at: Option<Cycles>,
+}
+
+impl Handle {
+    /// Is the handle complete at time `t`?
+    pub fn done_at(&self, t: Cycles) -> bool {
+        self.complete_at.is_some_and(|c| c <= t)
+    }
+}
+
+/// Per-destination unexpected-message queues and pending receives.
+#[derive(Debug, Default)]
+pub struct Mailbox {
+    /// Messages delivered (or in flight) not yet matched by a receive.
+    unexpected: VecDeque<Message>,
+    /// Posted receives not yet matched, as (from, tag, handle index).
+    pending_recvs: VecDeque<(Rank, Tag, usize)>,
+}
+
+/// The matching engine for all ranks.
+#[derive(Debug)]
+pub struct CommState {
+    boxes: Vec<Mailbox>,
+    /// Per-rank pending handles (isend/irecv), cleared by waitall.
+    handles: Vec<Vec<Handle>>,
+}
+
+impl CommState {
+    /// State for `n` ranks.
+    pub fn new(n: usize) -> CommState {
+        CommState {
+            boxes: (0..n).map(|_| Mailbox::default()).collect(),
+            handles: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of pending handles for `rank`.
+    pub fn pending_handles(&self, rank: Rank) -> usize {
+        self.handles[rank].len()
+    }
+
+    /// Post a send (eager): the message is matched against a pending
+    /// irecv or queued as unexpected. The sender's own completion is
+    /// handled by the caller (local software overhead only — eager sends
+    /// never block on the receiver).
+    pub fn post_send(&mut self, msg: Message) {
+        let mbox = &mut self.boxes[msg.to];
+        if let Some(pos) = mbox
+            .pending_recvs
+            .iter()
+            .position(|&(f, t, _)| f == msg.from && t == msg.tag)
+        {
+            let (_, _, hidx) = mbox.pending_recvs.remove(pos).expect("pos valid");
+            self.handles[msg.to][hidx].complete_at = Some(msg.arrival);
+        } else {
+            mbox.unexpected.push_back(msg);
+        }
+    }
+
+    /// Post a non-blocking receive for `rank`; returns the handle index.
+    pub fn post_irecv(&mut self, rank: Rank, from: Rank, tag: Tag, now: Cycles) -> usize {
+        let hidx = self.handles[rank].len();
+        // Match against an already-posted message, FIFO per (from, tag).
+        let mbox = &mut self.boxes[rank];
+        if let Some(pos) = mbox
+            .unexpected
+            .iter()
+            .position(|m| m.from == from && m.tag == tag)
+        {
+            let msg = mbox.unexpected.remove(pos).expect("pos valid");
+            self.handles[rank].push(Handle { complete_at: Some(msg.arrival.max(now)) });
+        } else {
+            self.handles[rank].push(Handle { complete_at: None });
+            mbox.pending_recvs.push_back((from, tag, hidx));
+        }
+        hidx
+    }
+
+    /// Register a sender-side handle (isend completes at local overhead
+    /// end; the eager protocol never blocks the sender on the receiver).
+    pub fn post_isend_handle(&mut self, rank: Rank, complete_at: Cycles) -> usize {
+        self.handles[rank].push(Handle { complete_at: Some(complete_at) });
+        self.handles[rank].len() - 1
+    }
+
+    /// The completion time of handle `hidx` of `rank`, if known.
+    pub fn handle_completion(&self, rank: Rank, hidx: usize) -> Option<Cycles> {
+        self.handles[rank][hidx].complete_at
+    }
+
+    /// Are all pending handles of `rank` complete at `t`?
+    pub fn all_done(&self, rank: Rank, t: Cycles) -> bool {
+        self.handles[rank].iter().all(|h| h.done_at(t))
+    }
+
+    /// Latest completion time among `rank`'s handles; `None` if any handle
+    /// is still unmatched (completion unknowable yet).
+    pub fn completion_horizon(&self, rank: Rank) -> Option<Cycles> {
+        let mut horizon = 0;
+        for h in &self.handles[rank] {
+            horizon = horizon.max(h.complete_at?);
+        }
+        Some(horizon)
+    }
+
+    /// Drop all handles of `rank` (after a successful waitall). Pending
+    /// (unmatched) receives of the rank are dropped too — the engine only
+    /// clears once every handle is complete, so none remain in practice.
+    pub fn clear_handles(&mut self, rank: Rank) {
+        self.handles[rank].clear();
+        self.boxes[rank].pending_recvs.clear();
+    }
+
+    /// Unmatched messages queued for `rank` (diagnostics).
+    pub fn unexpected_count(&self, rank: Rank) -> usize {
+        self.boxes[rank].unexpected.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu(n: usize) -> CtxAddr {
+        CtxAddr::from_cpu(n)
+    }
+
+    #[test]
+    fn latency_tiers_ordered() {
+        let m = LatencyModel::default();
+        let topo = Topology::cluster(2);
+        let same_core = m.latency(&topo, cpu(0), cpu(1), 0);
+        let cross_core = m.latency(&topo, cpu(0), cpu(2), 0);
+        let cross_node = m.latency(&topo, cpu(0), cpu(4), 0);
+        assert!(same_core < cross_core);
+        assert!(cross_core < cross_node);
+        // Bandwidth is also tiered: a 1 MiB payload is much more expensive
+        // across the network than across the chip.
+        let on_chip = m.latency(&topo, cpu(0), cpu(2), 1 << 20);
+        let on_net = m.latency(&topo, cpu(0), cpu(4), 1 << 20);
+        assert!(on_net > 5 * on_chip, "network bandwidth tier: {on_net} vs {on_chip}");
+    }
+
+    #[test]
+    fn latency_grows_with_bytes() {
+        let m = LatencyModel::default();
+        let topo = Topology::single_node();
+        let small = m.latency(&topo, cpu(0), cpu(2), 64);
+        let big = m.latency(&topo, cpu(0), cpu(2), 1 << 20);
+        assert!(big > small + 1_000_000, "1 MiB at 1 B/cycle");
+    }
+
+    #[test]
+    fn allreduce_cost_scales_logarithmically() {
+        let m = LatencyModel::default();
+        let c2 = m.allreduce_cost(2, 64);
+        let c4 = m.allreduce_cost(4, 64);
+        let c8 = m.allreduce_cost(8, 64);
+        assert_eq!(c4, 2 * c2);
+        assert_eq!(c8, 3 * c2);
+        assert_eq!(m.allreduce_cost(1, 64), m.sw_overhead);
+    }
+
+    #[test]
+    fn send_then_irecv_matches_with_arrival_time() {
+        let mut cs = CommState::new(2);
+        cs.post_send(Message { from: 0, to: 1, tag: 7, bytes: 10, arrival: 500 });
+        let h = cs.post_irecv(1, 0, 7, 600);
+        // Message already arrived before the recv was posted.
+        assert_eq!(cs.handle_completion(1, h), Some(600));
+        assert!(cs.all_done(1, 600));
+    }
+
+    #[test]
+    fn irecv_then_send_matches_at_arrival() {
+        let mut cs = CommState::new(2);
+        let h = cs.post_irecv(1, 0, 7, 100);
+        assert_eq!(cs.handle_completion(1, h), None);
+        assert!(!cs.all_done(1, 10_000), "unmatched handle is never done");
+        cs.post_send(Message { from: 0, to: 1, tag: 7, bytes: 10, arrival: 900 });
+        assert_eq!(cs.handle_completion(1, h), Some(900));
+        assert!(!cs.all_done(1, 899));
+        assert!(cs.all_done(1, 900));
+    }
+
+    #[test]
+    fn matching_respects_tag_and_source() {
+        let mut cs = CommState::new(3);
+        let h = cs.post_irecv(2, 0, 5, 0);
+        // Wrong source and wrong tag must not match.
+        cs.post_send(Message { from: 1, to: 2, tag: 5, bytes: 1, arrival: 10 });
+        cs.post_send(Message { from: 0, to: 2, tag: 6, bytes: 1, arrival: 20 });
+        assert_eq!(cs.handle_completion(2, h), None);
+        assert_eq!(cs.unexpected_count(2), 2);
+        cs.post_send(Message { from: 0, to: 2, tag: 5, bytes: 1, arrival: 30 });
+        assert_eq!(cs.handle_completion(2, h), Some(30));
+    }
+
+    #[test]
+    fn fifo_ordering_within_pair_and_tag() {
+        let mut cs = CommState::new(2);
+        cs.post_send(Message { from: 0, to: 1, tag: 1, bytes: 1, arrival: 100 });
+        cs.post_send(Message { from: 0, to: 1, tag: 1, bytes: 1, arrival: 200 });
+        let h1 = cs.post_irecv(1, 0, 1, 0);
+        let h2 = cs.post_irecv(1, 0, 1, 0);
+        assert_eq!(cs.handle_completion(1, h1), Some(100), "first recv gets first message");
+        assert_eq!(cs.handle_completion(1, h2), Some(200));
+    }
+
+    #[test]
+    fn completion_horizon_reports_latest() {
+        let mut cs = CommState::new(2);
+        cs.post_isend_handle(0, 50);
+        cs.post_isend_handle(0, 150);
+        assert_eq!(cs.completion_horizon(0), Some(150));
+        let _h = cs.post_irecv(0, 1, 1, 0);
+        assert_eq!(cs.completion_horizon(0), None, "unmatched handle blocks horizon");
+    }
+
+    #[test]
+    fn clear_handles_resets_rank_state() {
+        let mut cs = CommState::new(2);
+        cs.post_isend_handle(0, 50);
+        assert_eq!(cs.pending_handles(0), 1);
+        cs.clear_handles(0);
+        assert_eq!(cs.pending_handles(0), 0);
+        assert!(cs.all_done(0, 0), "no handles means all done");
+    }
+}

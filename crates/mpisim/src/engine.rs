@@ -1,0 +1,979 @@
+//! The discrete-event system simulator.
+//!
+//! The engine owns a [`Machine`] (cores + kernel + noise) and one flattened
+//! program per MPI rank. It repeatedly:
+//!
+//! 1. dispatches every *ready* rank into its next operation (installing a
+//!    workload for a compute phase, posting messages, joining a barrier
+//!    epoch, ...);
+//! 2. computes the earliest next event: a compute phase reaching its
+//!    instruction target (exact under the mesoscale core model), a message
+//!    arrival, a collective release, a noise boundary;
+//! 3. advances the machine to that instant and resolves completions.
+//!
+//! Because per-context retire rates only change at events (priority
+//! changes, workload installs/clears, noise windows), stepping from event
+//! to event is *exact*, not approximate, with the mesoscale model — and a
+//! configurable quantum bounds the drift with the cycle-level model.
+//!
+//! Waiting time accrues exactly as in the paper: a rank that reaches its
+//! `mpi_waitall`/barrier early sits in `Sync` state while its hardware
+//! context *busy-waits* at the process priority (MPICH spins in user
+//! space), still consuming its decode share — which is precisely why the
+//! paper's priority reassignment matters. A context only goes truly idle
+//! (kernel idle loop at VERY LOW priority) when its process exits.
+
+use crate::collective::{EpochKind, SyncEpochs};
+use crate::comm::{CommState, LatencyModel, Message};
+use crate::interp::{flatten, FlatOp};
+use crate::program::{Program, Rank, TracePhase};
+use mtb_oskernel::{CtxAddr, KernelConfig, Machine, NoiseSource, Topology, WaitPolicy};
+use mtb_smtsim::chip::{build_cores_fidelity, Fidelity};
+use mtb_trace::paraver::CommEvent;
+use mtb_trace::{ProcState, RunMetrics, Timeline, TimelineBuilder};
+use mtb_trace::Cycles;
+
+/// Per-rank compute/wait accounting over one synchronization window,
+/// handed to [`Observer::on_epoch`] — the measurements the paper's
+/// envisioned dynamic balancer would sample.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RankWindow {
+    /// MPI rank.
+    pub rank: Rank,
+    /// Cycles spent computing since the previous epoch release.
+    pub compute: Cycles,
+    /// Cycles spent waiting since the previous epoch release.
+    pub sync: Cycles,
+}
+
+/// A callback invoked at every completed synchronization epoch, with
+/// mutable access to the machine — the hook the dynamic balancing policy
+/// (`mtb-core`) plugs into.
+pub trait Observer {
+    /// Epoch `epoch` just got its last arrival; `windows` holds per-rank
+    /// compute/wait cycles since the previous epoch.
+    fn on_epoch(&mut self, epoch: usize, windows: &[RankWindow], machine: &mut Machine);
+}
+
+/// A no-op observer.
+pub struct NullObserver;
+
+impl Observer for NullObserver {
+    fn on_epoch(&mut self, _: usize, _: &[RankWindow], _: &mut Machine) {}
+}
+
+/// Configuration of a system simulation.
+pub struct SimConfig {
+    /// Number of SMT cores (the paper's machine has 2).
+    pub cores: usize,
+    /// Core model and its configuration.
+    pub fidelity: Fidelity,
+    /// Kernel flavour and priorities.
+    pub kernel: KernelConfig,
+    /// `placement[rank]` = hardware context the rank is pinned to.
+    pub placement: Vec<CtxAddr>,
+    /// Communication cost model.
+    pub latency: LatencyModel,
+    /// Core-to-node grouping (single node by default, like the paper's
+    /// OpenPower 710).
+    pub topology: Topology,
+    /// How ranks wait inside MPI calls (stock-MPICH spinning by default).
+    pub wait_policy: WaitPolicy,
+    /// Extrinsic noise sources.
+    pub noise: Vec<NoiseSource>,
+    /// Hard stop: panic if the simulation exceeds this many cycles
+    /// (deadlock/livelock guard).
+    pub max_cycles: Cycles,
+    /// Maximum advance per step (bounds rate drift for the cycle model).
+    pub quantum: Cycles,
+}
+
+impl SimConfig {
+    /// The paper's machine: 2 SMT cores, patched kernel, no noise, rank i
+    /// pinned to cpu i.
+    pub fn power5(n_ranks: usize) -> SimConfig {
+        SimConfig {
+            cores: 2,
+            fidelity: Fidelity::default(),
+            kernel: KernelConfig::patched(),
+            placement: (0..n_ranks).map(CtxAddr::from_cpu).collect(),
+            latency: LatencyModel::default(),
+            topology: Topology::single_node(),
+            wait_policy: WaitPolicy::default(),
+            noise: Vec::new(),
+            max_cycles: 20_000_000_000_000,
+            quantum: 1_000_000_000,
+        }
+    }
+}
+
+/// What a rank is doing, from the engine's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RankState {
+    /// Will dispatch its next op at the current instant.
+    Ready,
+    /// Computing until the machine retires `target` total instructions.
+    Computing {
+        /// Absolute retired-instruction target.
+        target: u64,
+    },
+    /// Occupied by local communication overhead until the given time.
+    CommBusy {
+        /// Absolute completion time.
+        until: Cycles,
+    },
+    /// Blocked in a blocking receive on handle `hidx`.
+    WaitRecv {
+        /// Handle index within the rank's pending set.
+        hidx: usize,
+    },
+    /// Blocked in `mpi_waitall`.
+    WaitAll,
+    /// Waiting inside collective epoch `idx`.
+    InEpoch {
+        /// Epoch index.
+        idx: usize,
+    },
+    /// Program finished.
+    Done,
+}
+
+/// Result of a completed run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Per-rank activity timelines (rank order).
+    pub timelines: Vec<Timeline>,
+    /// Derived metrics (imbalance %, exec time, per-process breakdown).
+    pub metrics: RunMetrics,
+    /// Per-rank instructions retired.
+    pub retired: Vec<u64>,
+    /// Per-rank cycles stolen by noise.
+    pub interrupt_cycles: Vec<Cycles>,
+    /// Per-rank cycles spent doing useful work.
+    pub busy_cycles: Vec<Cycles>,
+    /// Per-rank cycles burned busy-waiting in MPI calls — the direct cost
+    /// of imbalance on an SMT machine.
+    pub spin_cycles: Vec<Cycles>,
+    /// Every point-to-point message (for PARAVER export via
+    /// [`mtb_trace::paraver::export_with_comm`]).
+    pub comm_log: Vec<CommEvent>,
+    /// Total execution time in cycles.
+    pub total_cycles: Cycles,
+}
+
+/// The system simulator.
+pub struct Engine {
+    machine: Machine,
+    cfg_latency: LatencyModel,
+    topology: Topology,
+    quantum: Cycles,
+    max_cycles: Cycles,
+    n_ranks: usize,
+    ops: Vec<Vec<FlatOp>>,
+    pc: Vec<usize>,
+    state: Vec<RankState>,
+    phase: Vec<TracePhase>,
+    comm: CommState,
+    epochs: SyncEpochs,
+    builders: Vec<Option<TimelineBuilder>>,
+    finished: Vec<Option<Timeline>>,
+    /// Time each rank entered its current engine state.
+    state_since: Vec<Cycles>,
+    /// Per-rank window accumulators since the last epoch release.
+    win_compute: Vec<Cycles>,
+    win_sync: Vec<Cycles>,
+    comm_log: Vec<CommEvent>,
+}
+
+impl Engine {
+    /// Build an engine: constructs the machine, spawns one pinned process
+    /// per rank (pid = rank) and flattens the programs.
+    ///
+    /// # Panics
+    /// Panics if placement length mismatches the program count, a context
+    /// is double-booked, or the ranks disagree on their collective
+    /// sequence (which would deadlock real MPI too).
+    pub fn new(programs: &[Program], cfg: SimConfig) -> Engine {
+        let n = programs.len();
+        assert_eq!(cfg.placement.len(), n, "placement must cover every rank");
+        let mut machine =
+            Machine::new(build_cores_fidelity(cfg.cores, &cfg.fidelity), cfg.kernel);
+        machine.set_wait_policy(cfg.wait_policy);
+        for src in cfg.noise {
+            machine.add_noise(src);
+        }
+        let mut builders = Vec::with_capacity(n);
+        let mut ops = Vec::with_capacity(n);
+        for (rank, prog) in programs.iter().enumerate() {
+            let name = prog
+                .name
+                .clone()
+                .unwrap_or_else(|| format!("P{}", rank + 1));
+            machine
+                .spawn(rank, name.clone(), cfg.placement[rank])
+                .unwrap_or_else(|e| panic!("cannot place rank {rank}: {e}"));
+            builders.push(Some(TimelineBuilder::new(rank, name, 0, ProcState::Idle)));
+            ops.push(flatten(prog, rank));
+        }
+        // Validate the collective sequences agree.
+        let sync_counts: Vec<usize> =
+            ops.iter().map(|o| crate::interp::count_sync_epochs(o)).collect();
+        assert!(
+            sync_counts.windows(2).all(|w| w[0] == w[1]),
+            "ranks disagree on collective counts: {sync_counts:?}"
+        );
+
+        Engine {
+            machine,
+            cfg_latency: cfg.latency,
+            topology: cfg.topology,
+            quantum: cfg.quantum.max(1),
+            max_cycles: cfg.max_cycles,
+            n_ranks: n,
+            ops,
+            pc: vec![0; n],
+            state: vec![RankState::Ready; n],
+            phase: vec![TracePhase::Body; n],
+            comm: CommState::new(n),
+            epochs: SyncEpochs::new(n),
+            builders,
+            finished: vec![None; n],
+            state_since: vec![0; n],
+            win_compute: vec![0; n],
+            win_sync: vec![0; n],
+            comm_log: Vec::new(),
+        }
+    }
+
+    /// Mutable access to the machine, e.g. for a static policy to set
+    /// priorities before `run`.
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// Immutable machine access.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Run to completion without an observer.
+    pub fn run(self) -> RunResult {
+        self.run_with(&mut NullObserver)
+    }
+
+    /// Run to completion, invoking `observer` at every epoch completion.
+    pub fn run_with(mut self, observer: &mut dyn Observer) -> RunResult {
+        loop {
+            self.dispatch_ready(observer);
+            if self.all_done() {
+                break;
+            }
+            let now = self.machine.now();
+            assert!(
+                now <= self.max_cycles,
+                "simulation exceeded max_cycles ({}); livelock?",
+                self.max_cycles
+            );
+            let next = self
+                .next_event(now)
+                .unwrap_or_else(|| self.diagnose_deadlock(now));
+            let dt = (next.saturating_sub(now)).clamp(1, self.quantum);
+            self.machine.advance(dt);
+            self.resolve_completions();
+        }
+
+        let end = self.machine.now();
+        let timelines: Vec<Timeline> = self
+            .finished
+            .into_iter()
+            .map(|t| t.expect("all ranks finished"))
+            .collect();
+        let metrics = RunMetrics::from_timelines(&timelines);
+        RunResult {
+            retired: (0..self.n_ranks).map(|r| self.machine.retired(r)).collect(),
+            interrupt_cycles: (0..self.n_ranks)
+                .map(|r| self.machine.pcb(r).map_or(0, |p| p.interrupt_cycles))
+                .collect(),
+            busy_cycles: (0..self.n_ranks)
+                .map(|r| self.machine.pcb(r).map_or(0, |p| p.busy_cycles))
+                .collect(),
+            spin_cycles: (0..self.n_ranks)
+                .map(|r| self.machine.pcb(r).map_or(0, |p| p.spin_cycles))
+                .collect(),
+            comm_log: self.comm_log,
+            total_cycles: end,
+            timelines,
+            metrics,
+        }
+    }
+
+    fn all_done(&self) -> bool {
+        self.state.iter().all(|s| matches!(s, RankState::Done))
+    }
+
+    /// Charge the rank's in-progress trace interval (up to now) into the
+    /// epoch-window accumulators, restarting the measurement point.
+    fn charge_window(&mut self, rank: Rank) {
+        let now = self.machine.now();
+        if let Some(b) = self.builders[rank].as_ref() {
+            if let Some(cur) = b.current_state() {
+                let dur = now - self.state_since[rank];
+                if cur.is_useful() {
+                    self.win_compute[rank] += dur;
+                } else if cur.is_waiting() {
+                    self.win_sync[rank] += dur;
+                }
+            }
+        }
+        self.state_since[rank] = now;
+    }
+
+    /// Record a trace-state change for `rank` at the current time and
+    /// charge the elapsed window accumulators.
+    fn trace_enter(&mut self, rank: Rank, st: ProcState) {
+        self.charge_window(rank);
+        let now = self.machine.now();
+        if let Some(b) = self.builders[rank].as_mut() {
+            b.enter(st, now);
+        }
+    }
+
+    /// Dispatch every ready rank into its next op; repeat until no rank is
+    /// ready (epoch completions may cascade).
+    fn dispatch_ready(&mut self, observer: &mut dyn Observer) {
+        let mut progress = true;
+        while progress {
+            progress = false;
+            for rank in 0..self.n_ranks {
+                if self.state[rank] == RankState::Ready {
+                    progress = true;
+                    self.dispatch_one(rank, observer);
+                }
+            }
+            // Epoch releases that happened exactly now unblock waiters.
+            self.resolve_completions();
+        }
+    }
+
+    fn dispatch_one(&mut self, rank: Rank, observer: &mut dyn Observer) {
+        let now = self.machine.now();
+        loop {
+            let Some(op) = self.ops[rank].get(self.pc[rank]).cloned() else {
+                self.state[rank] = RankState::Done;
+                self.machine.exit(rank).expect("rank exists");
+                self.trace_enter(rank, ProcState::Idle);
+                let b = self.builders[rank].take().expect("builder present");
+                self.finished[rank] = Some(b.finish(now));
+                return;
+            };
+            self.pc[rank] += 1;
+            match op {
+                FlatOp::Phase(p) => {
+                    self.phase[rank] = p;
+                    continue; // zero-time op
+                }
+                FlatOp::Compute(ws) => {
+                    if ws.instructions == 0 {
+                        continue;
+                    }
+                    let target = self.machine.retired(rank) + ws.instructions;
+                    self.machine
+                        .run_workload(rank, ws.workload)
+                        .expect("rank exists");
+                    self.state[rank] = RankState::Computing { target };
+                    self.trace_enter(rank, self.phase[rank].compute_state());
+                    return;
+                }
+                FlatOp::Isend { to, tag, bytes } => {
+                    let until = now + self.cfg_latency.sw_overhead;
+                    let arrival = until + self.latency_between(rank, to, bytes);
+                    self.comm.post_send(Message { from: rank, to, tag, bytes, arrival });
+                    self.comm_log.push(CommEvent {
+                        from: rank,
+                        to,
+                        bytes,
+                        send_time: now,
+                        recv_time: arrival,
+                    });
+                    self.comm.post_isend_handle(rank, until);
+                    self.state[rank] = RankState::CommBusy { until };
+                    self.trace_enter(rank, ProcState::Comm);
+                    return;
+                }
+                FlatOp::Send { to, tag, bytes } => {
+                    let until = now + self.cfg_latency.sw_overhead;
+                    let arrival = until + self.latency_between(rank, to, bytes);
+                    self.comm.post_send(Message { from: rank, to, tag, bytes, arrival });
+                    self.comm_log.push(CommEvent {
+                        from: rank,
+                        to,
+                        bytes,
+                        send_time: now,
+                        recv_time: arrival,
+                    });
+                    self.state[rank] = RankState::CommBusy { until };
+                    self.trace_enter(rank, ProcState::Comm);
+                    return;
+                }
+                FlatOp::Irecv { from, tag } => {
+                    self.comm.post_irecv(rank, from, tag, now);
+                    let until = now + self.cfg_latency.sw_overhead;
+                    self.state[rank] = RankState::CommBusy { until };
+                    self.trace_enter(rank, ProcState::Comm);
+                    return;
+                }
+                FlatOp::Recv { from, tag } => {
+                    let hidx = self.comm.post_irecv(rank, from, tag, now);
+                    if self.comm.handle_completion(rank, hidx).is_some_and(|c| c <= now) {
+                        continue; // message already here
+                    }
+                    self.state[rank] = RankState::WaitRecv { hidx };
+                    self.trace_enter(rank, ProcState::Sync);
+                    return;
+                }
+                FlatOp::WaitAll => {
+                    if self.comm.all_done(rank, now) {
+                        self.comm.clear_handles(rank);
+                        continue;
+                    }
+                    self.state[rank] = RankState::WaitAll;
+                    self.trace_enter(rank, ProcState::Sync);
+                    return;
+                }
+                FlatOp::Barrier => {
+                    self.join_epoch(rank, self.cfg_latency.barrier_cost, EpochKind::AllToAll, observer);
+                    return;
+                }
+                FlatOp::AllReduce { bytes } => {
+                    let cost = self.cfg_latency.allreduce_cost(self.n_ranks, bytes);
+                    self.join_epoch(rank, cost, EpochKind::AllToAll, observer);
+                    return;
+                }
+                FlatOp::Bcast { root, bytes } => {
+                    // Tree depth at chip latency, like allreduce.
+                    let cost = self.cfg_latency.allreduce_cost(self.n_ranks, bytes);
+                    self.join_epoch(rank, cost, EpochKind::FromRoot { root }, observer);
+                    return;
+                }
+                FlatOp::Reduce { root, bytes } => {
+                    let cost = self.cfg_latency.allreduce_cost(self.n_ranks, bytes);
+                    self.join_epoch(rank, cost, EpochKind::ToRoot { root }, observer);
+                    return;
+                }
+            }
+        }
+    }
+
+    fn join_epoch(
+        &mut self,
+        rank: Rank,
+        cost: Cycles,
+        kind: EpochKind,
+        observer: &mut dyn Observer,
+    ) {
+        let now = self.machine.now();
+        let idx = self.epochs.arrive(rank, now, cost, kind);
+        self.state[rank] = RankState::InEpoch { idx };
+        self.trace_enter(rank, ProcState::Sync);
+        if self.epochs.release_time(idx).is_some() {
+            // This arrival completed the epoch: flush every rank's
+            // in-progress interval into the window accumulators, then hand
+            // the stats to the observer (the dynamic balancer's sampling
+            // point).
+            for r in 0..self.n_ranks {
+                self.charge_window(r);
+            }
+            let windows: Vec<RankWindow> = (0..self.n_ranks)
+                .map(|r| RankWindow {
+                    rank: r,
+                    compute: self.win_compute[r],
+                    sync: self.win_sync[r],
+                })
+                .collect();
+            observer.on_epoch(idx, &windows, &mut self.machine);
+            self.win_compute.fill(0);
+            self.win_sync.fill(0);
+        }
+    }
+
+    fn latency_between(&self, from: Rank, to: Rank, bytes: u64) -> Cycles {
+        let fa = self.machine.pcb(from).expect("from exists").affinity;
+        let ta = self.machine.pcb(to).expect("to exists").affinity;
+        self.cfg_latency.latency(&self.topology, fa, ta, bytes)
+    }
+
+    /// Earliest future event, if any.
+    fn next_event(&self, now: Cycles) -> Option<Cycles> {
+        let mut best: Option<Cycles> = None;
+        let mut consider = |t: Cycles| {
+            let t = t.max(now + 1);
+            best = Some(best.map_or(t, |b| b.min(t)));
+        };
+        for rank in 0..self.n_ranks {
+            match self.state[rank] {
+                RankState::Computing { target } => {
+                    let remaining = target.saturating_sub(self.machine.retired(rank));
+                    if remaining == 0 {
+                        consider(now);
+                    } else if let Some(dt) = self.machine.cycles_to_retire(rank, remaining) {
+                        consider(now + dt);
+                    }
+                }
+                RankState::CommBusy { until } => consider(until),
+                RankState::WaitRecv { hidx } => {
+                    if let Some(c) = self.comm.handle_completion(rank, hidx) {
+                        consider(c);
+                    }
+                }
+                RankState::WaitAll => {
+                    if let Some(c) = self.comm.completion_horizon(rank) {
+                        consider(c);
+                    }
+                }
+                RankState::InEpoch { idx } => {
+                    if let Some(c) = self.epochs.release_time_for(idx, rank) {
+                        consider(c);
+                    }
+                }
+                RankState::Ready | RankState::Done => {}
+            }
+        }
+        if let Some(nb) = self.machine.next_boundary(now) {
+            consider(nb);
+        }
+        best
+    }
+
+    /// Move ranks whose wait condition is satisfied back to Ready.
+    fn resolve_completions(&mut self) {
+        let now = self.machine.now();
+        for rank in 0..self.n_ranks {
+            let ready = match self.state[rank] {
+                RankState::Computing { target } => {
+                    if self.machine.retired(rank) >= target {
+                        // The rank enters the MPI library and waits per
+                        // the configured policy (spin at own priority by
+                        // default, like stock MPICH) until the next
+                        // compute phase replaces the wait.
+                        self.machine.enter_wait(rank).expect("rank exists");
+                        true
+                    } else {
+                        false
+                    }
+                }
+                RankState::CommBusy { until } => until <= now,
+                RankState::WaitRecv { hidx } => self
+                    .comm
+                    .handle_completion(rank, hidx)
+                    .is_some_and(|c| c <= now),
+                RankState::WaitAll => {
+                    if self.comm.all_done(rank, now) {
+                        self.comm.clear_handles(rank);
+                        true
+                    } else {
+                        false
+                    }
+                }
+                RankState::InEpoch { idx } => self
+                    .epochs
+                    .release_time_for(idx, rank)
+                    .is_some_and(|c| c <= now),
+                RankState::Ready | RankState::Done => false,
+            };
+            if ready {
+                self.state[rank] = RankState::Ready;
+            }
+        }
+    }
+
+    #[cold]
+    fn diagnose_deadlock(&self, now: Cycles) -> ! {
+        let mut msg = format!("simulation deadlock at cycle {now}:\n");
+        for rank in 0..self.n_ranks {
+            msg.push_str(&format!(
+                "  rank {rank}: state {:?}, pc {}/{} (next op: {:?})\n",
+                self.state[rank],
+                self.pc[rank],
+                self.ops[rank].len(),
+                self.ops[rank].get(self.pc[rank]),
+            ));
+        }
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ProgramBuilder, WorkSpec};
+    use mtb_smtsim::inst::StreamSpec;
+    use mtb_smtsim::model::{Workload, WorkloadProfile};
+
+    fn wl(ipc: f64) -> Workload {
+        Workload::with_profile(
+            "w",
+            StreamSpec::balanced(1),
+            WorkloadProfile::new(ipc, 0.2, 0.05),
+        )
+    }
+
+    fn compute_prog(insts: u64) -> Program {
+        ProgramBuilder::new().compute(WorkSpec::new(wl(2.0), insts)).build()
+    }
+
+    #[test]
+    fn single_rank_compute_runs_to_completion() {
+        let e = Engine::new(&[compute_prog(100_000)], SimConfig::power5(1));
+        let r = e.run();
+        assert_eq!(r.retired[0], 100_000);
+        assert!(r.total_cycles > 0);
+        assert_eq!(r.timelines.len(), 1);
+        r.timelines[0].check_invariants().unwrap();
+    }
+
+    #[test]
+    fn compute_time_matches_rate() {
+        // One rank alone on the machine at 2.0 IPC ST with sibling idle at
+        // priority 1: exact cycles = instructions / 2.0.
+        let e = Engine::new(&[compute_prog(200_000)], SimConfig::power5(1));
+        let r = e.run();
+        let expected = 100_000;
+        let got = r.total_cycles;
+        assert!(
+            (got as i64 - expected as i64).abs() < 100,
+            "expected ~{expected} cycles, got {got}"
+        );
+    }
+
+    #[test]
+    fn barrier_makes_fast_rank_wait() {
+        let fast = ProgramBuilder::new()
+            .compute(WorkSpec::new(wl(2.0), 10_000))
+            .barrier()
+            .build();
+        let slow = ProgramBuilder::new()
+            .compute(WorkSpec::new(wl(2.0), 100_000))
+            .barrier()
+            .build();
+        // Place on different cores so they do not share decode bandwidth.
+        let mut cfg = SimConfig::power5(2);
+        cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
+        let r = Engine::new(&[fast, slow], cfg).run();
+        let m = &r.metrics;
+        assert!(m.procs[0].sync_pct > 50.0, "fast rank waits: {:?}", m.procs[0]);
+        assert!(m.procs[1].sync_pct < 10.0, "slow rank barely waits");
+        assert!(m.imbalance_pct > 50.0);
+    }
+
+    #[test]
+    fn isend_irecv_waitall_ping_pong() {
+        let p0 = ProgramBuilder::new()
+            .compute(WorkSpec::new(wl(2.0), 10_000))
+            .isend(1, 7, 4096)
+            .irecv(1, 8)
+            .waitall()
+            .build();
+        let p1 = ProgramBuilder::new()
+            .compute(WorkSpec::new(wl(2.0), 10_000))
+            .isend(0, 8, 4096)
+            .irecv(0, 7)
+            .waitall()
+            .build();
+        let mut cfg = SimConfig::power5(2);
+        cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
+        let r = Engine::new(&[p0, p1], cfg).run();
+        assert_eq!(r.retired, vec![10_000, 10_000]);
+        // Comm time appears in the traces.
+        for t in &r.timelines {
+            assert!(t.time_in(ProcState::Comm) > 0, "comm must be traced");
+        }
+    }
+
+    #[test]
+    fn blocking_send_recv_transfers_in_order() {
+        let sender = ProgramBuilder::new()
+            .send(1, 1, 100)
+            .send(1, 1, 100)
+            .build();
+        let receiver = ProgramBuilder::new()
+            .recv(0, 1)
+            .recv(0, 1)
+            .build();
+        let mut cfg = SimConfig::power5(2);
+        cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
+        let r = Engine::new(&[sender, receiver], cfg).run();
+        assert!(r.total_cycles > 0);
+        // The receiver must have waited for the first message at least.
+        assert!(r.timelines[1].time_in(ProcState::Sync) > 0);
+    }
+
+    #[test]
+    fn loop_with_barrier_executes_all_iterations() {
+        let prog = |n: u64| {
+            ProgramBuilder::new()
+                .repeat(5, move |b| b.compute(WorkSpec::new(wl(2.0), n)).barrier())
+                .build()
+        };
+        let mut cfg = SimConfig::power5(2);
+        cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
+        let r = Engine::new(&[prog(10_000), prog(10_000)], cfg).run();
+        assert_eq!(r.retired, vec![50_000, 50_000]);
+    }
+
+    #[test]
+    fn phases_label_the_trace() {
+        let p = ProgramBuilder::new()
+            .phase(TracePhase::Init)
+            .compute(WorkSpec::new(wl(2.0), 10_000))
+            .phase(TracePhase::Body)
+            .compute(WorkSpec::new(wl(2.0), 20_000))
+            .phase(TracePhase::Final)
+            .compute(WorkSpec::new(wl(2.0), 10_000))
+            .build();
+        let r = Engine::new(&[p], SimConfig::power5(1)).run();
+        let t = &r.timelines[0];
+        assert!(t.time_in(ProcState::Init) > 0);
+        assert!(t.time_in(ProcState::Compute) > 0);
+        assert!(t.time_in(ProcState::Final) > 0);
+        assert!(t.time_in(ProcState::Init) < t.time_in(ProcState::Compute));
+    }
+
+    #[test]
+    fn observer_sees_epoch_windows() {
+        struct Collect(Vec<Vec<RankWindow>>);
+        impl Observer for Collect {
+            fn on_epoch(&mut self, _e: usize, w: &[RankWindow], _m: &mut Machine) {
+                self.0.push(w.to_vec());
+            }
+        }
+        let prog = |n: u64| {
+            ProgramBuilder::new()
+                .repeat(3, move |b| b.compute(WorkSpec::new(wl(2.0), n)).barrier())
+                .build()
+        };
+        let mut cfg = SimConfig::power5(2);
+        cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
+        let mut obs = Collect(Vec::new());
+        let _ = Engine::new(&[prog(10_000), prog(40_000)], cfg).run_with(&mut obs);
+        assert_eq!(obs.0.len(), 3, "one callback per barrier");
+        let w0 = &obs.0[0];
+        assert!(w0[1].compute > w0[0].compute, "rank 1 computes more");
+        assert!(w0[0].sync > 0, "rank 0 waited");
+    }
+
+    #[test]
+    fn smt_sharing_slows_corunners() {
+        // Same total work; two ranks on ONE core must take longer than on
+        // two separate cores (decode sharing).
+        let prog = || compute_prog(100_000);
+        let mut same_core = SimConfig::power5(2);
+        same_core.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(1)];
+        let r_same = Engine::new(&[prog(), prog()], same_core).run();
+
+        let mut diff_core = SimConfig::power5(2);
+        diff_core.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
+        let r_diff = Engine::new(&[prog(), prog()], diff_core).run();
+
+        assert!(
+            r_same.total_cycles > r_diff.total_cycles,
+            "SMT sharing must cost something: {} vs {}",
+            r_same.total_cycles,
+            r_diff.total_cycles
+        );
+    }
+
+    #[test]
+    fn noise_lengthens_execution() {
+        let mk = |noisy: bool| {
+            let mut cfg = SimConfig::power5(1);
+            if noisy {
+                cfg.noise.push(NoiseSource::timer(CtxAddr::from_cpu(0), 10_000, 2_000));
+            }
+            Engine::new(&[compute_prog(500_000)], cfg).run()
+        };
+        let clean = mk(false);
+        let noisy = mk(true);
+        assert!(
+            noisy.total_cycles as f64 > clean.total_cycles as f64 * 1.15,
+            "20% duty noise must slow the run: {} vs {}",
+            noisy.total_cycles,
+            clean.total_cycles
+        );
+        assert!(noisy.interrupt_cycles[0] > 0);
+    }
+
+    #[test]
+    fn determinism_end_to_end() {
+        let mk = || {
+            let prog = |n: u64| {
+                ProgramBuilder::new()
+                    .repeat(4, move |b| {
+                        b.compute(WorkSpec::new(wl(1.7), n)).isend((n % 2) as usize, 1, 256).irecv((n % 2) as usize, 1).waitall().barrier()
+                    })
+                    .build()
+            };
+            let mut cfg = SimConfig::power5(2);
+            cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
+            cfg.noise.push(NoiseSource::timer(CtxAddr::from_cpu(0), 7777, 111));
+            Engine::new(&[prog(30_000), prog(60_001)], cfg).run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.retired, b.retired);
+        assert_eq!(a.timelines, b.timelines);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadlock")]
+    fn unmatched_recv_deadlocks_with_diagnostic() {
+        let p0 = ProgramBuilder::new().recv(1, 99).build();
+        let p1 = ProgramBuilder::new().compute(WorkSpec::new(wl(2.0), 1_000)).build();
+        let mut cfg = SimConfig::power5(2);
+        cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
+        let _ = Engine::new(&[p0, p1], cfg).run();
+    }
+
+    #[test]
+    #[should_panic(expected = "collective counts")]
+    fn mismatched_barrier_counts_rejected_up_front() {
+        let p0 = ProgramBuilder::new().barrier().build();
+        let p1 = ProgramBuilder::new().build();
+        let mut cfg = SimConfig::power5(2);
+        cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
+        let _ = Engine::new(&[p0, p1], cfg);
+    }
+
+    #[test]
+    fn reduce_lets_contributors_run_ahead() {
+        // Rank 1 contributes to a reduce rooted at 0, then computes more:
+        // it must NOT wait for the slow root-side work.
+        let root = ProgramBuilder::new()
+            .compute(WorkSpec::new(wl(2.0), 100_000))
+            .reduce(0, 64)
+            .build();
+        let contributor = ProgramBuilder::new()
+            .compute(WorkSpec::new(wl(2.0), 10_000))
+            .reduce(0, 64)
+            .compute(WorkSpec::new(wl(2.0), 10_000))
+            .build();
+        let mut cfg = SimConfig::power5(2);
+        cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
+        let r = Engine::new(&[root, contributor], cfg).run();
+        // The contributor's total sync time is tiny (just the deposit
+        // cost), even though the root computes 10x longer.
+        let sync1 = r.timelines[1].time_in(ProcState::Sync);
+        assert!(
+            sync1 < r.total_cycles / 10,
+            "reduce contributor must not block: sync {sync1} of {}",
+            r.total_cycles
+        );
+
+        // Contrast: a barrier in the same shape makes rank 1 wait.
+        let root_b = ProgramBuilder::new()
+            .compute(WorkSpec::new(wl(2.0), 100_000))
+            .barrier()
+            .build();
+        let contrib_b = ProgramBuilder::new()
+            .compute(WorkSpec::new(wl(2.0), 10_000))
+            .barrier()
+            .compute(WorkSpec::new(wl(2.0), 10_000))
+            .build();
+        let mut cfg2 = SimConfig::power5(2);
+        cfg2.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
+        let rb = Engine::new(&[root_b, contrib_b], cfg2).run();
+        assert!(rb.timelines[1].time_in(ProcState::Sync) > 10 * sync1);
+    }
+
+    #[test]
+    fn bcast_waiters_wait_for_the_root_only() {
+        // Root is slow; two receivers arrive early and wait. A third rank
+        // arrives even later than the root and must not delay anyone.
+        let mk = |work: u64| {
+            ProgramBuilder::new()
+                .compute(WorkSpec::new(wl(2.0), work))
+                .bcast(0, 1024)
+                .build()
+        };
+        let progs = vec![mk(80_000), mk(10_000), mk(10_000), mk(200_000)];
+        let cfg = SimConfig::power5(4);
+        let r = Engine::new(&progs, cfg).run();
+        // Receiver 1 leaves the bcast when the root's data arrives — well
+        // before rank 3 (the straggler) shows up.
+        let end1 = r.timelines[1].end();
+        let end3 = r.timelines[3].end();
+        assert!(
+            end1 < end3 * 2 / 3,
+            "early receivers must not wait for stragglers: {end1} vs {end3}"
+        );
+    }
+
+    #[test]
+    fn spin_accounting_matches_sync_time() {
+        let fast = ProgramBuilder::new()
+            .compute(WorkSpec::new(wl(2.0), 10_000))
+            .barrier()
+            .build();
+        let slow = ProgramBuilder::new()
+            .compute(WorkSpec::new(wl(2.0), 100_000))
+            .barrier()
+            .build();
+        let mut cfg = SimConfig::power5(2);
+        cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
+        let r = Engine::new(&[fast, slow], cfg).run();
+        // The fast rank's spin cycles roughly equal its traced sync time.
+        let sync0 = r.timelines[0].time_in(ProcState::Sync);
+        let diff = (r.spin_cycles[0] as i64 - sync0 as i64).abs();
+        assert!(
+            diff < sync0 as i64 / 10 + 1000,
+            "spin {} vs sync {}",
+            r.spin_cycles[0],
+            sync0
+        );
+        assert!(r.busy_cycles[1] > r.busy_cycles[0]);
+    }
+
+    #[test]
+    fn comm_log_records_every_message() {
+        let p0 = ProgramBuilder::new()
+            .isend(1, 7, 4096)
+            .irecv(1, 8)
+            .waitall()
+            .build();
+        let p1 = ProgramBuilder::new()
+            .isend(0, 8, 1024)
+            .irecv(0, 7)
+            .waitall()
+            .build();
+        let mut cfg = SimConfig::power5(2);
+        cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
+        let r = Engine::new(&[p0, p1], cfg).run();
+        assert_eq!(r.comm_log.len(), 2);
+        let m0 = r.comm_log.iter().find(|c| c.from == 0).unwrap();
+        assert_eq!(m0.to, 1);
+        assert_eq!(m0.bytes, 4096);
+        assert!(m0.recv_time > m0.send_time);
+        // And the full trace exports with both record types.
+        let text = mtb_trace::paraver::export_with_comm(&r.timelines, &r.comm_log);
+        assert!(text.lines().any(|l| l.starts_with("3:")));
+    }
+
+    #[test]
+    fn timelines_are_gap_free_and_cover_the_run() {
+        let prog = |n: u64| {
+            ProgramBuilder::new()
+                .repeat(3, move |b| b.compute(WorkSpec::new(wl(2.0), n)).barrier())
+                .build()
+        };
+        let mut cfg = SimConfig::power5(2);
+        cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
+        let r = Engine::new(&[prog(20_000), prog(40_000)], cfg).run();
+        for t in &r.timelines {
+            t.check_invariants().unwrap();
+            assert_eq!(t.start(), 0);
+        }
+        // The slow rank's end time is the run's end time.
+        let max_end = r.timelines.iter().map(|t| t.end()).max().unwrap();
+        assert_eq!(max_end, r.total_cycles);
+    }
+}

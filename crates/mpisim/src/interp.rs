@@ -1,0 +1,246 @@
+//! Program flattening.
+//!
+//! Loop bounds and iteration-dependent loads depend only on compile-time
+//! information (rank, iteration counters), so a [`Program`] can be
+//! flattened into a linear [`FlatOp`] sequence before execution. The
+//! engine then runs each rank as a simple program counter over its flat
+//! ops — no interpreter state machine needed at simulation time.
+
+use crate::program::{LoopCtx, Program, Rank, Stmt, Tag, TracePhase, WorkSpec};
+
+/// A primitive operation after flattening.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlatOp {
+    /// Retire a fixed amount of work.
+    Compute(WorkSpec),
+    /// Blocking eager send.
+    Send {
+        /// Destination rank.
+        to: Rank,
+        /// Message tag.
+        tag: Tag,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Blocking receive.
+    Recv {
+        /// Source rank.
+        from: Rank,
+        /// Message tag.
+        tag: Tag,
+    },
+    /// Non-blocking send.
+    Isend {
+        /// Destination rank.
+        to: Rank,
+        /// Message tag.
+        tag: Tag,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Non-blocking receive.
+    Irecv {
+        /// Source rank.
+        from: Rank,
+        /// Message tag.
+        tag: Tag,
+    },
+    /// Wait for all pending handles.
+    WaitAll,
+    /// Global barrier.
+    Barrier,
+    /// Global allreduce.
+    AllReduce {
+        /// Payload size per rank.
+        bytes: u64,
+    },
+    /// Broadcast from a root.
+    Bcast {
+        /// Broadcast root.
+        root: Rank,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Reduce to a root.
+    Reduce {
+        /// Reduction root.
+        root: Rank,
+        /// Payload size per rank.
+        bytes: u64,
+    },
+    /// Change trace labelling of subsequent compute.
+    Phase(TracePhase),
+}
+
+/// Flatten `program` for execution by `rank`.
+///
+/// Loops are unrolled with their induction variables resolved, and
+/// [`Stmt::DynCompute`] closures are evaluated with the concrete
+/// [`LoopCtx`]. The resulting op count is the dynamic statement count of
+/// the program; keep loop products moderate (≲10⁵).
+pub fn flatten(program: &Program, rank: Rank) -> Vec<FlatOp> {
+    let mut out = Vec::new();
+    let mut counters = Vec::new();
+    flatten_into(&program.body, rank, &mut counters, &mut out);
+    out
+}
+
+fn flatten_into(body: &[Stmt], rank: Rank, counters: &mut Vec<u32>, out: &mut Vec<FlatOp>) {
+    for stmt in body {
+        match stmt {
+            Stmt::Compute(w) => out.push(FlatOp::Compute(w.clone())),
+            Stmt::DynCompute(f) => {
+                let ctx = LoopCtx { rank, counters: counters.clone() };
+                out.push(FlatOp::Compute(f(&ctx)));
+            }
+            Stmt::Send { to, tag, bytes } => {
+                out.push(FlatOp::Send { to: *to, tag: *tag, bytes: *bytes })
+            }
+            Stmt::Recv { from, tag } => out.push(FlatOp::Recv { from: *from, tag: *tag }),
+            Stmt::Isend { to, tag, bytes } => {
+                out.push(FlatOp::Isend { to: *to, tag: *tag, bytes: *bytes })
+            }
+            Stmt::Irecv { from, tag } => out.push(FlatOp::Irecv { from: *from, tag: *tag }),
+            Stmt::WaitAll => out.push(FlatOp::WaitAll),
+            Stmt::Barrier => out.push(FlatOp::Barrier),
+            Stmt::AllReduce { bytes } => out.push(FlatOp::AllReduce { bytes: *bytes }),
+            Stmt::Bcast { root, bytes } => {
+                out.push(FlatOp::Bcast { root: *root, bytes: *bytes })
+            }
+            Stmt::Reduce { root, bytes } => {
+                out.push(FlatOp::Reduce { root: *root, bytes: *bytes })
+            }
+            Stmt::Loop { count, body } => {
+                for i in 0..*count {
+                    counters.push(i);
+                    flatten_into(body, rank, counters, out);
+                    counters.pop();
+                }
+            }
+            Stmt::Phase(p) => out.push(FlatOp::Phase(*p)),
+        }
+    }
+}
+
+/// Number of global synchronization epochs (barriers + allreduces) a flat
+/// program participates in — every rank must agree on this for the run to
+/// terminate; the engine validates it up front.
+pub fn count_sync_epochs(ops: &[FlatOp]) -> usize {
+    ops.iter()
+        .filter(|o| {
+            matches!(
+                o,
+                FlatOp::Barrier
+                    | FlatOp::AllReduce { .. }
+                    | FlatOp::Bcast { .. }
+                    | FlatOp::Reduce { .. }
+            )
+        })
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::ProgramBuilder;
+    use mtb_smtsim::inst::StreamSpec;
+    use mtb_smtsim::model::Workload;
+
+    fn w() -> Workload {
+        Workload::from_spec("w", StreamSpec::balanced(1))
+    }
+
+    #[test]
+    fn loops_unroll_in_order() {
+        let p = ProgramBuilder::new()
+            .repeat(3, |b| b.compute(WorkSpec::new(w(), 10)).barrier())
+            .build();
+        let ops = flatten(&p, 0);
+        assert_eq!(ops.len(), 6);
+        assert!(matches!(ops[0], FlatOp::Compute(_)));
+        assert!(matches!(ops[1], FlatOp::Barrier));
+        assert!(matches!(ops[5], FlatOp::Barrier));
+        assert_eq!(count_sync_epochs(&ops), 3);
+    }
+
+    #[test]
+    fn dyn_compute_sees_iteration_and_rank() {
+        let p = ProgramBuilder::new()
+            .repeat(4, |b| {
+                b.dyn_compute(|ctx| {
+                    WorkSpec::new(w(), 1000 * (u64::from(ctx.iteration()) + 1) + ctx.rank as u64)
+                })
+            })
+            .build();
+        let ops = flatten(&p, 7);
+        let sizes: Vec<u64> = ops
+            .iter()
+            .map(|o| match o {
+                FlatOp::Compute(ws) => ws.instructions,
+                _ => panic!("unexpected op"),
+            })
+            .collect();
+        assert_eq!(sizes, vec![1007, 2007, 3007, 4007]);
+    }
+
+    #[test]
+    fn nested_loops_expose_all_counters() {
+        let p = ProgramBuilder::new()
+            .repeat(2, |b| {
+                b.repeat(3, |b| {
+                    b.dyn_compute(|ctx| {
+                        assert_eq!(ctx.counters.len(), 2);
+                        WorkSpec::new(
+                            w(),
+                            u64::from(ctx.counters[0]) * 10 + u64::from(ctx.counters[1]),
+                        )
+                    })
+                })
+            })
+            .build();
+        let ops = flatten(&p, 0);
+        let sizes: Vec<u64> = ops
+            .iter()
+            .map(|o| match o {
+                FlatOp::Compute(ws) => ws.instructions,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(sizes, vec![0, 1, 2, 10, 11, 12]);
+    }
+
+    #[test]
+    fn non_loop_statements_pass_through() {
+        let p = ProgramBuilder::new()
+            .phase(crate::program::TracePhase::Init)
+            .isend(1, 5, 64)
+            .irecv(1, 5)
+            .waitall()
+            .allreduce(8)
+            .build();
+        let ops = flatten(&p, 0);
+        assert_eq!(ops.len(), 5);
+        assert_eq!(count_sync_epochs(&ops), 1);
+    }
+
+    #[test]
+    fn rooted_collectives_flatten_and_count() {
+        let p = ProgramBuilder::new()
+            .bcast(0, 256)
+            .compute(WorkSpec::new(w(), 5))
+            .reduce(0, 1024)
+            .build();
+        let ops = flatten(&p, 2);
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0], FlatOp::Bcast { root: 0, bytes: 256 });
+        assert_eq!(ops[2], FlatOp::Reduce { root: 0, bytes: 1024 });
+        assert_eq!(count_sync_epochs(&ops), 2);
+    }
+
+    #[test]
+    fn empty_program_flattens_empty() {
+        let ops = flatten(&Program::new(vec![]), 0);
+        assert!(ops.is_empty());
+        assert_eq!(count_sync_epochs(&ops), 0);
+    }
+}

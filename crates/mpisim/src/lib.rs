@@ -1,0 +1,37 @@
+//! # mtb-mpisim — a deterministic message-passing runtime and system
+//! simulator
+//!
+//! The paper's experiments run MPI applications (MPICH 1.0.4p1) on one
+//! POWER5 machine. This crate provides the equivalent substrate for the
+//! simulation: rank programs written against an MPI-like primitive set
+//! (compute phases, `send`/`recv`, `isend`/`irecv`/`waitall`, barriers,
+//! allreduce), executed by a discrete-event engine that drives the
+//! [`mtb_oskernel::Machine`] and produces per-rank
+//! [`mtb_trace::Timeline`]s.
+//!
+//! * [`program`] — the statement tree rank programs are written in
+//!   (`Compute`, `Isend`, `Irecv`, `WaitAll`, `Barrier`, `Loop`, ...),
+//!   including per-iteration dynamic loads.
+//! * [`interp`] — flattening of a program into a linear op sequence with
+//!   loop induction variables resolved.
+//! * [`comm`] — message matching (eager protocol, FIFO per pair ordering)
+//!   and the latency/bandwidth model.
+//! * [`collective`] — barrier and allreduce built as synchronization
+//!   epochs.
+//! * [`engine`] — the discrete-event system simulator: decides how far the
+//!   machine can run until the next interesting event (compute-phase
+//!   completion, message arrival, barrier release, noise boundary), then
+//!   advances every core by exactly that much.
+//!
+//! Everything is deterministic: identical configurations produce
+//! bit-identical results.
+
+pub mod collective;
+pub mod comm;
+pub mod engine;
+pub mod interp;
+pub mod program;
+
+pub use comm::LatencyModel;
+pub use engine::{Engine, Observer, RankWindow, RunResult, SimConfig};
+pub use program::{Program, ProgramBuilder, Rank, Stmt, Tag, TracePhase, WorkSpec};

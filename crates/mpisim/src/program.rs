@@ -1,0 +1,370 @@
+//! Rank programs.
+//!
+//! An MPI rank in the simulation is a [`Program`]: a tree of [`Stmt`]s
+//! combining compute phases, point-to-point communication, collectives and
+//! loops. The structure mirrors how the paper's applications behave:
+//! MetBench workers run `Loop { Compute; Barrier }`, BT-MZ ranks run
+//! `Loop { Compute; Isend*; Irecv*; WaitAll }`, SIESTA adds init/finalize
+//! phases and per-iteration varying loads ([`Stmt::DynCompute`]).
+
+use std::fmt;
+use std::sync::Arc;
+
+use mtb_smtsim::model::Workload;
+use mtb_trace::ProcState;
+
+/// An MPI rank number.
+pub type Rank = usize;
+
+/// A message tag.
+pub type Tag = u32;
+
+/// How compute time in a phase is labelled in the trace (the paper's
+/// figures distinguish initialization and finalization phases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TracePhase {
+    /// Initialization (white bars in the paper's figures).
+    Init,
+    /// Main body.
+    Body,
+    /// Finalization.
+    Final,
+}
+
+impl TracePhase {
+    /// The trace state compute time is recorded as in this phase.
+    pub fn compute_state(self) -> ProcState {
+        match self {
+            TracePhase::Init => ProcState::Init,
+            TracePhase::Body => ProcState::Compute,
+            TracePhase::Final => ProcState::Final,
+        }
+    }
+}
+
+/// An amount of work: retire `instructions` of `workload`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkSpec {
+    /// What kind of instructions (stream + profile).
+    pub workload: Workload,
+    /// How many of them.
+    pub instructions: u64,
+}
+
+impl WorkSpec {
+    /// Convenience constructor.
+    pub fn new(workload: Workload, instructions: u64) -> WorkSpec {
+        WorkSpec { workload, instructions }
+    }
+}
+
+/// Context handed to dynamic-load closures: which loop iteration (per
+/// nesting level, innermost last) and which rank is executing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopCtx {
+    /// This rank.
+    pub rank: Rank,
+    /// Iteration counters of the enclosing loops, outermost first.
+    pub counters: Vec<u32>,
+}
+
+impl LoopCtx {
+    /// The innermost iteration counter (0 outside any loop).
+    pub fn iteration(&self) -> u32 {
+        self.counters.last().copied().unwrap_or(0)
+    }
+}
+
+/// Closure type for iteration-dependent loads.
+pub type DynLoad = Arc<dyn Fn(&LoopCtx) -> WorkSpec + Send + Sync>;
+
+/// One statement of a rank program.
+#[derive(Clone)]
+pub enum Stmt {
+    /// Retire a fixed amount of work.
+    Compute(WorkSpec),
+    /// Retire an amount of work that depends on the loop iteration — how
+    /// SIESTA-like dynamic imbalance is expressed.
+    DynCompute(DynLoad),
+    /// Blocking eager send.
+    Send {
+        /// Destination rank.
+        to: Rank,
+        /// Message tag.
+        tag: Tag,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Blocking receive (waits for a matching message).
+    Recv {
+        /// Source rank.
+        from: Rank,
+        /// Message tag.
+        tag: Tag,
+    },
+    /// Non-blocking send; completes into the rank's pending-handle set.
+    Isend {
+        /// Destination rank.
+        to: Rank,
+        /// Message tag.
+        tag: Tag,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Non-blocking receive; completes into the rank's pending-handle set.
+    Irecv {
+        /// Source rank.
+        from: Rank,
+        /// Message tag.
+        tag: Tag,
+    },
+    /// Wait for every pending handle of this rank (`mpi_waitall`).
+    WaitAll,
+    /// Global barrier over all ranks.
+    Barrier,
+    /// Global allreduce of `bytes` payload (barrier semantics plus
+    /// log-tree cost).
+    AllReduce {
+        /// Payload size per rank.
+        bytes: u64,
+    },
+    /// Broadcast `bytes` from `root`: a rank continues as soon as the
+    /// root's data has reached it (early ranks wait for the root only).
+    Bcast {
+        /// Broadcast root.
+        root: Rank,
+        /// Payload size.
+        bytes: u64,
+    },
+    /// Reduce `bytes` to `root`: contributors deposit and continue;
+    /// only the root waits for everyone.
+    Reduce {
+        /// Reduction root.
+        root: Rank,
+        /// Payload size per rank.
+        bytes: u64,
+    },
+    /// Repeat `body` `count` times.
+    Loop {
+        /// Iteration count.
+        count: u32,
+        /// Statements to repeat.
+        body: Vec<Stmt>,
+    },
+    /// Switch the trace labelling of subsequent compute time.
+    Phase(TracePhase),
+}
+
+impl fmt::Debug for Stmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stmt::Compute(w) => write!(f, "Compute({} x{})", w.workload.name, w.instructions),
+            Stmt::DynCompute(_) => write!(f, "DynCompute(<fn>)"),
+            Stmt::Send { to, tag, bytes } => write!(f, "Send(to={to}, tag={tag}, {bytes}B)"),
+            Stmt::Recv { from, tag } => write!(f, "Recv(from={from}, tag={tag})"),
+            Stmt::Isend { to, tag, bytes } => write!(f, "Isend(to={to}, tag={tag}, {bytes}B)"),
+            Stmt::Irecv { from, tag } => write!(f, "Irecv(from={from}, tag={tag})"),
+            Stmt::WaitAll => write!(f, "WaitAll"),
+            Stmt::Barrier => write!(f, "Barrier"),
+            Stmt::AllReduce { bytes } => write!(f, "AllReduce({bytes}B)"),
+            Stmt::Bcast { root, bytes } => write!(f, "Bcast(root={root}, {bytes}B)"),
+            Stmt::Reduce { root, bytes } => write!(f, "Reduce(root={root}, {bytes}B)"),
+            Stmt::Loop { count, body } => write!(f, "Loop(x{count}, {} stmts)", body.len()),
+            Stmt::Phase(p) => write!(f, "Phase({p:?})"),
+        }
+    }
+}
+
+/// A complete rank program.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Display name for traces (defaults to `"P<rank+1>"` downstream).
+    pub name: Option<String>,
+    /// The statement sequence.
+    pub body: Vec<Stmt>,
+}
+
+impl Program {
+    /// A program from raw statements.
+    pub fn new(body: Vec<Stmt>) -> Program {
+        Program { name: None, body }
+    }
+
+    /// Attach a display name.
+    pub fn named(mut self, name: impl Into<String>) -> Program {
+        self.name = Some(name.into());
+        self
+    }
+}
+
+/// Fluent builder for rank programs.
+///
+/// ```
+/// use mtb_mpisim::program::ProgramBuilder;
+/// use mtb_mpisim::program::WorkSpec;
+/// use mtb_smtsim::model::Workload;
+/// use mtb_smtsim::inst::StreamSpec;
+///
+/// let w = Workload::from_spec("load", StreamSpec::balanced(1));
+/// let prog = ProgramBuilder::new()
+///     .compute(WorkSpec::new(w, 100_000))
+///     .barrier()
+///     .build();
+/// assert_eq!(prog.body.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    body: Vec<Stmt>,
+}
+
+impl ProgramBuilder {
+    /// Start an empty program.
+    pub fn new() -> ProgramBuilder {
+        ProgramBuilder { body: Vec::new() }
+    }
+
+    /// Append a fixed compute phase.
+    pub fn compute(mut self, w: WorkSpec) -> Self {
+        self.body.push(Stmt::Compute(w));
+        self
+    }
+
+    /// Append an iteration-dependent compute phase.
+    pub fn dyn_compute(
+        mut self,
+        f: impl Fn(&LoopCtx) -> WorkSpec + Send + Sync + 'static,
+    ) -> Self {
+        self.body.push(Stmt::DynCompute(Arc::new(f)));
+        self
+    }
+
+    /// Append a blocking send.
+    pub fn send(mut self, to: Rank, tag: Tag, bytes: u64) -> Self {
+        self.body.push(Stmt::Send { to, tag, bytes });
+        self
+    }
+
+    /// Append a blocking receive.
+    pub fn recv(mut self, from: Rank, tag: Tag) -> Self {
+        self.body.push(Stmt::Recv { from, tag });
+        self
+    }
+
+    /// Append a non-blocking send.
+    pub fn isend(mut self, to: Rank, tag: Tag, bytes: u64) -> Self {
+        self.body.push(Stmt::Isend { to, tag, bytes });
+        self
+    }
+
+    /// Append a non-blocking receive.
+    pub fn irecv(mut self, from: Rank, tag: Tag) -> Self {
+        self.body.push(Stmt::Irecv { from, tag });
+        self
+    }
+
+    /// Append a waitall.
+    pub fn waitall(mut self) -> Self {
+        self.body.push(Stmt::WaitAll);
+        self
+    }
+
+    /// Append a barrier.
+    pub fn barrier(mut self) -> Self {
+        self.body.push(Stmt::Barrier);
+        self
+    }
+
+    /// Append an allreduce.
+    pub fn allreduce(mut self, bytes: u64) -> Self {
+        self.body.push(Stmt::AllReduce { bytes });
+        self
+    }
+
+    /// Append a broadcast from `root`.
+    pub fn bcast(mut self, root: Rank, bytes: u64) -> Self {
+        self.body.push(Stmt::Bcast { root, bytes });
+        self
+    }
+
+    /// Append a reduction to `root`.
+    pub fn reduce(mut self, root: Rank, bytes: u64) -> Self {
+        self.body.push(Stmt::Reduce { root, bytes });
+        self
+    }
+
+    /// Append a loop around the statements built by `f`.
+    pub fn repeat(mut self, count: u32, f: impl FnOnce(ProgramBuilder) -> ProgramBuilder) -> Self {
+        let inner = f(ProgramBuilder::new());
+        self.body.push(Stmt::Loop { count, body: inner.body });
+        self
+    }
+
+    /// Append a phase marker.
+    pub fn phase(mut self, p: TracePhase) -> Self {
+        self.body.push(Stmt::Phase(p));
+        self
+    }
+
+    /// Finish.
+    pub fn build(self) -> Program {
+        Program::new(self.body)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtb_smtsim::inst::StreamSpec;
+
+    fn w() -> Workload {
+        Workload::from_spec("w", StreamSpec::balanced(1))
+    }
+
+    #[test]
+    fn builder_produces_expected_shape() {
+        let p = ProgramBuilder::new()
+            .phase(TracePhase::Init)
+            .compute(WorkSpec::new(w(), 10))
+            .repeat(3, |b| b.compute(WorkSpec::new(w(), 5)).barrier())
+            .phase(TracePhase::Final)
+            .build();
+        assert_eq!(p.body.len(), 4);
+        match &p.body[2] {
+            Stmt::Loop { count, body } => {
+                assert_eq!(*count, 3);
+                assert_eq!(body.len(), 2);
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loop_ctx_iteration_is_innermost() {
+        let ctx = LoopCtx { rank: 2, counters: vec![7, 3] };
+        assert_eq!(ctx.iteration(), 3);
+        let empty = LoopCtx { rank: 0, counters: vec![] };
+        assert_eq!(empty.iteration(), 0);
+    }
+
+    #[test]
+    fn trace_phase_maps_to_states() {
+        assert_eq!(TracePhase::Init.compute_state(), ProcState::Init);
+        assert_eq!(TracePhase::Body.compute_state(), ProcState::Compute);
+        assert_eq!(TracePhase::Final.compute_state(), ProcState::Final);
+    }
+
+    #[test]
+    fn stmt_debug_is_informative() {
+        let s = Stmt::Isend { to: 3, tag: 9, bytes: 1024 };
+        assert_eq!(format!("{s:?}"), "Isend(to=3, tag=9, 1024B)");
+        let d = Stmt::DynCompute(Arc::new(|_| WorkSpec::new(
+            Workload::from_spec("x", StreamSpec::balanced(0)), 1)));
+        assert_eq!(format!("{d:?}"), "DynCompute(<fn>)");
+    }
+
+    #[test]
+    fn named_program_keeps_name() {
+        let p = Program::new(vec![]).named("master");
+        assert_eq!(p.name.as_deref(), Some("master"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Kernel flavours: stock Linux vs the paper's patch.
+//!
+//! Section VI-A: the stock kernel uses hardware priorities only to *lower*
+//! them around unproductive work (lock spinning, `smp_call_function`
+//! waits, the idle loop) and **resets the priority to MEDIUM on every
+//! interrupt, exception or system call**, because it does not track the
+//! current value. Consequently any priority a user or tool configures
+//! evaporates at the next timer tick.
+//!
+//! Section VI-B: the paper's patch (1) removes the resetting from the
+//! handlers, and (2) adds `/proc/<pid>/hmt_priority`, letting user space
+//! set every OS-level priority (1..=6).
+
+use mtb_smtsim::HwPriority;
+
+/// Which kernel is managing hardware priorities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelFlavour {
+    /// Stock Linux 2.6.19 behaviour.
+    Vanilla,
+    /// The paper's patched kernel.
+    Patched,
+}
+
+impl KernelFlavour {
+    /// Does an interrupt/syscall on a context clobber its priority back to
+    /// MEDIUM?
+    pub fn resets_priority_on_interrupt(self) -> bool {
+        matches!(self, KernelFlavour::Vanilla)
+    }
+
+    /// Is the `/proc/<pid>/hmt_priority` interface available?
+    pub fn has_procfs_interface(self) -> bool {
+        matches!(self, KernelFlavour::Patched)
+    }
+}
+
+/// Kernel configuration for a simulated machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelConfig {
+    /// Which flavour.
+    pub flavour: KernelFlavour,
+    /// Priority given to a context whose CPU runs the idle loop
+    /// (Section VI-A case 3: the kernel lowers the idle context so the
+    /// sibling gets the decode bandwidth). VERY_LOW enables leftover mode.
+    pub idle_priority: HwPriority,
+    /// Priority the kernel runs interrupt handlers at (the reset value).
+    pub handler_priority: HwPriority,
+}
+
+impl KernelConfig {
+    /// The paper's patched kernel.
+    pub fn patched() -> KernelConfig {
+        KernelConfig {
+            flavour: KernelFlavour::Patched,
+            idle_priority: HwPriority::VERY_LOW,
+            handler_priority: HwPriority::MEDIUM,
+        }
+    }
+
+    /// Stock Linux.
+    pub fn vanilla() -> KernelConfig {
+        KernelConfig {
+            flavour: KernelFlavour::Vanilla,
+            idle_priority: HwPriority::VERY_LOW,
+            handler_priority: HwPriority::MEDIUM,
+        }
+    }
+
+    /// The hardware priority a context should carry after an interrupt
+    /// handler completes, given the process's configured wish.
+    pub fn priority_after_interrupt(&self, wish: HwPriority) -> HwPriority {
+        if self.flavour.resets_priority_on_interrupt() {
+            // Vanilla never re-applies the wish: the context stays at the
+            // handler reset value.
+            self.handler_priority
+        } else {
+            wish
+        }
+    }
+}
+
+impl Default for KernelConfig {
+    /// The patched kernel — the configuration the paper's experiments use.
+    fn default() -> Self {
+        KernelConfig::patched()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vanilla_clobbers_patched_preserves() {
+        let high = HwPriority::HIGH;
+        assert_eq!(
+            KernelConfig::vanilla().priority_after_interrupt(high),
+            HwPriority::MEDIUM
+        );
+        assert_eq!(
+            KernelConfig::patched().priority_after_interrupt(high),
+            high
+        );
+    }
+
+    #[test]
+    fn flavour_predicates() {
+        assert!(KernelFlavour::Vanilla.resets_priority_on_interrupt());
+        assert!(!KernelFlavour::Patched.resets_priority_on_interrupt());
+        assert!(KernelFlavour::Patched.has_procfs_interface());
+        assert!(!KernelFlavour::Vanilla.has_procfs_interface());
+    }
+
+    #[test]
+    fn default_is_patched_with_verylow_idle() {
+        let k = KernelConfig::default();
+        assert_eq!(k.flavour, KernelFlavour::Patched);
+        assert_eq!(k.idle_priority, HwPriority::VERY_LOW);
+    }
+}

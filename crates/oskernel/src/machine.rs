@@ -1,0 +1,901 @@
+//! The simulated machine: cores + kernel + processes + noise.
+//!
+//! A [`Machine`] owns a set of SMT cores (any [`CoreModel`] fidelity),
+//! a process table with 1:1 pinning of processes to hardware contexts
+//! (as the paper's experiments pin MPI ranks to CPUs), a kernel flavour
+//! governing priority behaviour, and a set of noise sources.
+//!
+//! Time advances through [`Machine::advance`], which segments the interval
+//! at noise boundaries: while a noise window is active on a context, the
+//! pinned process is suspended (it retires nothing and accumulates
+//! `interrupt_cycles`), and — on a vanilla kernel — the context's hardware
+//! priority is clobbered to MEDIUM and *stays there* afterwards, which is
+//! precisely why the paper had to patch the kernel (Section VI).
+
+use std::collections::BTreeMap;
+
+use crate::kernel::KernelConfig;
+use crate::noise::NoiseSource;
+use crate::priority_iface::{validate, PriorityError, SetVia};
+use crate::process::{CtxAddr, Pcb, ProcRunState};
+use mtb_smtsim::model::{CoreModel, Workload};
+use mtb_smtsim::{HwPriority, PrivilegeLevel, ThreadId};
+use mtb_trace::Cycles;
+
+/// Errors from machine-level process management.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MachineError {
+    /// pid not in the process table.
+    NoSuchProcess,
+    /// The target hardware context is already owned by another process.
+    ContextBusy,
+    /// Core index out of range.
+    NoSuchContext,
+    /// pid already spawned.
+    DuplicatePid,
+}
+
+impl std::fmt::Display for MachineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            MachineError::NoSuchProcess => "no such process",
+            MachineError::ContextBusy => "hardware context already in use",
+            MachineError::NoSuchContext => "no such hardware context",
+            MachineError::DuplicatePid => "pid already exists",
+        })
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// Per-context bookkeeping.
+#[derive(Default)]
+struct CtxState {
+    /// The workload the pinned process wants on this context (kept so it
+    /// can be re-installed after an interrupt window).
+    installed: Option<Workload>,
+    /// Inside a noise window right now?
+    in_handler: bool,
+    /// Do retired instructions count toward the process's progress?
+    /// False while spinning in an MPI wait — the spin loop burns decode
+    /// slots but accomplishes nothing.
+    counting: bool,
+}
+
+/// What a process does while blocked in an MPI call (Section VI's
+/// discussion): stock MPICH spins at whatever priority the process has;
+/// a cooperative library would lower the priority first; a
+/// kernel-assisted implementation blocks, letting the context idle at
+/// VERY LOW (full leftover donation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WaitPolicy {
+    /// Busy-wait at the process's own priority (stock MPICH — the
+    /// behaviour the paper's experiments are built on).
+    #[default]
+    SpinOwn,
+    /// Busy-wait, but drop the hardware priority to the given level
+    /// first (the paper's Section-VI recommendation; user space may
+    /// reach 2..=4 via the or-nop).
+    SpinAt(u8),
+    /// Block in the kernel: the context idles at VERY LOW and donates
+    /// its whole decode bandwidth (leftover mode).
+    Block,
+}
+
+/// The busy-wait loop MPI blocking calls execute: a short cache-resident
+/// load/compare/branch loop. It retires nothing useful but *consumes the
+/// context's decode share* — the paper's motivation for lowering the
+/// priority of processes that are "spinning for a lock, polling, etc."
+/// (Section VI).
+pub fn spin_workload() -> Workload {
+    use mtb_smtsim::inst::StreamSpec;
+    use mtb_smtsim::model::WorkloadProfile;
+    Workload::with_profile(
+        "mpi-spin",
+        StreamSpec { fx: 4, fp: 0, ls: 3, br: 3, dep_dist: 4, working_set: 256, code_kb: 1, seed: 0x5049 },
+        WorkloadProfile::new(2.0, 0.1, 0.0),
+    )
+}
+
+/// The simulated machine.
+///
+/// ```
+/// use mtb_oskernel::{CtxAddr, KernelConfig, Machine};
+/// use mtb_smtsim::chip::build_cores;
+/// use mtb_smtsim::model::Workload;
+/// use mtb_smtsim::StreamSpec;
+///
+/// let mut m = Machine::new(build_cores(2, false), KernelConfig::patched());
+/// m.spawn(0, "P1", CtxAddr::from_cpu(0)).unwrap();
+/// m.run_workload(0, Workload::from_spec("w", StreamSpec::balanced(1))).unwrap();
+/// m.set_priority_procfs(0, 6).unwrap();   // the paper's /proc interface
+/// m.advance(10_000);
+/// assert!(m.retired(0) > 0);
+/// ```
+pub struct Machine {
+    cores: Vec<Box<dyn CoreModel>>,
+    kernel: KernelConfig,
+    procs: BTreeMap<usize, Pcb>,
+    /// `ctx_owner[core][thread] = pid`.
+    ctx_owner: Vec<[Option<usize>; 2]>,
+    ctx_state: Vec<[CtxState; 2]>,
+    noise: Vec<NoiseSource>,
+    wait_policy: WaitPolicy,
+    now: Cycles,
+}
+
+impl Machine {
+    /// Build a machine over the given cores and kernel.
+    pub fn new(cores: Vec<Box<dyn CoreModel>>, kernel: KernelConfig) -> Machine {
+        let n = cores.len();
+        let mut m = Machine {
+            cores,
+            kernel,
+            procs: BTreeMap::new(),
+            ctx_owner: (0..n).map(|_| [None, None]).collect(),
+            ctx_state: (0..n).map(|_| [CtxState::default(), CtxState::default()]).collect(),
+            noise: Vec::new(),
+            wait_policy: WaitPolicy::default(),
+            now: 0,
+        };
+        // Idle contexts start at the kernel's idle priority so they donate
+        // their decode bandwidth (Section VI-A case 3).
+        for c in 0..n {
+            for t in ThreadId::BOTH {
+                m.cores[c].set_priority(t, m.kernel.idle_priority);
+            }
+        }
+        m
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> Cycles {
+        self.now
+    }
+
+    /// The kernel configuration in force.
+    pub fn kernel(&self) -> &KernelConfig {
+        &self.kernel
+    }
+
+    /// Number of hardware contexts (2 per core).
+    pub fn num_contexts(&self) -> usize {
+        self.cores.len() * 2
+    }
+
+    /// Register a noise source.
+    pub fn add_noise(&mut self, src: NoiseSource) {
+        assert!(src.target.core < self.cores.len(), "noise target out of range");
+        self.noise.push(src);
+    }
+
+    /// Create a process pinned to `affinity`.
+    pub fn spawn(
+        &mut self,
+        pid: usize,
+        name: impl Into<String>,
+        affinity: CtxAddr,
+    ) -> Result<(), MachineError> {
+        if affinity.core >= self.cores.len() {
+            return Err(MachineError::NoSuchContext);
+        }
+        if self.procs.contains_key(&pid) {
+            return Err(MachineError::DuplicatePid);
+        }
+        let slot = &mut self.ctx_owner[affinity.core][affinity.thread.index()];
+        if slot.is_some() {
+            return Err(MachineError::ContextBusy);
+        }
+        *slot = Some(pid);
+        self.procs.insert(pid, Pcb::new(pid, name, affinity));
+        Ok(())
+    }
+
+    /// The process control block for `pid`.
+    pub fn pcb(&self, pid: usize) -> Option<&Pcb> {
+        self.procs.get(&pid)
+    }
+
+    /// All pids, ascending.
+    pub fn pids(&self) -> Vec<usize> {
+        self.procs.keys().copied().collect()
+    }
+
+    /// Total instructions retired on behalf of `pid`.
+    pub fn retired(&self, pid: usize) -> u64 {
+        self.procs.get(&pid).map_or(0, |p| p.retired)
+    }
+
+    /// The hardware priority currently carried by a context (what the
+    /// silicon sees — possibly clobbered by a vanilla kernel, unlike the
+    /// PCB's configured wish).
+    pub fn hw_priority(&self, addr: CtxAddr) -> HwPriority {
+        self.cores[addr.core].priority(addr.thread)
+    }
+
+    /// Set a process's priority through `/proc/<pid>/hmt_priority`
+    /// (patched kernels only).
+    pub fn set_priority_procfs(&mut self, pid: usize, value: u8) -> Result<(), PriorityError> {
+        let p = validate(self.kernel.flavour, value, SetVia::ProcFs)?;
+        self.apply_wish(pid, p)
+    }
+
+    /// Set a process's priority by executing the magic or-nop at the given
+    /// privilege level (works on any kernel).
+    pub fn set_priority_ornop(
+        &mut self,
+        pid: usize,
+        value: u8,
+        privilege: PrivilegeLevel,
+    ) -> Result<(), PriorityError> {
+        let p = validate(self.kernel.flavour, value, SetVia::OrNop(privilege))?;
+        self.apply_wish(pid, p)
+    }
+
+    fn apply_wish(&mut self, pid: usize, p: HwPriority) -> Result<(), PriorityError> {
+        let pcb = self.procs.get_mut(&pid).ok_or(PriorityError::NoSuchProcess)?;
+        pcb.hmt_priority = p;
+        let addr = pcb.affinity;
+        let running = pcb.state == ProcRunState::Running;
+        let in_handler = self.ctx_state[addr.core][addr.thread.index()].in_handler;
+        if running && !in_handler {
+            self.cores[addr.core].set_priority(addr.thread, p);
+        }
+        Ok(())
+    }
+
+    /// Give `pid` work: it starts consuming cycles on its context at its
+    /// configured priority.
+    pub fn run_workload(&mut self, pid: usize, w: Workload) -> Result<(), MachineError> {
+        self.install(pid, w, true)
+    }
+
+    /// Set how processes wait in MPI calls (see [`WaitPolicy`]).
+    pub fn set_wait_policy(&mut self, p: WaitPolicy) {
+        self.wait_policy = p;
+    }
+
+    /// The wait policy in force.
+    pub fn wait_policy(&self) -> WaitPolicy {
+        self.wait_policy
+    }
+
+    /// Put `pid` into an MPI wait, per the machine's [`WaitPolicy`]:
+    /// spinning occupies the context (no useful retirement); blocking
+    /// idles it.
+    pub fn enter_wait(&mut self, pid: usize) -> Result<(), MachineError> {
+        match self.wait_policy {
+            WaitPolicy::SpinOwn => self.spin(pid),
+            WaitPolicy::SpinAt(level) => {
+                self.install(pid, spin_workload(), false)?;
+                // Drop the *hardware* priority for the wait without
+                // touching the PCB's configured wish (the next
+                // run_workload re-applies the wish). The MPI library runs
+                // in user space, so the change goes through the or-nop
+                // privilege rules — levels outside 2..=4 are silently
+                // ignored, leaving a plain spin.
+                if let Ok(p) = validate(
+                    self.kernel.flavour,
+                    level,
+                    SetVia::OrNop(PrivilegeLevel::User),
+                ) {
+                    let addr = self.procs[&pid].affinity;
+                    if !self.ctx_state[addr.core][addr.thread.index()].in_handler {
+                        self.cores[addr.core].set_priority(addr.thread, p);
+                    }
+                }
+                Ok(())
+            }
+            WaitPolicy::Block => self.block(pid),
+        }
+    }
+
+    /// Put `pid` into an MPI busy-wait: the context keeps running (a spin
+    /// loop at the process's priority, consuming its decode share) but no
+    /// retired instructions count toward the process's progress. This is
+    /// how MPICH blocking calls behave without kernel assistance.
+    pub fn spin(&mut self, pid: usize) -> Result<(), MachineError> {
+        self.install(pid, spin_workload(), false)
+    }
+
+    fn install(&mut self, pid: usize, w: Workload, counting: bool) -> Result<(), MachineError> {
+        let pcb = self.procs.get_mut(&pid).ok_or(MachineError::NoSuchProcess)?;
+        pcb.state = ProcRunState::Running;
+        let addr = pcb.affinity;
+        let wish = pcb.hmt_priority;
+        let st = &mut self.ctx_state[addr.core][addr.thread.index()];
+        st.installed = Some(w.clone());
+        st.counting = counting;
+        if !st.in_handler {
+            self.cores[addr.core].assign(addr.thread, w);
+            self.cores[addr.core].set_priority(addr.thread, wish);
+        }
+        Ok(())
+    }
+
+    /// Block `pid` (it waits at a synchronization point): its context goes
+    /// idle and drops to the kernel's idle priority, donating decode
+    /// bandwidth to the sibling.
+    pub fn block(&mut self, pid: usize) -> Result<(), MachineError> {
+        self.stop(pid, ProcRunState::Blocked)
+    }
+
+    /// Terminate `pid`.
+    pub fn exit(&mut self, pid: usize) -> Result<(), MachineError> {
+        self.stop(pid, ProcRunState::Exited)
+    }
+
+    fn stop(&mut self, pid: usize, state: ProcRunState) -> Result<(), MachineError> {
+        let pcb = self.procs.get_mut(&pid).ok_or(MachineError::NoSuchProcess)?;
+        pcb.state = state;
+        let addr = pcb.affinity;
+        let st = &mut self.ctx_state[addr.core][addr.thread.index()];
+        st.installed = None;
+        st.counting = false;
+        if !st.in_handler {
+            self.cores[addr.core].clear(addr.thread);
+            self.cores[addr.core].set_priority(addr.thread, self.kernel.idle_priority);
+        }
+        Ok(())
+    }
+
+    /// Detach `pid` from its context: the context goes idle (keeping its
+    /// in-handler flag, which belongs to the context, not the process) and
+    /// the process's installed workload/counting state is returned.
+    fn detach(&mut self, pid: usize) -> (CtxAddr, Option<Workload>, bool) {
+        let from = self.procs[&pid].affinity;
+        let (fi, ft) = (from.core, from.thread.index());
+        self.ctx_owner[fi][ft] = None;
+        let installed = self.ctx_state[fi][ft].installed.take();
+        let counting = self.ctx_state[fi][ft].counting;
+        self.ctx_state[fi][ft].counting = false;
+        if !self.ctx_state[fi][ft].in_handler {
+            self.cores[fi].clear(from.thread);
+            self.cores[fi].set_priority(from.thread, self.kernel.idle_priority);
+        }
+        (from, installed, counting)
+    }
+
+    /// Attach `pid` (previously detached) to a free context.
+    fn attach(&mut self, pid: usize, to: CtxAddr, installed: Option<Workload>, counting: bool) {
+        debug_assert!(self.ctx_owner[to.core][to.thread.index()].is_none());
+        self.ctx_owner[to.core][to.thread.index()] = Some(pid);
+        let pcb = self.procs.get_mut(&pid).expect("pid exists");
+        pcb.affinity = to;
+        let wish = pcb.hmt_priority;
+        let running = pcb.state == ProcRunState::Running;
+        let dst = &mut self.ctx_state[to.core][to.thread.index()];
+        dst.installed = installed;
+        dst.counting = counting;
+        if !dst.in_handler {
+            match (dst.installed.clone(), running) {
+                (Some(w), true) => {
+                    self.cores[to.core].assign(to.thread, w);
+                    self.cores[to.core].set_priority(to.thread, wish);
+                }
+                _ => {
+                    self.cores[to.core].clear(to.thread);
+                    self.cores[to.core].set_priority(to.thread, self.kernel.idle_priority);
+                }
+            }
+        }
+    }
+
+    /// Migrate `pid` to a different hardware context (it must be free).
+    /// The process's workload, progress accounting and priority wish move
+    /// with it; its old context drops to the idle priority. This is the
+    /// mechanism an adaptive mapper uses to re-pair ranks at run time.
+    pub fn migrate(&mut self, pid: usize, to: CtxAddr) -> Result<(), MachineError> {
+        if to.core >= self.cores.len() {
+            return Err(MachineError::NoSuchContext);
+        }
+        if !self.procs.contains_key(&pid) {
+            return Err(MachineError::NoSuchProcess);
+        }
+        if self.procs[&pid].affinity == to {
+            return Ok(());
+        }
+        if self.ctx_owner[to.core][to.thread.index()].is_some() {
+            return Err(MachineError::ContextBusy);
+        }
+        let (_, installed, counting) = self.detach(pid);
+        self.attach(pid, to, installed, counting);
+        Ok(())
+    }
+
+    /// Swap the contexts of two processes (atomic pairwise migration).
+    pub fn swap(&mut self, pid_a: usize, pid_b: usize) -> Result<(), MachineError> {
+        if !self.procs.contains_key(&pid_a) || !self.procs.contains_key(&pid_b) {
+            return Err(MachineError::NoSuchProcess);
+        }
+        if pid_a == pid_b {
+            return Ok(());
+        }
+        let (addr_a, inst_a, count_a) = self.detach(pid_a);
+        let (addr_b, inst_b, count_b) = self.detach(pid_b);
+        self.attach(pid_b, addr_a, inst_b, count_b);
+        self.attach(pid_a, addr_b, inst_a, count_a);
+        Ok(())
+    }
+
+    /// Steady-state estimate of cycles for `pid` to retire `n` more
+    /// instructions, ignoring future noise windows (the caller bounds steps
+    /// with [`Machine::next_boundary`]).
+    pub fn cycles_to_retire(&self, pid: usize, n: u64) -> Option<Cycles> {
+        let pcb = self.procs.get(&pid)?;
+        if pcb.state != ProcRunState::Running {
+            return None;
+        }
+        let addr = pcb.affinity;
+        let st = &self.ctx_state[addr.core][addr.thread.index()];
+        if st.in_handler || !st.counting {
+            return None;
+        }
+        self.cores[addr.core].cycles_to_retire(addr.thread, n)
+    }
+
+    /// Machine-wide CPU-time split so far: (busy, spin, interrupt) cycles
+    /// summed over every process. Together with `now() * num_contexts()`
+    /// this gives the utilization picture the energy model and the
+    /// balancing reports use.
+    pub fn cpu_time_split(&self) -> (Cycles, Cycles, Cycles) {
+        let mut busy = 0;
+        let mut spin = 0;
+        let mut irq = 0;
+        for p in self.procs.values() {
+            busy += p.busy_cycles;
+            spin += p.spin_cycles;
+            irq += p.interrupt_cycles;
+        }
+        (busy, spin, irq)
+    }
+
+    /// The next time >= `t` at which some noise source changes state, if
+    /// any noise is configured.
+    pub fn next_boundary(&self, t: Cycles) -> Option<Cycles> {
+        self.noise.iter().map(|s| s.next_boundary(t)).min()
+    }
+
+    /// Advance simulated time by `dt` cycles, delivering noise windows and
+    /// accumulating per-process progress.
+    pub fn advance(&mut self, dt: Cycles) {
+        let end = self.now + dt;
+        while self.now < end {
+            self.sync_handler_state();
+            let nb = self
+                .next_boundary(self.now)
+                .map_or(end, |b| b.min(end))
+                .max(self.now + 1);
+            let seg = nb - self.now;
+
+            for core_idx in 0..self.cores.len() {
+                let retired = self.cores[core_idx].advance(seg);
+                for t in ThreadId::BOTH {
+                    if let Some(pid) = self.ctx_owner[core_idx][t.index()] {
+                        let st = &self.ctx_state[core_idx][t.index()];
+                        let counting = st.counting;
+                        let occupied = st.installed.is_some();
+                        let in_handler = st.in_handler;
+                        let pcb = self.procs.get_mut(&pid).expect("owner pid exists");
+                        if counting {
+                            pcb.retired += retired[t.index()];
+                        }
+                        if in_handler && pcb.state == ProcRunState::Running {
+                            pcb.interrupt_cycles += seg;
+                        } else if occupied {
+                            if counting {
+                                pcb.busy_cycles += seg;
+                            } else {
+                                pcb.spin_cycles += seg;
+                            }
+                        }
+                    }
+                }
+            }
+            self.now = nb;
+        }
+        self.sync_handler_state();
+    }
+
+    /// Enter/exit noise windows according to the current time.
+    fn sync_handler_state(&mut self) {
+        for core_idx in 0..self.cores.len() {
+            for t in ThreadId::BOTH {
+                let addr = CtxAddr { core: core_idx, thread: t };
+                let active = self
+                    .noise
+                    .iter()
+                    .any(|s| s.target == addr && s.active_at(self.now));
+                let in_handler = self.ctx_state[core_idx][t.index()].in_handler;
+                if active && !in_handler {
+                    self.enter_handler(addr);
+                } else if !active && in_handler {
+                    self.exit_handler(addr);
+                }
+            }
+        }
+    }
+
+    fn enter_handler(&mut self, addr: CtxAddr) {
+        let st = &mut self.ctx_state[addr.core][addr.thread.index()];
+        st.in_handler = true;
+        // The pinned process stops making progress for the window.
+        self.cores[addr.core].clear(addr.thread);
+        // Stock kernels reset the hardware priority to MEDIUM on handler
+        // entry (Section VI-A); the patch removed that code.
+        if self.kernel.flavour.resets_priority_on_interrupt() {
+            self.cores[addr.core].set_priority(addr.thread, self.kernel.handler_priority);
+        }
+    }
+
+    fn exit_handler(&mut self, addr: CtxAddr) {
+        let ti = addr.thread.index();
+        self.ctx_state[addr.core][ti].in_handler = false;
+        let installed = self.ctx_state[addr.core][ti].installed.clone();
+        match installed {
+            Some(w) => {
+                let pid = self.ctx_owner[addr.core][ti].expect("installed implies owner");
+                let wish = self.procs[&pid].hmt_priority;
+                self.cores[addr.core].assign(addr.thread, w);
+                // Vanilla: the kernel does not know the previous priority,
+                // so the context stays at the handler value. Patched: the
+                // wish survives.
+                self.cores[addr.core]
+                    .set_priority(addr.thread, self.kernel.priority_after_interrupt(wish));
+            }
+            None => {
+                self.cores[addr.core].clear(addr.thread);
+                self.cores[addr.core].set_priority(addr.thread, self.kernel.idle_priority);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtb_smtsim::chip::build_cores;
+    use mtb_smtsim::inst::StreamSpec;
+    use mtb_smtsim::model::WorkloadProfile;
+
+    fn meso_machine(kernel: KernelConfig) -> Machine {
+        Machine::new(build_cores(2, false), kernel)
+    }
+
+    fn wl(ipc: f64) -> Workload {
+        Workload::with_profile(
+            "w",
+            StreamSpec::balanced(1),
+            WorkloadProfile::new(ipc, 0.2, 0.05),
+        )
+    }
+
+    #[test]
+    fn spawn_enforces_context_exclusivity() {
+        let mut m = meso_machine(KernelConfig::patched());
+        m.spawn(1, "P1", CtxAddr::from_cpu(0)).unwrap();
+        assert_eq!(m.spawn(2, "P2", CtxAddr::from_cpu(0)), Err(MachineError::ContextBusy));
+        assert_eq!(m.spawn(1, "P1b", CtxAddr::from_cpu(1)), Err(MachineError::DuplicatePid));
+        assert_eq!(m.spawn(3, "P3", CtxAddr::from_cpu(9)), Err(MachineError::NoSuchContext));
+        m.spawn(2, "P2", CtxAddr::from_cpu(1)).unwrap();
+        assert_eq!(m.pids(), vec![1, 2]);
+    }
+
+    #[test]
+    fn idle_contexts_sit_at_idle_priority() {
+        let m = meso_machine(KernelConfig::patched());
+        for cpu in 0..4 {
+            assert_eq!(m.hw_priority(CtxAddr::from_cpu(cpu)), HwPriority::VERY_LOW);
+        }
+    }
+
+    #[test]
+    fn running_process_makes_progress_blocked_does_not() {
+        let mut m = meso_machine(KernelConfig::patched());
+        m.spawn(1, "P1", CtxAddr::from_cpu(0)).unwrap();
+        m.run_workload(1, wl(2.0)).unwrap();
+        m.advance(10_000);
+        let after_run = m.retired(1);
+        assert!(after_run > 0);
+        m.block(1).unwrap();
+        m.advance(10_000);
+        assert_eq!(m.retired(1), after_run, "blocked process must not retire");
+        assert_eq!(m.hw_priority(CtxAddr::from_cpu(0)), HwPriority::VERY_LOW);
+    }
+
+    #[test]
+    fn procfs_priority_applies_to_hardware() {
+        let mut m = meso_machine(KernelConfig::patched());
+        m.spawn(1, "P1", CtxAddr::from_cpu(0)).unwrap();
+        m.run_workload(1, wl(2.0)).unwrap();
+        m.set_priority_procfs(1, 6).unwrap();
+        assert_eq!(m.hw_priority(CtxAddr::from_cpu(0)), HwPriority::HIGH);
+        assert_eq!(m.pcb(1).unwrap().hmt_priority, HwPriority::HIGH);
+        // 7 is hypervisor-only even through procfs.
+        assert!(m.set_priority_procfs(1, 7).is_err());
+    }
+
+    #[test]
+    fn procfs_rejected_on_vanilla_kernel() {
+        let mut m = meso_machine(KernelConfig::vanilla());
+        m.spawn(1, "P1", CtxAddr::from_cpu(0)).unwrap();
+        assert_eq!(m.set_priority_procfs(1, 5), Err(PriorityError::NoProcFs));
+        // or-nop from user space still works for 2..=4.
+        m.set_priority_ornop(1, 3, PrivilegeLevel::User).unwrap();
+        assert_eq!(m.pcb(1).unwrap().hmt_priority, HwPriority::MEDIUM_LOW);
+    }
+
+    #[test]
+    fn higher_priority_process_outruns_sibling() {
+        let mut m = meso_machine(KernelConfig::patched());
+        m.spawn(1, "P1", CtxAddr::from_cpu(0)).unwrap();
+        m.spawn(2, "P2", CtxAddr::from_cpu(1)).unwrap(); // same core, thread B
+        m.run_workload(1, wl(3.0)).unwrap();
+        m.run_workload(2, wl(3.0)).unwrap();
+        m.set_priority_procfs(1, 6).unwrap();
+        m.set_priority_procfs(2, 2).unwrap();
+        m.advance(100_000);
+        assert!(
+            m.retired(1) > 3 * m.retired(2),
+            "priority 6 vs 2 must skew heavily: {} vs {}",
+            m.retired(1),
+            m.retired(2)
+        );
+    }
+
+    #[test]
+    fn noise_steals_cycles_and_is_accounted() {
+        let mut m = meso_machine(KernelConfig::patched());
+        m.spawn(1, "P1", CtxAddr::from_cpu(0)).unwrap();
+        m.run_workload(1, wl(2.0)).unwrap();
+        m.add_noise(NoiseSource::timer(CtxAddr::from_cpu(0), 1000, 100));
+        m.advance(100_000);
+        let pcb = m.pcb(1).unwrap();
+        assert_eq!(pcb.interrupt_cycles, 10_000, "10% duty timer");
+        // Progress reduced by roughly the stolen share.
+        let clean = {
+            let mut m2 = meso_machine(KernelConfig::patched());
+            m2.spawn(1, "P1", CtxAddr::from_cpu(0)).unwrap();
+            m2.run_workload(1, wl(2.0)).unwrap();
+            m2.advance(100_000);
+            m2.retired(1)
+        };
+        let noisy = m.retired(1);
+        let frac = noisy as f64 / clean as f64;
+        assert!((0.85..0.95).contains(&frac), "expected ~90% progress, got {frac}");
+    }
+
+    #[test]
+    fn vanilla_kernel_decays_priority_at_first_interrupt() {
+        let mut m = meso_machine(KernelConfig::vanilla());
+        m.spawn(1, "P1", CtxAddr::from_cpu(0)).unwrap();
+        m.run_workload(1, wl(2.0)).unwrap();
+        m.set_priority_ornop(1, 2, PrivilegeLevel::User).unwrap();
+        assert_eq!(m.hw_priority(CtxAddr::from_cpu(0)), HwPriority::LOW);
+        m.add_noise(NoiseSource::timer(CtxAddr::from_cpu(0), 10_000, 50));
+        m.advance(20_000);
+        assert_eq!(
+            m.hw_priority(CtxAddr::from_cpu(0)),
+            HwPriority::MEDIUM,
+            "vanilla kernel must clobber the priority to MEDIUM"
+        );
+        assert_eq!(
+            m.pcb(1).unwrap().hmt_priority,
+            HwPriority::LOW,
+            "the wish survives in the PCB"
+        );
+    }
+
+    #[test]
+    fn patched_kernel_preserves_priority_across_interrupts() {
+        let mut m = meso_machine(KernelConfig::patched());
+        m.spawn(1, "P1", CtxAddr::from_cpu(0)).unwrap();
+        m.run_workload(1, wl(2.0)).unwrap();
+        m.set_priority_procfs(1, 6).unwrap();
+        m.add_noise(NoiseSource::timer(CtxAddr::from_cpu(0), 10_000, 50));
+        m.advance(50_000);
+        assert_eq!(
+            m.hw_priority(CtxAddr::from_cpu(0)),
+            HwPriority::HIGH,
+            "the patch must keep the configured priority"
+        );
+    }
+
+    #[test]
+    fn cycles_to_retire_estimates_enable_event_stepping() {
+        let mut m = meso_machine(KernelConfig::patched());
+        m.spawn(1, "P1", CtxAddr::from_cpu(0)).unwrap();
+        m.run_workload(1, wl(2.0)).unwrap();
+        let dt = m.cycles_to_retire(1, 1000).unwrap();
+        m.advance(dt);
+        assert!(m.retired(1) >= 1000);
+        m.block(1).unwrap();
+        assert_eq!(m.cycles_to_retire(1, 1), None);
+    }
+
+    #[test]
+    fn advance_is_deterministic() {
+        let run = || {
+            let mut m = meso_machine(KernelConfig::patched());
+            m.spawn(1, "P1", CtxAddr::from_cpu(0)).unwrap();
+            m.spawn(2, "P2", CtxAddr::from_cpu(1)).unwrap();
+            m.run_workload(1, wl(2.5)).unwrap();
+            m.run_workload(2, wl(1.5)).unwrap();
+            m.add_noise(NoiseSource::timer(CtxAddr::from_cpu(0), 3333, 77));
+            m.advance(123_456);
+            (m.retired(1), m.retired(2))
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn migrate_moves_a_running_process() {
+        let mut m = meso_machine(KernelConfig::patched());
+        m.spawn(1, "P1", CtxAddr::from_cpu(0)).unwrap();
+        m.run_workload(1, wl(2.0)).unwrap();
+        m.set_priority_procfs(1, 6).unwrap();
+        m.advance(10_000);
+        let before = m.retired(1);
+        assert!(before > 0);
+
+        m.migrate(1, CtxAddr::from_cpu(3)).unwrap();
+        assert_eq!(m.pcb(1).unwrap().affinity, CtxAddr::from_cpu(3));
+        // The priority wish travels with the process.
+        assert_eq!(m.hw_priority(CtxAddr::from_cpu(3)), HwPriority::HIGH);
+        // The old context idles at VERY LOW.
+        assert_eq!(m.hw_priority(CtxAddr::from_cpu(0)), HwPriority::VERY_LOW);
+        m.advance(10_000);
+        assert!(m.retired(1) > before, "progress continues on the new context");
+    }
+
+    #[test]
+    fn migrate_rejects_busy_and_bad_targets() {
+        let mut m = meso_machine(KernelConfig::patched());
+        m.spawn(1, "P1", CtxAddr::from_cpu(0)).unwrap();
+        m.spawn(2, "P2", CtxAddr::from_cpu(1)).unwrap();
+        assert_eq!(m.migrate(1, CtxAddr::from_cpu(1)), Err(MachineError::ContextBusy));
+        assert_eq!(m.migrate(1, CtxAddr::from_cpu(99)), Err(MachineError::NoSuchContext));
+        assert_eq!(m.migrate(7, CtxAddr::from_cpu(2)), Err(MachineError::NoSuchProcess));
+        // Self-migration is a no-op.
+        m.migrate(1, CtxAddr::from_cpu(0)).unwrap();
+        assert_eq!(m.pcb(1).unwrap().affinity, CtxAddr::from_cpu(0));
+    }
+
+    #[test]
+    fn swap_exchanges_contexts_and_keeps_progress() {
+        let mut m = meso_machine(KernelConfig::patched());
+        m.spawn(1, "P1", CtxAddr::from_cpu(0)).unwrap();
+        m.spawn(2, "P2", CtxAddr::from_cpu(2)).unwrap();
+        m.run_workload(1, wl(2.0)).unwrap();
+        m.run_workload(2, wl(1.0)).unwrap();
+        m.advance(10_000);
+        let (r1, r2) = (m.retired(1), m.retired(2));
+
+        m.swap(1, 2).unwrap();
+        assert_eq!(m.pcb(1).unwrap().affinity, CtxAddr::from_cpu(2));
+        assert_eq!(m.pcb(2).unwrap().affinity, CtxAddr::from_cpu(0));
+        m.advance(10_000);
+        assert!(m.retired(1) > r1);
+        assert!(m.retired(2) > r2);
+        // Rates travelled with the workloads (2.0 vs 1.0 IPC).
+        assert!(m.retired(1) - r1 > m.retired(2) - r2);
+    }
+
+    #[test]
+    fn swap_handles_blocked_processes() {
+        let mut m = meso_machine(KernelConfig::patched());
+        m.spawn(1, "P1", CtxAddr::from_cpu(0)).unwrap();
+        m.spawn(2, "P2", CtxAddr::from_cpu(1)).unwrap();
+        m.run_workload(1, wl(2.0)).unwrap();
+        m.block(2).unwrap();
+        m.swap(1, 2).unwrap();
+        m.advance(5_000);
+        assert!(m.retired(1) > 0, "running process keeps running after swap");
+        assert_eq!(m.retired(2), 0);
+        // The blocked process's new context idles.
+        assert_eq!(m.hw_priority(CtxAddr::from_cpu(0)), HwPriority::VERY_LOW);
+    }
+
+    #[test]
+    fn wait_policies_change_the_siblings_world() {
+        // Rank 1 waits while rank 0 computes on the same core; measure
+        // rank 0's progress under each wait policy.
+        let run = |policy: WaitPolicy| {
+            let mut m = meso_machine(KernelConfig::patched());
+            m.set_wait_policy(policy);
+            m.spawn(0, "P1", CtxAddr::from_cpu(0)).unwrap();
+            m.spawn(1, "P2", CtxAddr::from_cpu(1)).unwrap();
+            m.run_workload(0, wl(3.2)).unwrap();
+            m.run_workload(1, wl(3.2)).unwrap();
+            m.advance(1_000);
+            m.enter_wait(1).unwrap();
+            m.advance(50_000);
+            m.retired(0)
+        };
+        let spin_own = run(WaitPolicy::SpinOwn);
+        let spin_low = run(WaitPolicy::SpinAt(2));
+        let block = run(WaitPolicy::Block);
+        assert!(
+            spin_low > spin_own,
+            "a lowered-priority spinner donates decode: {spin_low} vs {spin_own}"
+        );
+        assert!(
+            block >= spin_low,
+            "blocking donates at least as much: {block} vs {spin_low}"
+        );
+    }
+
+    #[test]
+    fn spin_at_respects_user_privilege() {
+        // SpinAt(1) asks for a supervisor-only priority: the user-space
+        // library cannot set it, so the context keeps spinning at the
+        // process priority.
+        let mut m = meso_machine(KernelConfig::patched());
+        m.set_wait_policy(WaitPolicy::SpinAt(1));
+        m.spawn(0, "P1", CtxAddr::from_cpu(0)).unwrap();
+        m.run_workload(0, wl(2.0)).unwrap();
+        m.enter_wait(0).unwrap();
+        assert_eq!(
+            m.hw_priority(CtxAddr::from_cpu(0)),
+            HwPriority::MEDIUM,
+            "privileged level silently ignored"
+        );
+    }
+
+    #[test]
+    fn spin_at_restores_wish_on_next_run() {
+        let mut m = meso_machine(KernelConfig::patched());
+        m.set_wait_policy(WaitPolicy::SpinAt(2));
+        m.spawn(0, "P1", CtxAddr::from_cpu(0)).unwrap();
+        m.run_workload(0, wl(2.0)).unwrap();
+        m.set_priority_procfs(0, 6).unwrap();
+        m.enter_wait(0).unwrap();
+        assert_eq!(m.hw_priority(CtxAddr::from_cpu(0)), HwPriority::LOW);
+        // The configured wish survives and is re-applied on resume.
+        m.run_workload(0, wl(2.0)).unwrap();
+        assert_eq!(m.hw_priority(CtxAddr::from_cpu(0)), HwPriority::HIGH);
+    }
+
+    #[test]
+    fn machine_wide_split_sums_processes() {
+        let mut m = meso_machine(KernelConfig::patched());
+        m.spawn(1, "P1", CtxAddr::from_cpu(0)).unwrap();
+        m.spawn(2, "P2", CtxAddr::from_cpu(2)).unwrap();
+        m.run_workload(1, wl(2.0)).unwrap();
+        m.run_workload(2, wl(1.0)).unwrap();
+        m.advance(4_000);
+        m.spin(2).unwrap();
+        m.advance(6_000);
+        let (busy, spin, irq) = m.cpu_time_split();
+        assert_eq!(busy, 10_000 + 4_000);
+        assert_eq!(spin, 6_000);
+        assert_eq!(irq, 0);
+    }
+
+    #[test]
+    fn cpu_time_splits_busy_and_spin() {
+        let mut m = meso_machine(KernelConfig::patched());
+        m.spawn(1, "P1", CtxAddr::from_cpu(0)).unwrap();
+        m.run_workload(1, wl(2.0)).unwrap();
+        m.advance(10_000);
+        m.spin(1).unwrap();
+        m.advance(5_000);
+        let pcb = m.pcb(1).unwrap();
+        assert_eq!(pcb.busy_cycles, 10_000);
+        assert_eq!(pcb.spin_cycles, 5_000);
+        // Blocked/exited processes accumulate neither.
+        m.exit(1).unwrap();
+        m.advance(1_000);
+        assert_eq!(m.pcb(1).unwrap().busy_cycles, 10_000);
+        assert_eq!(m.pcb(1).unwrap().spin_cycles, 5_000);
+    }
+
+    #[test]
+    fn works_with_cycle_accurate_cores_too() {
+        let mut m = Machine::new(build_cores(2, true), KernelConfig::patched());
+        m.spawn(1, "P1", CtxAddr::from_cpu(0)).unwrap();
+        m.run_workload(1, Workload::from_spec("w", StreamSpec::balanced(5))).unwrap();
+        m.advance(5_000);
+        assert!(m.retired(1) > 0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Extrinsic-imbalance sources (Section II-B).
+//!
+//! Even a perfectly balanced application gets imbalanced by the
+//! environment: the OS steals cycles for interrupt handlers (more on CPU0
+//! than elsewhere — the "interrupt annoyance problem"), daemons wake up and
+//! preempt ranks, etc. A [`NoiseSource`] is a periodic window during which
+//! a specific hardware context runs kernel/daemon code instead of its
+//! process; the [`crate::machine::Machine`] composes any number of them.
+
+use crate::process::CtxAddr;
+use mtb_trace::Cycles;
+
+/// A periodic cycle thief pinned to one hardware context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NoiseSource {
+    /// Diagnostic name ("timer", "eth0", "statsd", ...).
+    pub name: String,
+    /// The context it interrupts.
+    pub target: CtxAddr,
+    /// Period between activations, cycles. Must be > 0.
+    pub period: Cycles,
+    /// Cycles consumed per activation (must be < period).
+    pub cost: Cycles,
+    /// Phase offset of the first activation.
+    pub phase: Cycles,
+}
+
+impl NoiseSource {
+    /// A periodic OS timer tick on `target` (every `period` cycles,
+    /// stealing `cost`).
+    pub fn timer(target: CtxAddr, period: Cycles, cost: Cycles) -> NoiseSource {
+        assert!(period > 0 && cost < period, "cost must fit in the period");
+        NoiseSource {
+            name: format!("timer@cpu{}", target.cpu()),
+            target,
+            period,
+            cost,
+            phase: 0,
+        }
+    }
+
+    /// A device-interrupt source. On Intel-like IRQ routing all of these
+    /// land on CPU0 — the paper's "interrupt annoyance problem".
+    pub fn device(name: impl Into<String>, target: CtxAddr, period: Cycles, cost: Cycles, phase: Cycles) -> NoiseSource {
+        assert!(period > 0 && cost < period, "cost must fit in the period");
+        NoiseSource { name: name.into(), target, period, cost, phase }
+    }
+
+    /// A user daemon with a duty cycle: runs `cost` cycles every `period`.
+    pub fn daemon(name: impl Into<String>, target: CtxAddr, period: Cycles, cost: Cycles) -> NoiseSource {
+        assert!(period > 0 && cost < period, "cost must fit in the period");
+        NoiseSource { name: name.into(), target, period, cost, phase: period / 2 }
+    }
+
+    /// Is the source active (handler running) at time `t`?
+    pub fn active_at(&self, t: Cycles) -> bool {
+        if t < self.phase {
+            return false;
+        }
+        (t - self.phase) % self.period < self.cost
+    }
+
+    /// The next time >= `t` at which this source changes state
+    /// (activation start or end). Returns `None` never — noise is
+    /// periodic forever; the return is always a concrete boundary.
+    pub fn next_boundary(&self, t: Cycles) -> Cycles {
+        if t < self.phase {
+            return self.phase;
+        }
+        let pos = (t - self.phase) % self.period;
+        if pos < self.cost {
+            // Inside a window: next boundary is its end.
+            t + (self.cost - pos)
+        } else {
+            // Between windows: next boundary is the next activation.
+            t + (self.period - pos)
+        }
+    }
+
+    /// Total stolen cycles in `[a, b)`.
+    pub fn stolen_in(&self, a: Cycles, b: Cycles) -> Cycles {
+        debug_assert!(a <= b);
+        let mut t = a;
+        let mut stolen = 0;
+        while t < b {
+            let nb = self.next_boundary(t).min(b);
+            if self.active_at(t) {
+                stolen += nb - t;
+            }
+            t = nb;
+        }
+        stolen
+    }
+}
+
+/// The "interrupt annoyance" configuration: a baseline timer tick on every
+/// context plus device interrupts routed exclusively to CPU0.
+pub fn interrupt_annoyance(
+    n_cores: usize,
+    tick_period: Cycles,
+    tick_cost: Cycles,
+    dev_period: Cycles,
+    dev_cost: Cycles,
+) -> Vec<NoiseSource> {
+    let mut v = Vec::new();
+    for cpu in 0..n_cores * 2 {
+        v.push(NoiseSource::timer(CtxAddr::from_cpu(cpu), tick_period, tick_cost));
+    }
+    v.push(NoiseSource::device(
+        "devices",
+        CtxAddr::from_cpu(0),
+        dev_period,
+        dev_cost,
+        tick_cost, // offset so device windows do not ride on tick starts
+    ));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn src(period: Cycles, cost: Cycles, phase: Cycles) -> NoiseSource {
+        NoiseSource { name: "t".into(), target: CtxAddr::from_cpu(0), period, cost, phase }
+    }
+
+    #[test]
+    fn active_windows_follow_period() {
+        let s = src(100, 10, 0);
+        assert!(s.active_at(0));
+        assert!(s.active_at(9));
+        assert!(!s.active_at(10));
+        assert!(!s.active_at(99));
+        assert!(s.active_at(100));
+        assert!(s.active_at(205));
+    }
+
+    #[test]
+    fn phase_delays_first_activation() {
+        let s = src(100, 10, 50);
+        assert!(!s.active_at(0));
+        assert!(!s.active_at(49));
+        assert!(s.active_at(50));
+        assert!(!s.active_at(60));
+    }
+
+    #[test]
+    fn next_boundary_is_exact() {
+        let s = src(100, 10, 0);
+        assert_eq!(s.next_boundary(0), 10, "end of first window");
+        assert_eq!(s.next_boundary(5), 10);
+        assert_eq!(s.next_boundary(10), 100, "start of second window");
+        assert_eq!(s.next_boundary(99), 100);
+        assert_eq!(s.next_boundary(100), 110);
+        let late = src(100, 10, 50);
+        assert_eq!(late.next_boundary(0), 50, "phase is the first boundary");
+    }
+
+    #[test]
+    fn stolen_in_counts_window_overlap() {
+        let s = src(100, 10, 0);
+        assert_eq!(s.stolen_in(0, 100), 10);
+        assert_eq!(s.stolen_in(0, 1000), 100);
+        assert_eq!(s.stolen_in(5, 8), 3, "partial window");
+        assert_eq!(s.stolen_in(20, 90), 0, "between windows");
+        assert_eq!(s.stolen_in(95, 105), 5, "straddles activation");
+    }
+
+    #[test]
+    fn interrupt_annoyance_targets_cpu0_with_devices() {
+        let v = interrupt_annoyance(2, 1000, 10, 5000, 200);
+        assert_eq!(v.len(), 5, "4 timers + 1 device source");
+        let dev = v.last().unwrap();
+        assert_eq!(dev.target, CtxAddr::from_cpu(0));
+        // CPU0 suffers more than CPU1 over a long horizon.
+        let cpu0: Cycles = v.iter().filter(|s| s.target.cpu() == 0).map(|s| s.stolen_in(0, 100_000)).sum();
+        let cpu1: Cycles = v.iter().filter(|s| s.target.cpu() == 1).map(|s| s.stolen_in(0, 100_000)).sum();
+        assert!(cpu0 > cpu1 * 2, "annoyance skew: {cpu0} vs {cpu1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "cost must fit")]
+    fn cost_must_be_less_than_period() {
+        let _ = NoiseSource::timer(CtxAddr::from_cpu(0), 10, 10);
+    }
+
+    proptest! {
+        /// next_boundary always advances and flips (or keeps measuring
+        /// toward a flip of) the active state.
+        #[test]
+        fn prop_boundaries_advance(period in 2u64..1000, cost_frac in 1u64..99, phase in 0u64..2000, t in 0u64..10_000) {
+            let cost = (period * cost_frac / 100).max(1).min(period - 1);
+            let s = src(period, cost, phase);
+            let nb = s.next_boundary(t);
+            prop_assert!(nb > t);
+            // State is constant within [t, nb).
+            let st = s.active_at(t);
+            for probe in [t, t + (nb - t) / 2, nb - 1] {
+                prop_assert_eq!(s.active_at(probe), st);
+            }
+            prop_assert_ne!(s.active_at(nb), st, "state must flip at the boundary");
+        }
+
+        /// stolen_in is additive over adjacent ranges.
+        #[test]
+        fn prop_stolen_additive(period in 2u64..500, cost_frac in 1u64..99, a in 0u64..5000, d1 in 0u64..5000, d2 in 0u64..5000) {
+            let cost = (period * cost_frac / 100).max(1).min(period - 1);
+            let s = src(period, cost, 0);
+            let whole = s.stolen_in(a, a + d1 + d2);
+            let parts = s.stolen_in(a, a + d1) + s.stolen_in(a + d1, a + d1 + d2);
+            prop_assert_eq!(whole, parts);
+        }
+
+        /// Long-run stolen fraction approaches cost/period.
+        #[test]
+        fn prop_stolen_fraction(period in 10u64..200, cost_frac in 1u64..99) {
+            let cost = (period * cost_frac / 100).max(1).min(period - 1);
+            let s = src(period, cost, 0);
+            let horizon = period * 1000;
+            let stolen = s.stolen_in(0, horizon);
+            prop_assert_eq!(stolen, cost * 1000);
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Machine topology: which cores share a node.
+//!
+//! Section II-B lists network topology as an extrinsic imbalance source:
+//! "if the job scheduler has placed processes that need to communicate
+//! far away, their communication latency could increase so much that the
+//! whole application will be affected." The paper's testbed is a single
+//! OpenPower 710 node, but MareNostrum — where the motivating
+//! applications run — is a cluster; the cluster experiments (EXT-6) model
+//! multiple nodes whose cores only share the network, not a chip.
+
+use crate::process::CtxAddr;
+
+/// Grouping of cores into nodes. Cores are numbered globally; node `k`
+/// owns cores `k*cores_per_node .. (k+1)*cores_per_node`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Topology {
+    /// Cores per node (>= 1).
+    pub cores_per_node: usize,
+}
+
+impl Topology {
+    /// Everything on one node (the paper's OpenPower 710): any core count
+    /// belongs to node 0.
+    pub fn single_node() -> Topology {
+        Topology { cores_per_node: usize::MAX }
+    }
+
+    /// A cluster of nodes with `cores_per_node` cores each.
+    pub fn cluster(cores_per_node: usize) -> Topology {
+        assert!(cores_per_node >= 1, "a node holds at least one core");
+        Topology { cores_per_node }
+    }
+
+    /// The node a context lives on.
+    pub fn node_of(&self, c: CtxAddr) -> usize {
+        c.core / self.cores_per_node.max(1)
+    }
+
+    /// Do two contexts share a node?
+    pub fn same_node(&self, a: CtxAddr, b: CtxAddr) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Do two contexts share a core (SMT siblings)?
+    pub fn same_core(&self, a: CtxAddr, b: CtxAddr) -> bool {
+        a.core == b.core
+    }
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Topology::single_node()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_spans_everything() {
+        let t = Topology::single_node();
+        assert!(t.same_node(CtxAddr::from_cpu(0), CtxAddr::from_cpu(63)));
+        assert_eq!(t.node_of(CtxAddr::from_cpu(17)), 0);
+    }
+
+    #[test]
+    fn cluster_groups_cores() {
+        let t = Topology::cluster(2); // 2 cores = 4 contexts per node
+        assert_eq!(t.node_of(CtxAddr::from_cpu(0)), 0);
+        assert_eq!(t.node_of(CtxAddr::from_cpu(3)), 0);
+        assert_eq!(t.node_of(CtxAddr::from_cpu(4)), 1);
+        assert!(t.same_node(CtxAddr::from_cpu(0), CtxAddr::from_cpu(3)));
+        assert!(!t.same_node(CtxAddr::from_cpu(3), CtxAddr::from_cpu(4)));
+    }
+
+    #[test]
+    fn same_core_is_topology_independent() {
+        let t = Topology::cluster(1);
+        assert!(t.same_core(CtxAddr::from_cpu(0), CtxAddr::from_cpu(1)));
+        assert!(!t.same_core(CtxAddr::from_cpu(1), CtxAddr::from_cpu(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_per_node_rejected() {
+        let _ = Topology::cluster(0);
+    }
+}

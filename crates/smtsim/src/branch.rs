@@ -1,0 +1,143 @@
+//! Branch prediction.
+//!
+//! MetBench's `branch` load stresses the branch predictor (Section
+//! VII-A), so the cycle-level core models one: a per-context gshare-style
+//! predictor — a global history register hashed into a table of 2-bit
+//! saturating counters. A mispredicted branch costs a front-end restart:
+//! the context's dispatch buffer is flushed (wrong path) and decode
+//! stalls for the redirect penalty.
+
+/// A gshare-style predictor with 2-bit saturating counters.
+#[derive(Debug, Clone)]
+pub struct BranchPredictor {
+    /// 2-bit counters: 0-1 predict not-taken, 2-3 predict taken.
+    table: Vec<u8>,
+    /// Global branch-history register.
+    history: u64,
+    predictions: u64,
+    mispredictions: u64,
+}
+
+impl BranchPredictor {
+    /// A predictor with `bits` of table index (2^bits counters).
+    pub fn new(bits: u32) -> BranchPredictor {
+        BranchPredictor {
+            table: vec![2; 1 << bits], // weakly taken: loops warm fast
+            history: 0,
+            predictions: 0,
+            mispredictions: 0,
+        }
+    }
+
+    fn index(&self) -> usize {
+        // Hash the history into the table (gshare xor-fold).
+        let h = self.history ^ (self.history >> 17) ^ (self.history >> 31);
+        (h as usize) & (self.table.len() - 1)
+    }
+
+    /// Predict and update with the actual `taken` outcome; returns `true`
+    /// when the prediction was correct.
+    pub fn predict_and_update(&mut self, taken: bool) -> bool {
+        let idx = self.index();
+        let counter = self.table[idx];
+        let predicted_taken = counter >= 2;
+        let correct = predicted_taken == taken;
+
+        self.table[idx] = match (counter, taken) {
+            (c, true) if c < 3 => c + 1,
+            (c, false) if c > 0 => c - 1,
+            (c, _) => c,
+        };
+        self.history = (self.history << 1) | u64::from(taken);
+        self.predictions += 1;
+        if !correct {
+            self.mispredictions += 1;
+        }
+        correct
+    }
+
+    /// (predictions, mispredictions) so far.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.predictions, self.mispredictions)
+    }
+
+    /// Misprediction ratio (0 when no branches were seen).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.predictions == 0 {
+            0.0
+        } else {
+            self.mispredictions as f64 / self.predictions as f64
+        }
+    }
+}
+
+impl Default for BranchPredictor {
+    fn default() -> Self {
+        BranchPredictor::new(12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    #[test]
+    fn learns_an_always_taken_loop() {
+        let mut p = BranchPredictor::default();
+        for _ in 0..1000 {
+            p.predict_and_update(true);
+        }
+        assert!(p.miss_ratio() < 0.01, "always-taken is trivial: {}", p.miss_ratio());
+    }
+
+    #[test]
+    fn learns_a_short_alternating_pattern() {
+        let mut p = BranchPredictor::default();
+        for i in 0..4000u32 {
+            p.predict_and_update(i % 2 == 0);
+        }
+        // History-based prediction captures the period-2 pattern after
+        // warmup.
+        let (n, m) = p.stats();
+        assert!(n == 4000 && (m as f64 / n as f64) < 0.1, "alternation learnable: {m}/{n}");
+    }
+
+    #[test]
+    fn random_outcomes_defeat_it() {
+        let mut p = BranchPredictor::default();
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..20_000 {
+            p.predict_and_update(rng.below(2) == 0);
+        }
+        assert!(
+            p.miss_ratio() > 0.4,
+            "random branches mispredict ~half the time: {}",
+            p.miss_ratio()
+        );
+    }
+
+    #[test]
+    fn mostly_taken_pattern_misses_at_the_bias_rate() {
+        // 7/8 taken with random exceptions: the table saturates toward
+        // taken and misses roughly on the exceptional 1/8.
+        let mut p = BranchPredictor::default();
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..20_000 {
+            p.predict_and_update(rng.below(8) != 0);
+        }
+        let r = p.miss_ratio();
+        assert!((0.05..0.30).contains(&r), "biased pattern miss ratio {r}");
+    }
+
+    #[test]
+    fn stats_count_everything() {
+        let mut p = BranchPredictor::new(4);
+        for _ in 0..10 {
+            p.predict_and_update(true);
+        }
+        let (n, m) = p.stats();
+        assert_eq!(n, 10);
+        assert!(m <= 10);
+    }
+}

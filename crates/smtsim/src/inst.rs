@@ -1,0 +1,470 @@
+//! Synthetic instruction streams.
+//!
+//! MetBench (Section VII-A of the paper) stresses one processor resource
+//! per load: the floating-point units, the L2 cache, the branch predictor,
+//! etc. We model program behaviour the same way: a [`StreamSpec`] describes
+//! a statistical instruction mix (unit classes, dependency distance, memory
+//! working set) and deterministically generates an infinite instruction
+//! stream from a seed. The cycle-level core consumes the stream
+//! instruction-by-instruction; the mesoscale model consumes the analytic
+//! steady-state [`WorkloadProfile`] derived from the same spec.
+
+use crate::model::WorkloadProfile;
+use crate::rng::SplitMix64;
+
+/// Functional instruction classes, mapping 1:1 to execution-unit types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InstClass {
+    /// Fixed-point / integer ALU operation.
+    Fx,
+    /// Floating-point operation.
+    Fp,
+    /// Load or store.
+    Ls,
+    /// Branch.
+    Br,
+}
+
+impl InstClass {
+    /// All classes in a fixed order (used for array indexing).
+    pub const ALL: [InstClass; 4] = [InstClass::Fx, InstClass::Fp, InstClass::Ls, InstClass::Br];
+
+    /// Index into per-class arrays.
+    pub fn index(self) -> usize {
+        match self {
+            InstClass::Fx => 0,
+            InstClass::Fp => 1,
+            InstClass::Ls => 2,
+            InstClass::Br => 3,
+        }
+    }
+}
+
+/// A single dynamic instruction produced by a stream generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Inst {
+    /// Which unit executes it.
+    pub class: InstClass,
+    /// Byte address touched, for loads/stores.
+    pub addr: Option<u64>,
+    /// This instruction depends on the result of the instruction issued
+    /// `dep` positions earlier in the same stream (0 = no dependency).
+    pub dep: u32,
+    /// For branches: the actual outcome (loop-biased: taken with
+    /// probability [`BR_TAKEN_RATE`], with random exceptions that defeat
+    /// simple predictors at roughly the exception rate).
+    pub taken: bool,
+    /// Code address of the instruction (drives the L1I model: sequential
+    /// within basic blocks, jumping within the code footprint on taken
+    /// branches).
+    pub pc: u64,
+}
+
+/// Statistical description of an instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamSpec {
+    /// Relative weight of fixed-point instructions.
+    pub fx: u32,
+    /// Relative weight of floating-point instructions.
+    pub fp: u32,
+    /// Relative weight of loads/stores.
+    pub ls: u32,
+    /// Relative weight of branches.
+    pub br: u32,
+    /// Mean dependency distance: each instruction depends on one roughly
+    /// this many positions back. Larger = more instruction-level
+    /// parallelism. Must be >= 1.
+    pub dep_dist: u32,
+    /// Bytes of memory the loads/stores walk over.
+    pub working_set: u64,
+    /// Code footprint in KiB: how much instruction memory the program
+    /// covers. Footprints within the L1 instruction cache (64 KiB) stay
+    /// resident; larger ones miss on taken branches that land on cold
+    /// lines.
+    pub code_kb: u32,
+    /// Seed for the deterministic generator.
+    pub seed: u64,
+}
+
+impl StreamSpec {
+    /// A balanced integer-heavy mix, the generic "compute" workload.
+    pub fn balanced(seed: u64) -> StreamSpec {
+        StreamSpec { fx: 5, fp: 2, ls: 3, br: 1, dep_dist: 4, working_set: 16 << 10, code_kb: 16, seed }
+    }
+
+    /// MetBench `fpu` load: long floating-point dependency chains.
+    pub fn fpu_bound(seed: u64) -> StreamSpec {
+        StreamSpec { fx: 1, fp: 8, ls: 1, br: 0, dep_dist: 2, working_set: 8 << 10, code_kb: 4, seed }
+    }
+
+    /// MetBench `l2` load: working set larger than L1, resident in L2.
+    pub fn l2_bound(seed: u64) -> StreamSpec {
+        StreamSpec { fx: 2, fp: 1, ls: 6, br: 1, dep_dist: 4, working_set: 512 << 10, code_kb: 8, seed }
+    }
+
+    /// MetBench `mem` load: streaming through memory, misses everywhere.
+    pub fn mem_bound(seed: u64) -> StreamSpec {
+        StreamSpec { fx: 2, fp: 1, ls: 6, br: 1, dep_dist: 6, working_set: 64 << 20, code_kb: 8, seed }
+    }
+
+    /// MetBench `branch` load: branch-dense integer code.
+    pub fn branch_bound(seed: u64) -> StreamSpec {
+        StreamSpec { fx: 5, fp: 0, ls: 2, br: 4, dep_dist: 3, working_set: 8 << 10, code_kb: 16, seed }
+    }
+
+    /// High-ILP integer code that is limited by the front end: plenty of
+    /// independent cheap instructions (decode-bandwidth hungry). Branch-
+    /// free on purpose — it is the synthetic probe for decode-share
+    /// effects, so mispredict noise is excluded.
+    pub fn frontend_bound(seed: u64) -> StreamSpec {
+        StreamSpec { fx: 5, fp: 0, ls: 4, br: 0, dep_dist: 16, working_set: 4 << 10, code_kb: 4, seed }
+    }
+
+    /// A code-footprint stress load: branchy code spanning far more
+    /// instruction memory than the L1I holds (Fortran-package-like).
+    pub fn icache_thrash(seed: u64) -> StreamSpec {
+        StreamSpec { fx: 5, fp: 1, ls: 2, br: 2, dep_dist: 6, working_set: 16 << 10, code_kb: 512, seed }
+    }
+
+    /// Total mix weight.
+    fn total_weight(&self) -> u32 {
+        self.fx + self.fp + self.ls + self.br
+    }
+
+    /// Fraction of instructions in each class, indexed by
+    /// [`InstClass::index`].
+    pub fn fractions(&self) -> [f64; 4] {
+        let tot = f64::from(self.total_weight().max(1));
+        [
+            f64::from(self.fx) / tot,
+            f64::from(self.fp) / tot,
+            f64::from(self.ls) / tot,
+            f64::from(self.br) / tot,
+        ]
+    }
+
+    /// Build the deterministic generator for this spec.
+    pub fn generator(&self) -> StreamGen {
+        StreamGen::new(*self)
+    }
+
+    /// Analytic steady-state profile (see module docs of
+    /// [`crate::perfmodel`] for how it is consumed).
+    ///
+    /// The estimate mirrors the default cycle-core parameters:
+    /// per-class unit counts and latencies, L1/L2 sizes. Three bounds are
+    /// combined:
+    ///
+    /// * front end: the core decodes at most [`DECODE_WIDTH`] per cycle;
+    /// * units: class `c` cannot exceed `units_c` issues/cycle, so
+    ///   `IPC <= min_c units_c / frac_c`;
+    /// * dependencies: with mean dependency distance `d` and mean latency
+    ///   `L`, at most `d` chains overlap, so `IPC <= d / L` (classic
+    ///   latency-concurrency bound).
+    pub fn profile(&self) -> WorkloadProfile {
+        let f = self.fractions();
+        let miss = self.miss_profile();
+        let avg_ls_lat = L1_LAT
+            + miss.l1_miss * (L2_LAT + miss.l2_miss * MEM_LAT);
+        let avg_br_lat = BR_LAT + BR_MISS_RATE * BR_MISS_PENALTY;
+        let lats = [FX_LAT, FP_LAT, avg_ls_lat, avg_br_lat];
+        let avg_lat: f64 = f.iter().zip(lats).map(|(fr, l)| fr * l).sum();
+
+        let dep_bound = f64::from(self.dep_dist.max(1)) / avg_lat.max(1.0);
+        let unit_bound = InstClass::ALL
+            .iter()
+            .map(|c| {
+                let fr = f[c.index()];
+                if fr <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    UNITS[c.index()] / fr
+                }
+            })
+            .fold(f64::INFINITY, f64::min);
+        let ipc_st = DECODE_WIDTH.min(dep_bound).min(unit_bound).max(0.05);
+
+        let unit_pressure = if unit_bound.is_finite() { (ipc_st / unit_bound).clamp(0.0, 1.0) } else { 0.0 };
+        let mem_intensity = (f[InstClass::Ls.index()]
+            * (miss.l1_miss * 2.0 + miss.l1_miss * miss.l2_miss * 6.0))
+            .clamp(0.0, 1.0);
+        WorkloadProfile { ipc_st, unit_pressure, mem_intensity }
+    }
+
+    /// Estimated miss rates from the working-set size (simple three-regime
+    /// model matching the cache defaults of the cycle core).
+    pub fn miss_profile(&self) -> MissProfile {
+        let ws = self.working_set as f64;
+        let l1_miss = regime(ws, L1_BYTES as f64);
+        let l2_miss = regime(ws, L2_BYTES as f64);
+        MissProfile { l1_miss, l2_miss }
+    }
+}
+
+/// Fraction of loads/stores jumping to a random line (the generator's
+/// pointer-chasing share); the remainder walk sequentially at +8 bytes.
+pub const JUMP_RATE: f64 = 0.25;
+/// Miss rate contributed by sequential line-boundary crossings
+/// (8-byte stride over 128-byte lines, counted only when the set does not
+/// fit: a resident set hits even at line boundaries).
+pub const SPATIAL_MISS: f64 = 8.0 / 128.0;
+
+/// Fraction of accesses that miss a cache of `cap` bytes for a working set
+/// of `ws` bytes, matching the generator's access pattern: a resident set
+/// stays warm; beyond capacity, random jumps miss in proportion to the
+/// non-resident fraction and sequential walking pays the line-boundary
+/// compulsory rate.
+fn regime(ws: f64, cap: f64) -> f64 {
+    if ws <= cap {
+        0.02
+    } else {
+        let nonresident = 1.0 - cap / ws;
+        (JUMP_RATE * nonresident + (1.0 - JUMP_RATE) * SPATIAL_MISS).clamp(0.02, 0.98)
+    }
+}
+
+/// Estimated L1/L2 miss rates for a stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MissProfile {
+    /// Fraction of loads/stores that miss L1.
+    pub l1_miss: f64,
+    /// Of those, fraction that also miss L2.
+    pub l2_miss: f64,
+}
+
+// Default machine parameters mirrored by `CoreConfig::default()`; keep the
+// two in sync (a unit test in `core.rs` checks it).
+/// Instructions decoded per owned decode cycle.
+pub const DECODE_WIDTH: f64 = 5.0;
+/// Fixed-point latency (cycles).
+pub const FX_LAT: f64 = 1.0;
+/// Floating-point latency (cycles).
+pub const FP_LAT: f64 = 6.0;
+/// L1-hit load-to-use latency (cycles).
+pub const L1_LAT: f64 = 2.0;
+/// L2-hit latency (cycles).
+pub const L2_LAT: f64 = 13.0;
+/// Memory latency (cycles).
+pub const MEM_LAT: f64 = 230.0;
+/// Branch latency (cycles).
+pub const BR_LAT: f64 = 1.0;
+/// Probability a generated branch is taken (loop-biased; the random
+/// not-taken exceptions are what the predictor mispredicts).
+pub const BR_TAKEN_RATE: f64 = 0.875;
+/// Expected mispredict ratio of the gshare predictor on the generated
+/// outcome stream (the exceptions are random, so they miss).
+pub const BR_MISS_RATE: f64 = 1.0 - BR_TAKEN_RATE;
+/// Front-end redirect penalty per mispredicted branch (cycles), mirrored
+/// by `CoreConfig::mispredict_penalty`.
+pub const BR_MISS_PENALTY: f64 = 12.0;
+/// Largest dependency distance a generator emits (the cycle core sizes
+/// its scoreboard around this).
+pub const MAX_DEP: u32 = 64;
+/// Execution units per class: FX, FP, LS, BR.
+pub const UNITS: [f64; 4] = [2.0, 2.0, 2.0, 2.0];
+/// L1 data cache capacity (bytes).
+pub const L1_BYTES: u64 = 32 << 10;
+/// Shared L2 capacity (bytes).
+pub const L2_BYTES: u64 = 1920 << 10;
+
+/// Deterministic infinite instruction generator.
+#[derive(Debug, Clone)]
+pub struct StreamGen {
+    spec: StreamSpec,
+    rng: SplitMix64,
+    cursor: u64,
+    pc: u64,
+    produced: u64,
+}
+
+impl StreamGen {
+    fn new(spec: StreamSpec) -> StreamGen {
+        let mut rng = SplitMix64::new(spec.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
+        let cursor = if spec.working_set > 0 { rng.below(spec.working_set) } else { 0 };
+        StreamGen { spec, rng, cursor, pc: 0, produced: 0 }
+    }
+
+    /// Number of instructions generated so far.
+    pub fn produced(&self) -> u64 {
+        self.produced
+    }
+
+    /// Generate the next instruction.
+    pub fn next_inst(&mut self) -> Inst {
+        let tot = u64::from(self.spec.total_weight().max(1));
+        let pick = self.rng.below(tot) as u32;
+        let class = if pick < self.spec.fx {
+            InstClass::Fx
+        } else if pick < self.spec.fx + self.spec.fp {
+            InstClass::Fp
+        } else if pick < self.spec.fx + self.spec.fp + self.spec.ls {
+            InstClass::Ls
+        } else {
+            InstClass::Br
+        };
+
+        let addr = if class == InstClass::Ls && self.spec.working_set > 0 {
+            // A mix of sequential walking (3/4 of accesses, +8 bytes) and
+            // random jumps within the working set (1/4): the jump rate is
+            // what the analytic miss model in [`StreamSpec::miss_profile`]
+            // assumes, so keep the two in sync (JUMP_RATE).
+            if self.rng.below(4) == 0 {
+                self.cursor = self.rng.below(self.spec.working_set);
+            } else {
+                self.cursor = (self.cursor + 8) % self.spec.working_set;
+            }
+            Some(self.cursor)
+        } else {
+            None
+        };
+
+        // Dependency distance: uniform in [1, 2*mean], so the mean matches
+        // the spec. dep 0 (independent) occurs only via distances beyond
+        // the scoreboard window, handled by the consumer.
+        let mean = u64::from(self.spec.dep_dist.max(1));
+        let dep = (1 + self.rng.below(2 * mean) as u32).min(MAX_DEP);
+
+        // Branch outcome: loop-biased taken with random exceptions.
+        let taken = class != InstClass::Br || self.rng.unit_f64() < BR_TAKEN_RATE;
+
+        // Code address: 4 bytes per instruction, jumping within the code
+        // footprint on taken branches (loop back-edges and calls).
+        let pc = self.pc;
+        let code_bytes = u64::from(self.spec.code_kb.max(1)) * 1024;
+        if class == InstClass::Br && taken {
+            self.pc = self.rng.below(code_bytes) & !3;
+        } else {
+            self.pc = (self.pc + 4) % code_bytes;
+        }
+
+        self.produced += 1;
+        Inst { class, addr, dep, taken, pc }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let spec = StreamSpec::balanced(77);
+        let mut g1 = spec.generator();
+        let mut g2 = spec.generator();
+        for _ in 0..1000 {
+            assert_eq!(g1.next_inst(), g2.next_inst());
+        }
+        assert_eq!(g1.produced(), 1000);
+    }
+
+    #[test]
+    fn mix_fractions_match_weights() {
+        let spec = StreamSpec { fx: 1, fp: 1, ls: 1, br: 1, dep_dist: 4, working_set: 1024, code_kb: 8, seed: 3 };
+        let mut g = spec.generator();
+        let mut counts = [0u32; 4];
+        let n = 40_000;
+        for _ in 0..n {
+            counts[g.next_inst().class.index()] += 1;
+        }
+        for c in counts {
+            let frac = f64::from(c) / f64::from(n);
+            assert!((frac - 0.25).abs() < 0.02, "class fraction {frac} far from 0.25");
+        }
+    }
+
+    #[test]
+    fn zero_weight_classes_never_generated() {
+        let spec = StreamSpec { fx: 0, fp: 5, ls: 0, br: 0, dep_dist: 2, working_set: 0, code_kb: 4, seed: 9 };
+        let mut g = spec.generator();
+        for _ in 0..1000 {
+            assert_eq!(g.next_inst().class, InstClass::Fp);
+        }
+    }
+
+    #[test]
+    fn ls_instructions_carry_addresses_within_working_set() {
+        let spec = StreamSpec::l2_bound(4);
+        let mut g = spec.generator();
+        let mut seen_ls = 0;
+        for _ in 0..5000 {
+            let i = g.next_inst();
+            if i.class == InstClass::Ls {
+                seen_ls += 1;
+                assert!(i.addr.unwrap() < spec.working_set);
+            } else {
+                assert!(i.addr.is_none());
+            }
+        }
+        assert!(seen_ls > 1000);
+    }
+
+    #[test]
+    fn dep_dist_mean_roughly_matches_spec() {
+        let spec = StreamSpec { fx: 1, fp: 0, ls: 0, br: 0, dep_dist: 6, working_set: 0, code_kb: 4, seed: 10 };
+        let mut g = spec.generator();
+        let n = 20_000;
+        let sum: u64 = (0..n).map(|_| u64::from(g.next_inst().dep)).sum();
+        let mean = sum as f64 / n as f64;
+        // uniform in [1, 12] -> mean 6.5
+        assert!((mean - 6.5).abs() < 0.2, "mean dep {mean}");
+    }
+
+    #[test]
+    fn fpu_profile_is_dependency_bound() {
+        let p = StreamSpec::fpu_bound(1).profile();
+        // fp-heavy with dep 2: roughly 2 / ~5.2 ≈ 0.4 IPC, certainly < 1.
+        assert!(p.ipc_st < 1.0, "fpu ipc {}", p.ipc_st);
+        assert!(p.mem_intensity < 0.1);
+    }
+
+    #[test]
+    fn frontend_profile_has_high_ipc_low_pressure_memory() {
+        let p = StreamSpec::frontend_bound(1).profile();
+        assert!(p.ipc_st > 2.0, "frontend ipc {}", p.ipc_st);
+        assert!(p.mem_intensity < 0.05);
+    }
+
+    #[test]
+    fn mem_bound_profile_has_high_mem_intensity_low_ipc() {
+        let p = StreamSpec::mem_bound(1).profile();
+        assert!(p.mem_intensity > 0.3, "mem intensity {}", p.mem_intensity);
+        assert!(p.ipc_st < 0.5, "mem ipc {}", p.ipc_st);
+    }
+
+    #[test]
+    fn miss_regimes_ordered_by_working_set() {
+        let small = StreamSpec { working_set: 8 << 10, ..StreamSpec::balanced(0) }.miss_profile();
+        let mid = StreamSpec { working_set: 512 << 10, ..StreamSpec::balanced(0) }.miss_profile();
+        let big = StreamSpec { working_set: 64 << 20, ..StreamSpec::balanced(0) }.miss_profile();
+        assert!(small.l1_miss <= mid.l1_miss);
+        assert!(mid.l1_miss <= big.l1_miss);
+        assert!(small.l2_miss <= 0.05);
+        assert!(mid.l2_miss <= 0.05, "512K fits in L2");
+        assert!(big.l2_miss > 0.25, "64 MiB overflows L2: {}", big.l2_miss);
+    }
+
+    proptest! {
+        /// Profiles are always finite and in range for arbitrary specs.
+        #[test]
+        fn prop_profile_sane(
+            fx in 0u32..10, fp in 0u32..10, ls in 0u32..10, br in 0u32..10,
+            dep in 1u32..32, ws in 0u64..(128 << 20),
+        ) {
+            prop_assume!(fx + fp + ls + br > 0);
+            let spec = StreamSpec { fx, fp, ls, br, dep_dist: dep, working_set: ws, code_kb: 8, seed: 1 };
+            let p = spec.profile();
+            prop_assert!(p.ipc_st.is_finite() && p.ipc_st > 0.0 && p.ipc_st <= DECODE_WIDTH);
+            prop_assert!((0.0..=1.0).contains(&p.unit_pressure));
+            prop_assert!((0.0..=1.0).contains(&p.mem_intensity));
+        }
+
+        /// Fractions sum to 1.
+        #[test]
+        fn prop_fractions_sum_to_one(fx in 0u32..9, fp in 0u32..9, ls in 0u32..9, br in 1u32..9) {
+            let spec = StreamSpec { fx, fp, ls, br, dep_dist: 1, working_set: 0, code_kb: 8, seed: 0 };
+            let s: f64 = spec.fractions().iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+}

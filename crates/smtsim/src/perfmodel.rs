@@ -1,0 +1,581 @@
+//! The mesoscale core model.
+//!
+//! Cycle-level simulation of a whole MPI application (hundreds of simulated
+//! seconds, billions of cycles) is infeasible, so the system-level engine
+//! uses this closed-form throughput model instead. It is built on the same
+//! decode-share mathematics as the cycle model ([`crate::decode`]) and is
+//! calibrated against it (see the `model_fidelity` bench and the
+//! integration tests).
+//!
+//! ## The throughput equations
+//!
+//! For contexts `i, j` with priorities `p_i, p_j`, decode width `W` and
+//! decode shares `s_i, s_j` from [`crate::decode::decode_share`]:
+//!
+//! * Each context has a **capacity**: the IPC it could sustain with
+//!   unlimited decode bandwidth. Running alone it is the workload's ST IPC;
+//!   with a live co-runner it shrinks by the co-runner's execution-unit and
+//!   cache pressure:
+//!   `cap_i = ipc_i * (1 - alpha * u_j - beta * m_j)`.
+//! * The **front-end supply** of a context is its share of decode slots
+//!   plus whatever it can pick up from slots the other context owns but
+//!   cannot use: `supply_i = W*s_i + kappa_i * max(0, W*s_j - base_j)`
+//!   where `base_j = min(cap_j, W*s_j)` is the co-runner's own consumption.
+//! * Throughput is `min(cap_i, supply_i)`.
+//!
+//! `kappa` is 1 in leftover mode (Table III: a priority-1 thread "takes
+//! what is left over") and a small configured constant (default 0.1) in
+//! normal mode — hard Table-II slices with a slight second-order uplift,
+//! which is what the paper's measured MetBench Case C/D exec times imply
+//! (see DESIGN.md §5).
+
+use crate::decode::{decode_share, decode_share_linear};
+use crate::model::{CoreModel, ThreadId, Workload};
+use crate::priority::HwPriority;
+use crate::Cycles;
+
+/// Which priority-to-decode-share law the model applies (EXT-5 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShareLaw {
+    /// The POWER5's exponential Table-II slices (`R = 2^(|X-Y|+1)`).
+    #[default]
+    Power5,
+    /// A hypothetical linear law (`0.5 + diff/10`, capped at 0.9):
+    /// gentler control, no case-D cliff, but far less reach.
+    Linear,
+}
+
+impl ShareLaw {
+    /// The (share_a, share_b) split under this law.
+    pub fn shares(self, a: HwPriority, b: HwPriority) -> (f64, f64) {
+        match self {
+            ShareLaw::Power5 => decode_share(a, b),
+            ShareLaw::Linear => decode_share_linear(a, b),
+        }
+    }
+}
+
+/// Tunable constants of the mesoscale model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MesoConfig {
+    /// Instructions decodable per owned cycle (matches the cycle core).
+    pub decode_width: f64,
+    /// Fraction of the co-runner's unused decode share usable in normal
+    /// mode (0 = hard slices; 1 = perfect stealing).
+    pub steal_efficiency: f64,
+    /// Capacity loss per unit of co-runner execution-unit pressure.
+    pub unit_contention: f64,
+    /// Capacity loss per unit of co-runner memory intensity.
+    pub mem_contention: f64,
+    /// The priority-to-share law (EXT-5 ablation; POWER5 by default).
+    pub share_law: ShareLaw,
+}
+
+impl Default for MesoConfig {
+    fn default() -> Self {
+        MesoConfig {
+            decode_width: 5.0,
+            steal_efficiency: 0.1,
+            unit_contention: 0.35,
+            mem_contention: 0.30,
+            share_law: ShareLaw::Power5,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct MesoCtx {
+    priority: HwPriority,
+    workload: Option<Workload>,
+    /// Fractional instructions accumulated but not yet reported retired.
+    carry: f64,
+    retired: u64,
+}
+
+impl MesoCtx {
+    fn new() -> MesoCtx {
+        MesoCtx {
+            priority: HwPriority::MEDIUM,
+            workload: None,
+            carry: 0.0,
+            retired: 0,
+        }
+    }
+
+    fn live(&self) -> bool {
+        self.workload.is_some() && !self.priority.is_off()
+    }
+}
+
+/// The fast analytic 2-way SMT core.
+///
+/// ```
+/// use mtb_smtsim::model::{CoreModel, ThreadId, Workload, WorkloadProfile};
+/// use mtb_smtsim::{HwPriority, MesoCore, StreamSpec};
+///
+/// let mut core = MesoCore::default();
+/// let w = Workload::with_profile("w", StreamSpec::balanced(0),
+///                                WorkloadProfile::new(3.0, 0.1, 0.0));
+/// core.assign(ThreadId::A, w.clone());
+/// core.assign(ThreadId::B, w);
+/// // Boost A: its throughput rises, B's falls.
+/// core.set_priority(ThreadId::A, HwPriority::HIGH);
+/// core.set_priority(ThreadId::B, HwPriority::MEDIUM);
+/// let [ra, rb] = core.throughputs();
+/// assert!(ra > rb);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MesoCore {
+    cfg: MesoConfig,
+    ctx: [MesoCtx; 2],
+    cycle: Cycles,
+    /// Cached per-context rates; recomputed when configuration changes.
+    rates: [f64; 2],
+    dirty: bool,
+}
+
+impl MesoCore {
+    /// Create a core with the given constants.
+    pub fn new(cfg: MesoConfig) -> MesoCore {
+        MesoCore {
+            cfg,
+            ctx: [MesoCtx::new(), MesoCtx::new()],
+            cycle: 0,
+            rates: [0.0; 2],
+            dirty: true,
+        }
+    }
+
+    /// Current simulated cycle.
+    pub fn now(&self) -> Cycles {
+        self.cycle
+    }
+
+    /// Total instructions retired by a context since construction.
+    pub fn retired(&self, t: ThreadId) -> u64 {
+        self.ctx[t.index()].retired
+    }
+
+    /// The model constants in use.
+    pub fn config(&self) -> &MesoConfig {
+        &self.cfg
+    }
+
+    /// Steady-state throughputs (instructions/cycle) of both contexts under
+    /// the current priorities and workloads. Pure function of the current
+    /// configuration; exposed for the balancer's what-if predictor.
+    pub fn throughputs(&self) -> [f64; 2] {
+        let w = self.cfg.decode_width;
+        let pa = self.ctx[0].priority;
+        let pb = self.ctx[1].priority;
+        let (sa, sb) = self.cfg.share_law.shares(pa, pb);
+        let shares = [sa, sb];
+
+        let live = [self.ctx[0].live(), self.ctx[1].live()];
+        let mut caps = [0.0f64; 2];
+        for i in 0..2 {
+            if !live[i] {
+                continue;
+            }
+            let prof = &self.ctx[i].workload.as_ref().expect("live").profile;
+            let j = 1 - i;
+            caps[i] = if live[j] {
+                let other = &self.ctx[j].workload.as_ref().expect("live").profile;
+                // The POWER5 priority mechanism gates *resources*, not just
+                // decode: a context holding a small decode share occupies
+                // proportionally fewer issue-queue entries and cache MSHRs,
+                // so the pressure it exerts on its sibling scales with its
+                // share (1.0 at the equal-priority 50/50 split).
+                let pollution = (2.0 * shares[j]).min(1.0);
+                prof.ipc_st
+                    * (1.0
+                        - pollution
+                            * (self.cfg.unit_contention * other.unit_pressure
+                                + self.cfg.mem_contention * other.mem_intensity))
+                        .max(0.05)
+            } else {
+                prof.ipc_st
+            };
+        }
+
+        // Base consumption under hard shares.
+        let base = [
+            caps[0].min(w * shares[0]),
+            caps[1].min(w * shares[1]),
+        ];
+
+        let mut rates = [0.0f64; 2];
+        for i in 0..2 {
+            if !live[i] {
+                continue;
+            }
+            let j = 1 - i;
+            // Slots the co-runner owns but does not consume.
+            let unused_j = if live[j] {
+                (w * shares[j] - base[j]).max(0.0)
+            } else {
+                // A workless context consumes nothing; its whole share is
+                // up for grabs (it still *owns* the slots unless its
+                // priority is 0, in which case decode_share gave it 0).
+                w * shares[j]
+            };
+            let kappa = self.kappa(i);
+            rates[i] = caps[i].min(w * shares[i] + kappa * unused_j);
+        }
+        rates
+    }
+
+    /// Steal coefficient for context `i` picking up the co-runner's unused
+    /// slots.
+    fn kappa(&self, i: usize) -> f64 {
+        let pi = self.ctx[i].priority.value();
+        let pj = self.ctx[1 - i].priority.value();
+        if pi == 1 && pj > 1 {
+            // Table III: "takes what is left over" — full leftover use.
+            1.0
+        } else if pi >= 1 && pj == 0 {
+            // ST mode: decode_share already grants everything; no stealing
+            // needed (and nothing to steal).
+            0.0
+        } else if pi <= 1 || pj <= 1 {
+            // Power-save and other degenerate modes: strict.
+            0.0
+        } else {
+            self.cfg.steal_efficiency
+        }
+    }
+
+    fn refresh(&mut self) {
+        if self.dirty {
+            self.rates = self.throughputs();
+            self.dirty = false;
+        }
+    }
+}
+
+impl Default for MesoCore {
+    fn default() -> Self {
+        MesoCore::new(MesoConfig::default())
+    }
+}
+
+impl CoreModel for MesoCore {
+    fn set_priority(&mut self, t: ThreadId, p: HwPriority) {
+        self.ctx[t.index()].priority = p;
+        self.dirty = true;
+    }
+
+    fn priority(&self, t: ThreadId) -> HwPriority {
+        self.ctx[t.index()].priority
+    }
+
+    fn assign(&mut self, t: ThreadId, w: Workload) {
+        let c = &mut self.ctx[t.index()];
+        c.workload = Some(w);
+        c.carry = 0.0;
+        self.dirty = true;
+    }
+
+    fn clear(&mut self, t: ThreadId) {
+        let c = &mut self.ctx[t.index()];
+        c.workload = None;
+        c.carry = 0.0;
+        self.dirty = true;
+    }
+
+    fn has_work(&self, t: ThreadId) -> bool {
+        self.ctx[t.index()].workload.is_some()
+    }
+
+    fn advance(&mut self, cycles: Cycles) -> [u64; 2] {
+        self.refresh();
+        self.cycle += cycles;
+        let mut out = [0u64; 2];
+        for (i, c) in self.ctx.iter_mut().enumerate() {
+            if !c.live() {
+                continue;
+            }
+            c.carry += self.rates[i] * cycles as f64;
+            let whole = c.carry.floor();
+            c.carry -= whole;
+            let n = whole as u64;
+            c.retired += n;
+            out[i] = n;
+        }
+        out
+    }
+
+    fn retire_rate(&self, t: ThreadId) -> f64 {
+        if self.dirty {
+            self.throughputs()[t.index()]
+        } else {
+            self.rates[t.index()]
+        }
+    }
+
+    fn cycles_to_retire(&self, t: ThreadId, n: u64) -> Option<Cycles> {
+        let i = t.index();
+        if !self.ctx[i].live() {
+            return None;
+        }
+        let rate = self.retire_rate(t);
+        if rate <= 0.0 {
+            return None;
+        }
+        let need = n as f64 - self.ctx[i].carry;
+        if need <= 0.0 {
+            return Some(1);
+        }
+        Some((need / rate).ceil().max(1.0) as Cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::StreamSpec;
+    use crate::model::WorkloadProfile;
+    use proptest::prelude::*;
+
+    fn p(v: u8) -> HwPriority {
+        HwPriority::new(v).unwrap()
+    }
+
+    /// A MetBench-like high-ILP compute workload (see DESIGN.md §5):
+    /// natural ST IPC ≈ 2.5, modest unit pressure, cache resident.
+    fn metload(ipc: f64) -> Workload {
+        Workload::with_profile(
+            "metload",
+            StreamSpec::balanced(1),
+            WorkloadProfile::new(ipc, 0.2, 0.02),
+        )
+    }
+
+    fn pair(ipc_a: f64, ipc_b: f64, pa: u8, pb: u8) -> MesoCore {
+        let mut core = MesoCore::default();
+        core.assign(ThreadId::A, metload(ipc_a));
+        core.assign(ThreadId::B, metload(ipc_b));
+        core.set_priority(ThreadId::A, p(pa));
+        core.set_priority(ThreadId::B, p(pb));
+        core
+    }
+
+    #[test]
+    fn st_mode_runs_at_full_ipc() {
+        let mut core = MesoCore::default();
+        core.assign(ThreadId::A, metload(2.5));
+        core.set_priority(ThreadId::A, p(7));
+        core.set_priority(ThreadId::B, p(0));
+        let [a, b] = core.advance(10_000);
+        assert_eq!(b, 0);
+        assert!((a as f64 - 25_000.0).abs() < 10.0, "ST IPC 2.5: got {a}");
+    }
+
+    #[test]
+    fn equal_priority_supply_limits_high_ilp_threads() {
+        // Two IPC-2.5 threads at 4/4: each limited by W*0.5 = 2.5 supply
+        // (minus a sliver of contention) — the SMT-mode slowdown the
+        // paper's ST rows quantify.
+        let core = pair(3.5, 3.5, 4, 4);
+        let [ra, rb] = core.throughputs();
+        assert!((ra - rb).abs() < 1e-9, "symmetric pair");
+        assert!(ra <= 2.5 + 1e-9, "supply-limited: {ra}");
+        assert!(ra > 2.0, "but near the supply bound: {ra}");
+    }
+
+    /// The Table IV reproduction targets from DESIGN.md §5: priorities
+    /// (4,4) -> light 2.5; (5,6) -> light ~1.36; (4,6) -> light ~0.80;
+    /// (3,6) -> light ~0.52 for a light thread of IPC 2.5 paired with a
+    /// heavy thread of IPC 2.65.
+    #[test]
+    fn metbench_case_rates_match_calibration() {
+        let at = |pl: u8, ph: u8| -> (f64, f64) {
+            let core = pair(2.5, 2.65, pl, ph);
+            let r = core.throughputs();
+            (r[0], r[1])
+        };
+        let (l_a, h_a) = at(4, 4);
+        assert!(l_a > 2.2 && l_a <= 2.5, "case A light {l_a}");
+        assert!(h_a > 2.2 && h_a <= 2.5, "case A heavy {h_a}");
+
+        let (l_b, h_b) = at(5, 6);
+        assert!((1.1..1.7).contains(&l_b), "case B light {l_b}");
+        assert!(h_b > 2.4, "case B heavy {h_b}");
+
+        let (l_c, h_c) = at(4, 6);
+        assert!((0.6..1.0).contains(&l_c), "case C light {l_c}");
+        assert!(h_c > 2.4, "case C heavy {h_c}");
+
+        let (l_d, h_d) = at(3, 6);
+        assert!((0.4..0.65).contains(&l_d), "case D light {l_d}");
+        assert!(h_d > 2.4, "case D heavy {h_d}");
+
+        // Monotone collapse of the light thread.
+        assert!(l_a > l_b && l_b > l_c && l_c > l_d);
+    }
+
+    #[test]
+    fn leftover_mode_gives_loser_the_slack() {
+        // Heavy thread is dependency-bound (IPC 0.5): it leaves most of the
+        // decode bandwidth unused. A priority-1 partner takes the leftovers
+        // (Table III), so it runs much faster than its nominal zero share.
+        let mut core = MesoCore::default();
+        core.assign(ThreadId::A, metload(2.5));
+        core.assign(
+            ThreadId::B,
+            Workload::with_profile("slowpoke", StreamSpec::fpu_bound(1), WorkloadProfile::new(0.5, 0.1, 0.0)),
+        );
+        core.set_priority(ThreadId::A, p(1));
+        core.set_priority(ThreadId::B, p(4));
+        let [ra, rb] = core.throughputs();
+        assert!((rb - 0.5).abs() < 0.1, "owner at natural rate: {rb}");
+        assert!(ra > 2.0, "priority-1 thread lives on leftovers: {ra}");
+    }
+
+    #[test]
+    fn power_save_mode_is_strict() {
+        let core = pair(3.0, 3.0, 1, 1);
+        let [ra, rb] = core.throughputs();
+        // 1/64 of 5-wide decode each.
+        assert!((ra - 5.0 / 64.0).abs() < 1e-9, "{ra}");
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn workless_partner_share_is_partially_stolen() {
+        let mut core = MesoCore::default();
+        core.assign(ThreadId::A, metload(4.0));
+        // B has no workload but sits at MEDIUM: its slots are mostly
+        // wasted (kappa = 0.1).
+        let [ra, _] = core.throughputs();
+        assert!(ra < 3.0, "hard slices waste the idle share: {ra}");
+        // Dropping B to VERY LOW donates everything.
+        core.set_priority(ThreadId::B, p(1));
+        let ra2 = core.throughputs()[0];
+        assert!(ra2 > 3.9, "leftover mode recovers the bandwidth: {ra2}");
+    }
+
+    #[test]
+    fn advance_accumulates_fractional_progress() {
+        let mut core = MesoCore::default();
+        core.assign(ThreadId::A, metload(0.3));
+        core.set_priority(ThreadId::B, p(0));
+        core.set_priority(ThreadId::A, p(7));
+        let mut total = 0;
+        for _ in 0..100 {
+            total += core.advance(7)[0];
+        }
+        // 700 cycles * 0.3 IPC = 210 instructions exactly (no drift).
+        assert_eq!(total, 210);
+        assert_eq!(core.retired(ThreadId::A), 210);
+    }
+
+    #[test]
+    fn cycles_to_retire_is_exact() {
+        let mut core = MesoCore::default();
+        core.assign(ThreadId::A, metload(2.5));
+        core.set_priority(ThreadId::A, p(7));
+        core.set_priority(ThreadId::B, p(0));
+        let n = 1000;
+        let dt = core.cycles_to_retire(ThreadId::A, n).unwrap();
+        let [got, _] = core.advance(dt);
+        assert!(got >= n, "promised {n} within {dt} cycles, got {got}");
+        // And one cycle earlier would not have been enough.
+        let mut core2 = MesoCore::default();
+        core2.assign(ThreadId::A, metload(2.5));
+        core2.set_priority(ThreadId::A, p(7));
+        core2.set_priority(ThreadId::B, p(0));
+        let [almost, _] = core2.advance(dt - 1);
+        assert!(almost < n);
+    }
+
+    #[test]
+    fn cycles_to_retire_none_when_stuck() {
+        let mut core = MesoCore::default();
+        assert_eq!(core.cycles_to_retire(ThreadId::A, 10), None);
+        core.assign(ThreadId::A, metload(2.5));
+        core.set_priority(ThreadId::A, p(0));
+        assert_eq!(core.cycles_to_retire(ThreadId::A, 10), None);
+    }
+
+    #[test]
+    fn contention_reduces_capacity() {
+        // A memory-hog co-runner reduces the partner's capacity.
+        let mut quiet = MesoCore::default();
+        quiet.assign(ThreadId::A, Workload::with_profile("a", StreamSpec::balanced(1), WorkloadProfile::new(1.5, 0.1, 0.0)));
+        quiet.assign(ThreadId::B, Workload::with_profile("b", StreamSpec::balanced(2), WorkloadProfile::new(1.5, 0.1, 0.0)));
+        let ra_quiet = quiet.throughputs()[0];
+
+        let mut noisy = MesoCore::default();
+        noisy.assign(ThreadId::A, Workload::with_profile("a", StreamSpec::balanced(1), WorkloadProfile::new(1.5, 0.1, 0.0)));
+        noisy.assign(ThreadId::B, Workload::with_profile("hog", StreamSpec::mem_bound(2), WorkloadProfile::new(1.5, 0.9, 0.9)));
+        let ra_noisy = noisy.throughputs()[0];
+        assert!(
+            ra_noisy < ra_quiet * 0.8,
+            "contention must bite: {ra_noisy} vs {ra_quiet}"
+        );
+    }
+
+    proptest! {
+        /// Rates are finite, non-negative and never exceed the workload's
+        /// ST IPC or the decode width.
+        #[test]
+        fn prop_rates_bounded(
+            pa in 0u8..=7, pb in 0u8..=7,
+            ipc_a in 0.1f64..5.0, ipc_b in 0.1f64..5.0,
+            u in 0.0f64..1.0, m in 0.0f64..1.0,
+        ) {
+            let mut core = MesoCore::default();
+            core.assign(ThreadId::A, Workload::with_profile("a", StreamSpec::balanced(1), WorkloadProfile::new(ipc_a, u, m)));
+            core.assign(ThreadId::B, Workload::with_profile("b", StreamSpec::balanced(2), WorkloadProfile::new(ipc_b, u, m)));
+            core.set_priority(ThreadId::A, p(pa));
+            core.set_priority(ThreadId::B, p(pb));
+            let [ra, rb] = core.throughputs();
+            prop_assert!(ra.is_finite() && ra >= 0.0);
+            prop_assert!(rb.is_finite() && rb >= 0.0);
+            prop_assert!(ra <= ipc_a + 1e-9);
+            prop_assert!(rb <= ipc_b + 1e-9);
+            prop_assert!(ra + rb <= 5.0 * (1.0 + 0.1) + 1e-9, "cannot exceed decode width by more than steal slack");
+        }
+
+        /// Raising my own priority (with the partner fixed) never lowers my
+        /// throughput — the monotonicity the balancer relies on.
+        #[test]
+        fn prop_priority_monotone(ipc_a in 0.5f64..4.0, ipc_b in 0.5f64..4.0, pb in 2u8..=6) {
+            let mut prev = -1.0;
+            for pa in 2u8..=6 {
+                let mut core = MesoCore::default();
+                core.assign(ThreadId::A, Workload::with_profile("a", StreamSpec::balanced(1), WorkloadProfile::new(ipc_a, 0.2, 0.1)));
+                core.assign(ThreadId::B, Workload::with_profile("b", StreamSpec::balanced(2), WorkloadProfile::new(ipc_b, 0.2, 0.1)));
+                core.set_priority(ThreadId::A, p(pa));
+                core.set_priority(ThreadId::B, p(pb));
+                let ra = core.throughputs()[0];
+                prop_assert!(ra >= prev - 1e-9, "rate dropped when raising own priority: {prev} -> {ra} at pa={pa}, pb={pb}");
+                prev = ra;
+            }
+        }
+
+        /// Retired counts conserve: advance(a) + advance(b) over the same
+        /// core equals advance(a+b) of a fresh identical core.
+        #[test]
+        fn prop_advance_additive(steps in proptest::collection::vec(1u64..10_000, 1..20)) {
+            let mk = || {
+                let mut c = MesoCore::default();
+                c.assign(ThreadId::A, Workload::with_profile("a", StreamSpec::balanced(1), WorkloadProfile::new(1.7, 0.2, 0.1)));
+                c.set_priority(ThreadId::B, p(1));
+                c
+            };
+            let mut split = mk();
+            let mut total_split = 0;
+            let mut total_cycles = 0;
+            for &s in &steps {
+                total_split += split.advance(s)[0];
+                total_cycles += s;
+            }
+            let mut whole = mk();
+            let total_whole = whole.advance(total_cycles)[0];
+            // Carry rounding differs by at most 1 per step.
+            prop_assert!((total_split as i64 - total_whole as i64).abs() <= 1);
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Hardware thread priorities — the paper's Table I.
+//!
+//! Each hardware context of a POWER5 core carries a priority in `0..=7`:
+//!
+//! | Priority | Level         | Privilege  | or-nop instruction |
+//! |----------|---------------|------------|--------------------|
+//! | 0        | Thread shut off | Hypervisor | —                |
+//! | 1        | Very low      | Supervisor | `or 31,31,31`      |
+//! | 2        | Low           | User       | `or 1,1,1`         |
+//! | 3        | Medium-low    | User       | `or 6,6,6`         |
+//! | 4        | Medium        | User       | `or 2,2,2`         |
+//! | 5        | Medium-high   | Supervisor | `or 5,5,5`         |
+//! | 6        | High          | Supervisor | `or 3,3,3`         |
+//! | 7        | Very high     | Hypervisor | `or 7,7,7`         |
+//!
+//! Software changes the priority either by executing the magic `or X,X,X`
+//! no-op or by writing the Thread Status Register ([`Tsr`]) with `mtspr`.
+
+use std::fmt;
+
+/// Privilege level required to *set* a given priority (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum PrivilegeLevel {
+    /// Unprivileged user code.
+    User,
+    /// The operating system (supervisor state).
+    Supervisor,
+    /// The hypervisor.
+    Hypervisor,
+}
+
+impl PrivilegeLevel {
+    /// Can code running at `self` set priorities that require `required`?
+    pub fn can_act_as(self, required: PrivilegeLevel) -> bool {
+        self >= required
+    }
+}
+
+impl fmt::Display for PrivilegeLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PrivilegeLevel::User => "user",
+            PrivilegeLevel::Supervisor => "supervisor",
+            PrivilegeLevel::Hypervisor => "hypervisor",
+        })
+    }
+}
+
+/// A hardware thread priority (0..=7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct HwPriority(u8);
+
+impl HwPriority {
+    /// Priority 0 — the context is shut off (hypervisor only).
+    pub const OFF: HwPriority = HwPriority(0);
+    /// Priority 1 — very low (supervisor).
+    pub const VERY_LOW: HwPriority = HwPriority(1);
+    /// Priority 2 — low (user).
+    pub const LOW: HwPriority = HwPriority(2);
+    /// Priority 3 — medium-low (user).
+    pub const MEDIUM_LOW: HwPriority = HwPriority(3);
+    /// Priority 4 — medium; the default running priority (user).
+    pub const MEDIUM: HwPriority = HwPriority(4);
+    /// Priority 5 — medium-high (supervisor).
+    pub const MEDIUM_HIGH: HwPriority = HwPriority(5);
+    /// Priority 6 — high (supervisor).
+    pub const HIGH: HwPriority = HwPriority(6);
+    /// Priority 7 — very high; the core runs this context in single-thread
+    /// mode (hypervisor only).
+    pub const VERY_HIGH: HwPriority = HwPriority(7);
+
+    /// All priorities in ascending order.
+    pub const ALL: [HwPriority; 8] = [
+        HwPriority(0),
+        HwPriority(1),
+        HwPriority(2),
+        HwPriority(3),
+        HwPriority(4),
+        HwPriority(5),
+        HwPriority(6),
+        HwPriority(7),
+    ];
+
+    /// Construct from a raw value.
+    ///
+    /// Returns `None` for values above 7.
+    pub fn new(v: u8) -> Option<HwPriority> {
+        (v <= 7).then_some(HwPriority(v))
+    }
+
+    /// Raw numeric value (0..=7).
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// The paper's name for this level.
+    pub fn level_name(self) -> &'static str {
+        match self.0 {
+            0 => "Thread shut off",
+            1 => "Very low",
+            2 => "Low",
+            3 => "Medium-Low",
+            4 => "Medium",
+            5 => "Medium-high",
+            6 => "High",
+            _ => "Very high",
+        }
+    }
+
+    /// Privilege level required to set this priority (Table I).
+    pub fn required_privilege(self) -> PrivilegeLevel {
+        match self.0 {
+            0 | 7 => PrivilegeLevel::Hypervisor,
+            1 | 5 | 6 => PrivilegeLevel::Supervisor,
+            _ => PrivilegeLevel::User,
+        }
+    }
+
+    /// The register number X of the `or X,X,X` no-op that sets this
+    /// priority; `None` for priority 0, which has no or-nop encoding.
+    pub fn or_nop_register(self) -> Option<u8> {
+        match self.0 {
+            0 => None,
+            1 => Some(31),
+            2 => Some(1),
+            3 => Some(6),
+            4 => Some(2),
+            5 => Some(5),
+            6 => Some(3),
+            _ => Some(7),
+        }
+    }
+
+    /// Decode the priority set by an `or X,X,X` instruction, if `X` is one
+    /// of the magic registers.
+    pub fn from_or_nop(reg: u8) -> Option<HwPriority> {
+        match reg {
+            31 => Some(HwPriority(1)),
+            1 => Some(HwPriority(2)),
+            6 => Some(HwPriority(3)),
+            2 => Some(HwPriority(4)),
+            5 => Some(HwPriority(5)),
+            3 => Some(HwPriority(6)),
+            7 => Some(HwPriority(7)),
+            _ => None,
+        }
+    }
+
+    /// Is the context switched off?
+    pub fn is_off(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Absolute priority difference with another context — the quantity
+    /// that drives the decode-slot split (Section V-A: "what really matters
+    /// is the difference between the thread priorities").
+    pub fn diff(self, other: HwPriority) -> u8 {
+        self.0.abs_diff(other.0)
+    }
+}
+
+impl Default for HwPriority {
+    /// MEDIUM — the default priority of a running user process.
+    fn default() -> Self {
+        HwPriority::MEDIUM
+    }
+}
+
+impl fmt::Display for HwPriority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.0, self.level_name())
+    }
+}
+
+impl TryFrom<u8> for HwPriority {
+    type Error = &'static str;
+    fn try_from(v: u8) -> Result<Self, Self::Error> {
+        HwPriority::new(v).ok_or("hardware priority out of range (0..=7)")
+    }
+}
+
+/// The Thread Status Register: the second interface for reading/writing the
+/// hardware priority (`mtspr`/`mfspr` in Section V-B).
+///
+/// Writes are privilege-checked exactly like the or-nop path; an attempt to
+/// set a priority above the writer's privilege is silently ignored by the
+/// hardware (matching POWER5 behaviour, where unprivileged priority writes
+/// become no-ops).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tsr {
+    priority: HwPriority,
+}
+
+impl Tsr {
+    /// A TSR with default (MEDIUM) priority.
+    pub fn new() -> Tsr {
+        Tsr { priority: HwPriority::MEDIUM }
+    }
+
+    /// `mfspr` — read the current priority.
+    pub fn read(&self) -> HwPriority {
+        self.priority
+    }
+
+    /// `mtspr` — write a priority from code running at `privilege`.
+    ///
+    /// Returns `true` when the write took effect, `false` when it was
+    /// dropped for lack of privilege.
+    pub fn write(&mut self, p: HwPriority, privilege: PrivilegeLevel) -> bool {
+        if privilege.can_act_as(p.required_privilege()) {
+            self.priority = p;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Force a priority regardless of privilege (used by the simulator for
+    /// hypervisor-initiated transitions such as ST-mode switches).
+    pub fn force(&mut self, p: HwPriority) {
+        self.priority = p;
+    }
+}
+
+impl Default for Tsr {
+    fn default() -> Self {
+        Tsr::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table1_privilege_levels() {
+        use PrivilegeLevel::*;
+        let expected = [
+            (0, Hypervisor),
+            (1, Supervisor),
+            (2, User),
+            (3, User),
+            (4, User),
+            (5, Supervisor),
+            (6, Supervisor),
+            (7, Hypervisor),
+        ];
+        for (v, priv_) in expected {
+            assert_eq!(
+                HwPriority::new(v).unwrap().required_privilege(),
+                priv_,
+                "priority {v}"
+            );
+        }
+    }
+
+    #[test]
+    fn table1_or_nop_encodings() {
+        let expected = [
+            (1u8, Some(31u8)),
+            (2, Some(1)),
+            (3, Some(6)),
+            (4, Some(2)),
+            (5, Some(5)),
+            (6, Some(3)),
+            (7, Some(7)),
+            (0, None),
+        ];
+        for (v, reg) in expected {
+            assert_eq!(HwPriority::new(v).unwrap().or_nop_register(), reg);
+        }
+    }
+
+    #[test]
+    fn or_nop_roundtrips() {
+        for p in HwPriority::ALL {
+            if let Some(reg) = p.or_nop_register() {
+                assert_eq!(HwPriority::from_or_nop(reg), Some(p));
+            }
+        }
+        assert_eq!(HwPriority::from_or_nop(0), None);
+        assert_eq!(HwPriority::from_or_nop(4), None);
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(HwPriority::new(8).is_none());
+        assert!(HwPriority::try_from(255).is_err());
+        assert_eq!(HwPriority::try_from(4).unwrap(), HwPriority::MEDIUM);
+    }
+
+    #[test]
+    fn privilege_ordering() {
+        use PrivilegeLevel::*;
+        assert!(Hypervisor.can_act_as(User));
+        assert!(Hypervisor.can_act_as(Supervisor));
+        assert!(Supervisor.can_act_as(User));
+        assert!(!User.can_act_as(Supervisor));
+        assert!(!Supervisor.can_act_as(Hypervisor));
+    }
+
+    #[test]
+    fn tsr_enforces_privilege() {
+        let mut tsr = Tsr::new();
+        assert_eq!(tsr.read(), HwPriority::MEDIUM);
+        // User may set 2..=4.
+        assert!(tsr.write(HwPriority::LOW, PrivilegeLevel::User));
+        assert_eq!(tsr.read(), HwPriority::LOW);
+        // User may NOT set 6.
+        assert!(!tsr.write(HwPriority::HIGH, PrivilegeLevel::User));
+        assert_eq!(tsr.read(), HwPriority::LOW);
+        // Supervisor may set 6 but not 7.
+        assert!(tsr.write(HwPriority::HIGH, PrivilegeLevel::Supervisor));
+        assert!(!tsr.write(HwPriority::VERY_HIGH, PrivilegeLevel::Supervisor));
+        // Hypervisor may set anything.
+        assert!(tsr.write(HwPriority::VERY_HIGH, PrivilegeLevel::Hypervisor));
+        assert!(tsr.write(HwPriority::OFF, PrivilegeLevel::Hypervisor));
+        // Force bypasses checks.
+        tsr.force(HwPriority::MEDIUM);
+        assert_eq!(tsr.read(), HwPriority::MEDIUM);
+    }
+
+    #[test]
+    fn diff_is_symmetric() {
+        let a = HwPriority::HIGH;
+        let b = HwPriority::LOW;
+        assert_eq!(a.diff(b), 4);
+        assert_eq!(b.diff(a), 4);
+        assert_eq!(a.diff(a), 0);
+    }
+
+    #[test]
+    fn default_is_medium() {
+        assert_eq!(HwPriority::default(), HwPriority::MEDIUM);
+        assert_eq!(HwPriority::default().value(), 4);
+    }
+
+    #[test]
+    fn display_contains_level_name() {
+        assert_eq!(format!("{}", HwPriority::MEDIUM), "4 (Medium)");
+        assert_eq!(format!("{}", HwPriority::OFF), "0 (Thread shut off)");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_new_accepts_exactly_0_to_7(v in 0u8..=255) {
+            prop_assert_eq!(HwPriority::new(v).is_some(), v <= 7);
+        }
+
+        #[test]
+        fn prop_tsr_write_never_exceeds_privilege(v in 0u8..=7, lvl in 0u8..3) {
+            let privilege = [PrivilegeLevel::User, PrivilegeLevel::Supervisor, PrivilegeLevel::Hypervisor][lvl as usize];
+            let p = HwPriority::new(v).unwrap();
+            let mut tsr = Tsr::new();
+            let ok = tsr.write(p, privilege);
+            if ok {
+                prop_assert!(privilege.can_act_as(p.required_privilege()));
+                prop_assert_eq!(tsr.read(), p);
+            } else {
+                prop_assert_eq!(tsr.read(), HwPriority::MEDIUM);
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Per-context and per-core performance counters.
+
+/// Counters for one hardware context.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CtxStats {
+    /// Decode cycles this context owned per the arbitration tables.
+    pub slots_owned: u64,
+    /// Decode cycles this context actually decoded in (owned and usable).
+    pub slots_used: u64,
+    /// Decode cycles used that were *stolen* from the other context
+    /// (leftover mode or slot stealing).
+    pub slots_stolen: u64,
+    /// Instructions decoded into the dispatch buffer.
+    pub decoded: u64,
+    /// Instructions retired (completed).
+    pub retired: u64,
+    /// Issue stalls due to an unresolved dependency.
+    pub stall_dep: u64,
+    /// Issue stalls due to execution-unit structural hazards.
+    pub stall_unit: u64,
+    /// Loads/stores that hit in L1.
+    pub l1_hits: u64,
+    /// Loads/stores that missed L1 but hit L2.
+    pub l2_hits: u64,
+    /// Loads/stores that went to memory.
+    pub mem_accesses: u64,
+    /// Branches whose prediction was wrong (front-end restarts).
+    pub br_mispredicts: u64,
+    /// Instruction-fetch groups that missed the L1I.
+    pub l1i_misses: u64,
+}
+
+impl CtxStats {
+    /// Instructions per cycle over `cycles` elapsed cycles.
+    pub fn ipc(&self, cycles: u64) -> f64 {
+        if cycles == 0 {
+            0.0
+        } else {
+            self.retired as f64 / cycles as f64
+        }
+    }
+
+    /// Fraction of owned decode slots that were actually used.
+    pub fn slot_utilization(&self) -> f64 {
+        if self.slots_owned == 0 {
+            0.0
+        } else {
+            // slots_used counts only owned-and-used; stolen tracked apart.
+            (self.slots_used - self.slots_stolen).min(self.slots_owned) as f64
+                / self.slots_owned as f64
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&mut self) {
+        *self = CtxStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_is_zero_without_time() {
+        let s = CtxStats { retired: 100, ..Default::default() };
+        assert_eq!(s.ipc(0), 0.0);
+        assert_eq!(s.ipc(50), 2.0);
+    }
+
+    #[test]
+    fn slot_utilization_bounds() {
+        let s = CtxStats { slots_owned: 10, slots_used: 8, slots_stolen: 0, ..Default::default() };
+        assert!((s.slot_utilization() - 0.8).abs() < 1e-12);
+        let none = CtxStats::default();
+        assert_eq!(none.slot_utilization(), 0.0);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let mut s = CtxStats { retired: 5, decoded: 9, ..Default::default() };
+        s.reset();
+        assert_eq!(s, CtxStats::default());
+    }
+}

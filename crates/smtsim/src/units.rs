@@ -1,0 +1,142 @@
+//! The core's shared execution-unit pool.
+//!
+//! A POWER5 core owns two fixed-point units, two floating-point units, two
+//! load/store units and a branch unit, shared between the two hardware
+//! contexts — unit contention is one of the two channels (with the caches)
+//! through which co-running threads slow each other down. Units are fully
+//! pipelined: each accepts one instruction per cycle (initiation interval
+//! 1) regardless of its result latency.
+
+use crate::inst::InstClass;
+use crate::Cycles;
+
+/// Per-class unit counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UnitConfig {
+    /// Units per class, indexed by [`InstClass::index`]: FX, FP, LS, BR.
+    pub counts: [u8; 4],
+}
+
+impl Default for UnitConfig {
+    /// POWER5-like: 2 FXU, 2 FPU, 2 LSU, 2 BR/CR units.
+    fn default() -> Self {
+        UnitConfig { counts: [2, 2, 2, 2] }
+    }
+}
+
+/// Issue-port tracker: how many instructions of each class have been issued
+/// in the current cycle.
+#[derive(Debug, Clone)]
+pub struct UnitPool {
+    cfg: UnitConfig,
+    issued_this_cycle: [u8; 4],
+    current_cycle: Cycles,
+    /// Total issues per class (statistics).
+    total_issued: [u64; 4],
+    /// Issue attempts rejected because all units of the class were taken.
+    conflicts: [u64; 4],
+}
+
+impl UnitPool {
+    /// Create a pool with the given configuration.
+    pub fn new(cfg: UnitConfig) -> UnitPool {
+        UnitPool {
+            cfg,
+            issued_this_cycle: [0; 4],
+            current_cycle: 0,
+            total_issued: [0; 4],
+            conflicts: [0; 4],
+        }
+    }
+
+    /// Advance the pool to `cycle`, freeing the per-cycle issue ports.
+    pub fn begin_cycle(&mut self, cycle: Cycles) {
+        if cycle != self.current_cycle {
+            self.current_cycle = cycle;
+            self.issued_this_cycle = [0; 4];
+        }
+    }
+
+    /// Try to issue an instruction of `class` in the current cycle.
+    /// Returns `true` and occupies a port on success.
+    pub fn try_issue(&mut self, class: InstClass) -> bool {
+        let i = class.index();
+        if self.issued_this_cycle[i] < self.cfg.counts[i] {
+            self.issued_this_cycle[i] += 1;
+            self.total_issued[i] += 1;
+            true
+        } else {
+            self.conflicts[i] += 1;
+            false
+        }
+    }
+
+    /// Are any ports of `class` still free this cycle?
+    pub fn available(&self, class: InstClass) -> bool {
+        let i = class.index();
+        self.issued_this_cycle[i] < self.cfg.counts[i]
+    }
+
+    /// Total instructions issued per class since construction.
+    pub fn total_issued(&self) -> [u64; 4] {
+        self.total_issued
+    }
+
+    /// Issue attempts rejected per class (structural-hazard count).
+    pub fn conflicts(&self) -> [u64; 4] {
+        self.conflicts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_power5_like() {
+        assert_eq!(UnitConfig::default().counts, [2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn issue_limited_by_unit_count() {
+        let mut p = UnitPool::new(UnitConfig::default());
+        p.begin_cycle(1);
+        assert!(p.try_issue(InstClass::Fp));
+        assert!(p.try_issue(InstClass::Fp));
+        assert!(!p.try_issue(InstClass::Fp), "only two FPUs");
+        assert!(p.try_issue(InstClass::Fx), "other classes unaffected");
+        assert_eq!(p.conflicts()[InstClass::Fp.index()], 1);
+    }
+
+    #[test]
+    fn ports_free_on_new_cycle() {
+        let mut p = UnitPool::new(UnitConfig::default());
+        p.begin_cycle(1);
+        assert!(p.try_issue(InstClass::Ls));
+        assert!(p.try_issue(InstClass::Ls));
+        assert!(!p.available(InstClass::Ls));
+        p.begin_cycle(2);
+        assert!(p.available(InstClass::Ls));
+        assert!(p.try_issue(InstClass::Ls));
+        assert_eq!(p.total_issued()[InstClass::Ls.index()], 3);
+    }
+
+    #[test]
+    fn begin_cycle_same_cycle_is_idempotent() {
+        let mut p = UnitPool::new(UnitConfig::default());
+        p.begin_cycle(5);
+        assert!(p.try_issue(InstClass::Br));
+        assert!(p.try_issue(InstClass::Br));
+        p.begin_cycle(5); // must NOT free the ports
+        assert!(!p.try_issue(InstClass::Br));
+    }
+
+    #[test]
+    fn custom_config_respected() {
+        let mut p = UnitPool::new(UnitConfig { counts: [1, 0, 1, 1] });
+        p.begin_cycle(1);
+        assert!(!p.try_issue(InstClass::Fp), "zero FPUs configured");
+        assert!(p.try_issue(InstClass::Fx));
+        assert!(!p.try_issue(InstClass::Fx));
+    }
+}

@@ -1,0 +1,247 @@
+//! PARAVER-style trace export.
+//!
+//! The paper uses PARAVER (developed at CEPBA/BSC) to collect and visualize
+//! traces. This module writes a simplified version of the PARAVER `.prv`
+//! state-record format so that timelines produced by the simulator can be
+//! inspected with external tooling or diffed across runs:
+//!
+//! ```text
+//! #Paraver (mtbalance simulated trace)
+//! 1:<pid>:<start>:<end>:<state-code>
+//! ```
+//!
+//! State codes follow PARAVER conventions loosely: 1 = running (compute),
+//! 2 = sync-wait, 3 = comm, 4 = interrupt/OS, 5 = init, 6 = finalize,
+//! 0 = idle.
+
+use crate::state::ProcState;
+use crate::timeline::Timeline;
+
+/// Numeric state code used in the exported trace.
+pub fn state_code(s: ProcState) -> u32 {
+    match s {
+        ProcState::Idle => 0,
+        ProcState::Compute => 1,
+        ProcState::Sync => 2,
+        ProcState::Comm => 3,
+        ProcState::Interrupt => 4,
+        ProcState::Init => 5,
+        ProcState::Final => 6,
+    }
+}
+
+/// Inverse of [`state_code`].
+pub fn code_state(c: u32) -> Option<ProcState> {
+    Some(match c {
+        0 => ProcState::Idle,
+        1 => ProcState::Compute,
+        2 => ProcState::Sync,
+        3 => ProcState::Comm,
+        4 => ProcState::Interrupt,
+        5 => ProcState::Init,
+        6 => ProcState::Final,
+        _ => return None,
+    })
+}
+
+/// A point-to-point communication event for trace export (PARAVER's
+/// record type 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommEvent {
+    /// Sender pid.
+    pub from: usize,
+    /// Receiver pid.
+    pub to: usize,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Time the send was posted.
+    pub send_time: u64,
+    /// Time the payload arrived at the receiver.
+    pub recv_time: u64,
+}
+
+/// Serialize timelines plus communication events:
+///
+/// ```text
+/// 1:<pid>:<start>:<end>:<state-code>
+/// 3:<from>:<send>:<to>:<recv>:<bytes>
+/// ```
+pub fn export_with_comm(timelines: &[Timeline], comms: &[CommEvent]) -> String {
+    let mut out = export(timelines);
+    for c in comms {
+        out.push_str(&format!(
+            "3:{}:{}:{}:{}:{}\n",
+            c.from, c.send_time, c.to, c.recv_time, c.bytes
+        ));
+    }
+    out
+}
+
+/// The PARAVER configuration (`.pcf`) text describing our state codes, so
+/// external tools can label the exported trace.
+pub fn pcf() -> String {
+    let mut out = String::from(
+        "DEFAULT_OPTIONS
+
+LEVEL	TASK
+UNITS	CYCLES
+
+STATES
+",
+    );
+    for s in ProcState::ALL {
+        out.push_str(&format!("{}	{}
+", state_code(s), s.name()));
+    }
+    out.push_str("
+STATES_COLOR
+");
+    for s in ProcState::ALL {
+        // Grey-scale matching the paper's figures: compute dark, sync light.
+        let rgb = match s {
+            ProcState::Compute => "(64,64,64)",
+            ProcState::Sync => "(200,200,200)",
+            ProcState::Comm => "(0,0,0)",
+            ProcState::Interrupt => "(255,0,0)",
+            ProcState::Init | ProcState::Final => "(255,255,255)",
+            ProcState::Idle => "(230,230,230)",
+        };
+        out.push_str(&format!("{}	{}
+", state_code(s), rgb));
+    }
+    out
+}
+
+/// Serialize timelines to the simplified `.prv` text format.
+pub fn export(timelines: &[Timeline]) -> String {
+    let mut out = String::from("#Paraver (mtbalance simulated trace)\n");
+    for tl in timelines {
+        for iv in tl.intervals() {
+            out.push_str(&format!(
+                "1:{}:{}:{}:{}\n",
+                tl.pid,
+                iv.start,
+                iv.end,
+                state_code(iv.state)
+            ));
+        }
+    }
+    out
+}
+
+/// Parse a trace previously produced by [`export`]. Unknown lines are
+/// skipped; malformed state codes yield an error.
+pub fn import(text: &str) -> Result<Vec<Timeline>, String> {
+    use crate::timeline::TimelineBuilder;
+    use std::collections::BTreeMap;
+
+    // pid -> ordered (start, end, state)
+    let mut recs: BTreeMap<usize, Vec<(u64, u64, ProcState)>> = BTreeMap::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let parts: Vec<&str> = line.split(':').collect();
+        if parts.len() != 5 || parts[0] != "1" {
+            continue;
+        }
+        let parse = |s: &str| -> Result<u64, String> {
+            s.parse().map_err(|_| format!("line {}: bad number {s:?}", lineno + 1))
+        };
+        let pid = parse(parts[1])? as usize;
+        let start = parse(parts[2])?;
+        let end = parse(parts[3])?;
+        let code = parse(parts[4])? as u32;
+        let state =
+            code_state(code).ok_or_else(|| format!("line {}: bad state {code}", lineno + 1))?;
+        recs.entry(pid).or_default().push((start, end, state));
+    }
+
+    let mut out = Vec::new();
+    for (pid, mut ivs) in recs {
+        ivs.sort_by_key(|r| r.0);
+        let first = ivs.first().copied();
+        let Some((t0, _, s0)) = first else { continue };
+        let mut b = TimelineBuilder::new(pid, format!("P{pid}"), t0, s0);
+        let mut t_end = t0;
+        for (start, end, state) in ivs {
+            b.enter(state, start);
+            t_end = end;
+        }
+        out.push(b.finish(t_end));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::TimelineBuilder;
+
+    fn sample() -> Vec<Timeline> {
+        let mut b = TimelineBuilder::new(3, "P3", 0, ProcState::Init);
+        b.enter(ProcState::Compute, 10);
+        b.enter(ProcState::Sync, 90);
+        let t = b.finish(120);
+        vec![t]
+    }
+
+    #[test]
+    fn codes_roundtrip() {
+        for s in ProcState::ALL {
+            assert_eq!(code_state(state_code(s)), Some(s));
+        }
+        assert_eq!(code_state(99), None);
+    }
+
+    #[test]
+    fn export_emits_one_record_per_interval() {
+        let text = export(&sample());
+        let recs: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+        assert_eq!(recs.len(), 3);
+        assert_eq!(recs[0], "1:3:0:10:5");
+        assert_eq!(recs[1], "1:3:10:90:1");
+        assert_eq!(recs[2], "1:3:90:120:2");
+    }
+
+    #[test]
+    fn export_import_roundtrips() {
+        let orig = sample();
+        let back = import(&export(&orig)).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].pid, 3);
+        assert_eq!(back[0].intervals(), orig[0].intervals());
+    }
+
+    #[test]
+    fn import_skips_garbage_and_reports_bad_codes() {
+        let ok = import("#comment\nnot-a-record\n1:0:0:5:1\n").unwrap();
+        assert_eq!(ok.len(), 1);
+        let err = import("1:0:0:5:42\n");
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn import_empty_is_empty() {
+        assert!(import("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn comm_records_append_after_states() {
+        let comms = vec![CommEvent { from: 0, to: 1, bytes: 4096, send_time: 10, recv_time: 900 }];
+        let text = export_with_comm(&sample(), &comms);
+        assert!(text.contains("3:0:10:1:900:4096"));
+        // State records still importable (type-3 lines are skipped).
+        let back = import(&text).unwrap();
+        assert_eq!(back.len(), 1);
+    }
+
+    #[test]
+    fn pcf_lists_every_state_once() {
+        let cfg = pcf();
+        for s in ProcState::ALL {
+            assert!(cfg.contains(s.name()), "missing {s}");
+        }
+        assert!(cfg.contains("STATES_COLOR"));
+    }
+}

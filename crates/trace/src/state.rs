@@ -1,0 +1,129 @@
+//! Process activity states.
+//!
+//! Each simulated MPI process is, at any instant, in exactly one of these
+//! states. They mirror the color coding of the PARAVER traces in the paper's
+//! Figures 2-4: dark-grey bars are [`ProcState::Compute`], light-grey bars
+//! are [`ProcState::Sync`] (waiting at a synchronization point) and black
+//! bars are [`ProcState::Comm`] (actively exchanging data).
+
+use std::fmt;
+
+/// What a process is doing during an interval of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ProcState {
+    /// Application initialization phase (white bars in the paper's traces).
+    Init,
+    /// Useful computation.
+    Compute,
+    /// Blocked at a synchronization point (barrier, wait, recv that has not
+    /// been matched yet). This is the *waiting time* that defines the
+    /// paper's imbalance metric.
+    Sync,
+    /// Actively transferring data (the short black bars in Figures 3-4).
+    Comm,
+    /// Stolen by the OS: interrupt handlers, daemons — the paper's
+    /// *extrinsic imbalance* sources (Section II-B).
+    Interrupt,
+    /// Application finalization phase.
+    Final,
+    /// The hardware context has no runnable process.
+    Idle,
+}
+
+impl ProcState {
+    /// All states, in rendering order.
+    pub const ALL: [ProcState; 7] = [
+        ProcState::Init,
+        ProcState::Compute,
+        ProcState::Sync,
+        ProcState::Comm,
+        ProcState::Interrupt,
+        ProcState::Final,
+        ProcState::Idle,
+    ];
+
+    /// Single-character glyph used by the ASCII Gantt renderer.
+    pub fn glyph(self) -> char {
+        match self {
+            ProcState::Init => 'i',
+            ProcState::Compute => '#',
+            ProcState::Sync => '.',
+            ProcState::Comm => '%',
+            ProcState::Interrupt => '!',
+            ProcState::Final => 'f',
+            ProcState::Idle => ' ',
+        }
+    }
+
+    /// Does this state count as "useful work" for the compute-percentage
+    /// columns of Tables IV-VI? The paper counts init/finalize computation
+    /// as computing time as well.
+    pub fn is_useful(self) -> bool {
+        matches!(
+            self,
+            ProcState::Compute | ProcState::Init | ProcState::Final
+        )
+    }
+
+    /// Does this state count as *waiting* for the imbalance metric?
+    pub fn is_waiting(self) -> bool {
+        matches!(self, ProcState::Sync)
+    }
+
+    /// Short human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProcState::Init => "init",
+            ProcState::Compute => "compute",
+            ProcState::Sync => "sync",
+            ProcState::Comm => "comm",
+            ProcState::Interrupt => "interrupt",
+            ProcState::Final => "final",
+            ProcState::Idle => "idle",
+        }
+    }
+}
+
+impl fmt::Display for ProcState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glyphs_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for s in ProcState::ALL {
+            assert!(seen.insert(s.glyph()), "duplicate glyph for {s}");
+        }
+    }
+
+    #[test]
+    fn useful_and_waiting_are_disjoint() {
+        for s in ProcState::ALL {
+            assert!(
+                !(s.is_useful() && s.is_waiting()),
+                "{s} cannot be both useful and waiting"
+            );
+        }
+    }
+
+    #[test]
+    fn names_roundtrip_display() {
+        for s in ProcState::ALL {
+            assert_eq!(format!("{s}"), s.name());
+        }
+    }
+
+    #[test]
+    fn compute_counts_as_useful_sync_as_waiting() {
+        assert!(ProcState::Compute.is_useful());
+        assert!(ProcState::Sync.is_waiting());
+        assert!(!ProcState::Sync.is_useful());
+        assert!(!ProcState::Compute.is_waiting());
+    }
+}

@@ -1,0 +1,223 @@
+//! Descriptive statistics over trace data.
+//!
+//! SIESTA-style applications vary per iteration, so single numbers hide
+//! the story: this module summarizes distributions (mean/percentiles/
+//! histograms) of per-interval durations and compares two runs rank by
+//! rank — the ASCII cousin of the analyses PARAVER is used for in the
+//! paper.
+
+use crate::state::ProcState;
+use crate::timeline::Timeline;
+use crate::Cycles;
+
+/// Summary statistics of a sample of durations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Sample count.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: Cycles,
+    /// Median (p50).
+    pub p50: Cycles,
+    /// 95th percentile.
+    pub p95: Cycles,
+    /// Maximum.
+    pub max: Cycles,
+    /// Coefficient of variation (stddev / mean); 0 for constant samples.
+    pub cv: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. Returns `None` for an empty sample.
+    pub fn of(samples: &[Cycles]) -> Option<Summary> {
+        if samples.is_empty() {
+            return None;
+        }
+        let mut s = samples.to_vec();
+        s.sort_unstable();
+        let count = s.len();
+        let sum: u128 = s.iter().map(|&x| u128::from(x)).sum();
+        let mean = sum as f64 / count as f64;
+        let var = s
+            .iter()
+            .map(|&x| {
+                let d = x as f64 - mean;
+                d * d
+            })
+            .sum::<f64>()
+            / count as f64;
+        let pct = |p: f64| s[(((count - 1) as f64) * p).round() as usize];
+        Some(Summary {
+            count,
+            mean,
+            min: s[0],
+            p50: pct(0.5),
+            p95: pct(0.95),
+            max: s[count - 1],
+            cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+        })
+    }
+}
+
+/// Durations of every interval of `state` in a timeline — e.g. the
+/// per-iteration compute times of a rank (one `Compute` interval per
+/// iteration in barrier-synchronized programs).
+pub fn interval_durations(t: &Timeline, state: ProcState) -> Vec<Cycles> {
+    t.intervals()
+        .iter()
+        .filter(|iv| iv.state == state)
+        .map(|iv| iv.len())
+        .collect()
+}
+
+/// Render a sample as a fixed-width ASCII histogram with `bins` bins.
+pub fn histogram(samples: &[Cycles], bins: usize, width: usize) -> String {
+    if samples.is_empty() || bins == 0 {
+        return "(no samples)\n".to_string();
+    }
+    let min = *samples.iter().min().expect("non-empty");
+    let max = *samples.iter().max().expect("non-empty");
+    let span = (max - min).max(1);
+    let mut counts = vec![0usize; bins];
+    for &s in samples {
+        let b = (((s - min) as u128 * bins as u128) / (span as u128 + 1)) as usize;
+        counts[b.min(bins - 1)] += 1;
+    }
+    let peak = counts.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = String::new();
+    for (i, &c) in counts.iter().enumerate() {
+        let lo = min + span * i as Cycles / bins as Cycles;
+        let hi = min + span * (i as Cycles + 1) / bins as Cycles;
+        let bar = "#".repeat(c * width / peak);
+        out.push_str(&format!("{lo:>12}..{hi:<12} |{bar:<width$}| {c}\n"));
+    }
+    out
+}
+
+/// Per-rank comparison of two runs' timelines: (label, compute delta %,
+/// sync delta %) — positive = more in `b` than `a`.
+pub fn compare_runs(a: &[Timeline], b: &[Timeline]) -> Vec<(String, f64, f64)> {
+    a.iter()
+        .zip(b)
+        .map(|(ta, tb)| {
+            let pct_delta = |xa: Cycles, xb: Cycles| {
+                if xa == 0 {
+                    if xb == 0 {
+                        0.0
+                    } else {
+                        100.0
+                    }
+                } else {
+                    100.0 * (xb as f64 - xa as f64) / xa as f64
+                }
+            };
+            (
+                ta.label.clone(),
+                pct_delta(
+                    ta.time_where(ProcState::is_useful),
+                    tb.time_where(ProcState::is_useful),
+                ),
+                pct_delta(
+                    ta.time_where(ProcState::is_waiting),
+                    tb.time_where(ProcState::is_waiting),
+                ),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::TimelineBuilder;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[10, 20, 30, 40, 50]).unwrap();
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 30.0).abs() < 1e-9);
+        assert_eq!(s.min, 10);
+        assert_eq!(s.p50, 30);
+        assert_eq!(s.max, 50);
+        assert!(s.cv > 0.0);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn constant_sample_has_zero_cv() {
+        let s = Summary::of(&[7, 7, 7]).unwrap();
+        assert_eq!(s.cv, 0.0);
+        assert_eq!(s.p95, 7);
+    }
+
+    #[test]
+    fn interval_durations_extract_per_iteration_computes() {
+        let mut b = TimelineBuilder::new(0, "P1", 0, ProcState::Compute);
+        b.enter(ProcState::Sync, 100);
+        b.enter(ProcState::Compute, 150);
+        b.enter(ProcState::Sync, 350);
+        let t = b.finish(400);
+        assert_eq!(interval_durations(&t, ProcState::Compute), vec![100, 200]);
+        assert_eq!(interval_durations(&t, ProcState::Sync), vec![50, 50]);
+    }
+
+    #[test]
+    fn histogram_covers_all_samples() {
+        let samples = vec![1, 2, 3, 10, 11, 12, 100];
+        let h = histogram(&samples, 4, 20);
+        let total: usize = h
+            .lines()
+            .filter_map(|l| l.rsplit(' ').next()?.parse::<usize>().ok())
+            .sum();
+        assert_eq!(total, samples.len());
+        assert_eq!(h.lines().count(), 4);
+    }
+
+    #[test]
+    fn histogram_handles_degenerate_input() {
+        assert!(histogram(&[], 4, 10).contains("no samples"));
+        let h = histogram(&[5, 5, 5], 3, 10);
+        assert!(h.contains("| 3"), "all in one bin: {h}");
+    }
+
+    #[test]
+    fn compare_runs_reports_deltas() {
+        let mk = |comp: u64, sync: u64| {
+            let mut b = TimelineBuilder::new(0, "P1", 0, ProcState::Compute);
+            b.enter(ProcState::Sync, comp);
+            b.finish(comp + sync)
+        };
+        let a = vec![mk(100, 50)];
+        let b = vec![mk(150, 25)];
+        let d = compare_runs(&a, &b);
+        assert_eq!(d[0].0, "P1");
+        assert!((d[0].1 - 50.0).abs() < 1e-9, "compute +50%");
+        assert!((d[0].2 + 50.0).abs() < 1e-9, "sync -50%");
+    }
+
+    proptest! {
+        /// Percentiles are ordered and bounded by min/max.
+        #[test]
+        fn prop_summary_ordered(samples in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let s = Summary::of(&samples).unwrap();
+            prop_assert!(s.min <= s.p50);
+            prop_assert!(s.p50 <= s.p95);
+            prop_assert!(s.p95 <= s.max);
+            prop_assert!(s.mean >= s.min as f64 && s.mean <= s.max as f64);
+        }
+
+        /// Histogram bin counts always sum to the sample count.
+        #[test]
+        fn prop_histogram_conserves(samples in proptest::collection::vec(0u64..10_000, 1..100), bins in 1usize..12) {
+            let h = histogram(&samples, bins, 10);
+            let total: usize = h
+                .lines()
+                .filter_map(|l| l.rsplit(' ').next()?.parse::<usize>().ok())
+                .sum();
+            prop_assert_eq!(total, samples.len());
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Fixed-width text tables in the style of the paper's Tables IV-VI.
+
+use std::fmt::Write as _;
+
+/// Column alignment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Align {
+    /// Left-aligned (labels).
+    Left,
+    /// Right-aligned (numbers).
+    Right,
+}
+
+/// A simple fixed-width table builder.
+///
+/// ```
+/// use mtb_trace::table::Table;
+/// let mut t = Table::new(&["Test", "Proc", "Exec. Time"]);
+/// t.row(&["A", "P1", "81.64s"]);
+/// t.row(&["B", "P2", "76.98s"]);
+/// let s = t.render();
+/// assert!(s.contains("81.64s"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    aligns: Vec<Align>,
+    title: Option<String>,
+}
+
+impl Table {
+    /// Create a table with the given column headers. All columns default to
+    /// right alignment except the first, which is left-aligned.
+    pub fn new(headers: &[&str]) -> Table {
+        let aligns = headers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| if i == 0 { Align::Left } else { Align::Right })
+            .collect();
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            aligns,
+            title: None,
+        }
+    }
+
+    /// Set a caption rendered above the table.
+    pub fn with_title(mut self, title: impl Into<String>) -> Table {
+        self.title = Some(title.into());
+        self
+    }
+
+    /// Override column alignments (must match the header count).
+    pub fn with_aligns(mut self, aligns: &[Align]) -> Table {
+        assert_eq!(aligns.len(), self.headers.len(), "alignment count mismatch");
+        self.aligns = aligns.to_vec();
+        self
+    }
+
+    /// Append a row. Shorter rows are padded with empty cells; longer rows
+    /// are a programming error.
+    pub fn row(&mut self, cells: &[&str]) {
+        assert!(
+            cells.len() <= self.headers.len(),
+            "row has {} cells but table has {} columns",
+            cells.len(),
+            self.headers.len()
+        );
+        let mut r: Vec<String> = cells.iter().map(|s| s.to_string()).collect();
+        r.resize(self.headers.len(), String::new());
+        self.rows.push(r);
+    }
+
+    /// Append a row of already-owned strings.
+    pub fn row_owned(&mut self, cells: Vec<String>) {
+        assert!(cells.len() <= self.headers.len());
+        let mut r = cells;
+        r.resize(self.headers.len(), String::new());
+        self.rows.push(r);
+    }
+
+    /// Append a horizontal separator line.
+    pub fn separator(&mut self) {
+        self.rows.push(Vec::new()); // empty row encodes a separator
+    }
+
+    /// Number of data rows (separators excluded).
+    pub fn len(&self) -> usize {
+        self.rows.iter().filter(|r| !r.is_empty()).count()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Render to a `String`.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+
+        let mut out = String::new();
+        if let Some(t) = &self.title {
+            let _ = writeln!(out, "{t}");
+        }
+        let sep_line = |out: &mut String| {
+            out.push('+');
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push('\n');
+        };
+        let fmt_row = |out: &mut String, cells: &[String], aligns: &[Align]| {
+            out.push('|');
+            for i in 0..ncols {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                match aligns[i] {
+                    Align::Left => {
+                        let _ = write!(out, " {:<w$} |", cell, w = widths[i]);
+                    }
+                    Align::Right => {
+                        let _ = write!(out, " {:>w$} |", cell, w = widths[i]);
+                    }
+                }
+            }
+            out.push('\n');
+        };
+
+        sep_line(&mut out);
+        fmt_row(&mut out, &self.headers, &vec![Align::Left; ncols]);
+        sep_line(&mut out);
+        for r in &self.rows {
+            if r.is_empty() {
+                sep_line(&mut out);
+            } else {
+                fmt_row(&mut out, r, &self.aligns);
+            }
+        }
+        sep_line(&mut out);
+        out
+    }
+}
+
+/// Format a float with two decimals, the paper's table convention.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format a percentage with two decimals.
+pub fn pct(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Format seconds in the paper's `81.64s` style.
+pub fn secs(v: f64) -> String {
+    format!("{v:.2}s")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_headers_and_rows() {
+        let mut t = Table::new(&["Test", "Exec"]);
+        t.row(&["A", "81.64s"]);
+        t.row(&["B", "76.98s"]);
+        let s = t.render();
+        assert!(s.contains("| Test |"));
+        assert!(s.contains("| A    | 81.64s |"));
+        assert!(s.contains("76.98s"));
+    }
+
+    #[test]
+    fn columns_expand_to_widest_cell() {
+        let mut t = Table::new(&["x"]);
+        t.row(&["a-very-long-cell"]);
+        let s = t.render();
+        for line in s.lines().filter(|l| l.starts_with('|')) {
+            assert_eq!(line.chars().count(), "| a-very-long-cell |".chars().count());
+        }
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(&["a", "b", "c"]);
+        t.row(&["only-one"]);
+        assert_eq!(t.len(), 1);
+        let s = t.render();
+        assert!(s.contains("only-one"));
+    }
+
+    #[test]
+    #[should_panic(expected = "columns")]
+    fn long_rows_panic() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["1", "2"]);
+    }
+
+    #[test]
+    fn separators_render_as_lines() {
+        let mut t = Table::new(&["a"]);
+        t.row(&["1"]);
+        t.separator();
+        t.row(&["2"]);
+        let s = t.render();
+        // header top + header bottom + middle separator + table bottom
+        let seps = s.lines().filter(|l| l.starts_with('+')).count();
+        assert_eq!(seps, 4);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn title_renders_above() {
+        let t = Table::new(&["a"]).with_title("TABLE IV");
+        assert!(t.render().starts_with("TABLE IV\n"));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn number_formatting_helpers() {
+        assert_eq!(f2(1.005), "1.00"); // bankers-ish rounding of format!
+        assert_eq!(secs(81.639), "81.64s");
+        assert_eq!(pct(75.694), "75.69");
+    }
+
+    #[test]
+    fn alignment_can_be_overridden() {
+        let mut t = Table::new(&["n", "l"]).with_aligns(&[Align::Right, Align::Left]);
+        t.row(&["1", "x"]);
+        let s = t.render();
+        assert!(s.contains("| 1 | x |"));
+    }
+}

@@ -1,0 +1,293 @@
+//! BT-MZ — the NAS Block Tri-diagonal Multi-Zone benchmark
+//! (Section VII-B).
+//!
+//! BT-MZ solves the unsteady compressible Navier-Stokes equations on a
+//! multi-zone mesh; zones have very different sizes, so the per-rank work
+//! is badly imbalanced (the paper's class A with 4 ranks shows ranks busy
+//! 17.6% / 28.9% / 66.5% / 99.7% of the time in the reference case).
+//! Every iteration each rank computes on its zones, then exchanges
+//! boundary data with its neighbours via `mpi_isend`/`mpi_irecv` and
+//! blocks in `mpi_waitall` — synchronizing with neighbours, not globally.
+//!
+//! The per-rank totals below reproduce Table V's case-A compute shares;
+//! the 2-rank variant models the paper's ST row, where BT-MZ repartitions
+//! its zones over 2 processes (still imbalanced, about 1:2).
+
+use crate::loads;
+use mtb_mpisim::program::{Program, ProgramBuilder, TracePhase, WorkSpec};
+use mtb_oskernel::CtxAddr;
+
+/// Work of the heaviest rank (instructions) in the 4-rank configuration.
+pub const P4_TOTAL: u64 = 306_000_000_000;
+
+/// Per-rank work fractions of [`P4_TOTAL`] for 4 ranks, from Table V
+/// case A compute percentages.
+pub const WORK_FRACTIONS_4: [f64; 4] = [0.176, 0.289, 0.665, 1.0];
+
+/// Per-rank work (instructions) for the 2-rank (ST-mode) partition, from
+/// Table V's ST row.
+pub const WORK_2: [u64; 2] = [257_000_000_000, 517_000_000_000];
+
+/// Boundary-exchange payload per neighbour per iteration (bytes). Small:
+/// the paper reports communication at ~0.1% of execution time.
+pub const EXCHANGE_BYTES: u64 = 64 << 10;
+
+/// Within-rank zone size proportions: BT-MZ class A has 16 zones of very
+/// different sizes; each rank's contiguous block of 4 is itself uneven.
+pub const ZONE_SPLIT: [f64; 4] = [0.13, 0.20, 0.28, 0.39];
+
+/// The 16 zone sizes (instructions, paper scale): contiguous groups of 4
+/// reproduce the published per-rank compute shares
+/// ([`WORK_FRACTIONS_4`]). Zone `4r + k` belongs to rank `r` in the
+/// default (contiguous) partition.
+pub fn zone_sizes() -> Vec<u64> {
+    let mut zones = Vec::with_capacity(16);
+    for frac in WORK_FRACTIONS_4 {
+        let group = P4_TOTAL as f64 * frac;
+        for split in ZONE_SPLIT {
+            zones.push((group * split) as u64);
+        }
+    }
+    zones
+}
+
+/// The contiguous zone partition BT-MZ uses by default: rank `r` owns
+/// zones `4r..4r+4`. This is the imbalanced reference.
+pub fn contiguous_partition(n_ranks: usize) -> Vec<Vec<usize>> {
+    let zones = zone_sizes().len();
+    let per = zones / n_ranks;
+    (0..n_ranks).map(|r| (r * per..(r + 1) * per).collect()).collect()
+}
+
+/// BT-MZ generator configuration.
+#[derive(Debug, Clone)]
+pub struct BtMzConfig {
+    /// 4 (SMT experiments) or 2 (the ST row).
+    pub ranks: usize,
+    /// Iterations (the paper runs class A for 200).
+    pub iterations: u32,
+    /// Work multiplier (1.0 = paper scale).
+    pub scale: f64,
+    /// Stream seed.
+    pub seed: u64,
+    /// Optional zone partition overriding the default contiguous one:
+    /// `partition[rank]` lists the zone indices the rank owns (see
+    /// [`zone_sizes`]). Used by the data-redistribution baseline.
+    pub partition: Option<Vec<Vec<usize>>>,
+    /// Boundary-exchange payload per neighbour per iteration.
+    pub exchange_bytes: u64,
+}
+
+impl Default for BtMzConfig {
+    fn default() -> Self {
+        BtMzConfig {
+            ranks: 4,
+            iterations: 200,
+            scale: 1.0,
+            seed: 0x4254_4d5a, // "BTMZ"
+            partition: None,
+            exchange_bytes: EXCHANGE_BYTES,
+        }
+    }
+}
+
+impl BtMzConfig {
+    /// A cheap configuration for unit tests.
+    pub fn tiny() -> BtMzConfig {
+        BtMzConfig { iterations: 10, scale: 1e-3, ..Default::default() }
+    }
+
+    /// The 2-rank partition used for the ST-mode comparison row.
+    pub fn st_mode() -> BtMzConfig {
+        BtMzConfig { ranks: 2, ..Default::default() }
+    }
+
+    /// Total instructions assigned to `rank` (from the zone partition if
+    /// one was set, else the published per-rank shares).
+    pub fn work_of(&self, rank: usize) -> u64 {
+        if let Some(part) = &self.partition {
+            let zones = zone_sizes();
+            let total: u64 = part[rank].iter().map(|&z| zones[z]).sum();
+            return (total as f64 * self.scale) as u64;
+        }
+        let total = match self.ranks {
+            2 => WORK_2[rank] as f64,
+            _ => P4_TOTAL as f64 * WORK_FRACTIONS_4[rank],
+        };
+        (total * self.scale) as u64
+    }
+
+    /// Use an explicit zone partition (e.g. an LPT-rebalanced one).
+    pub fn with_partition(mut self, partition: Vec<Vec<usize>>) -> BtMzConfig {
+        assert_eq!(partition.len(), self.ranks, "partition must cover every rank");
+        self.partition = Some(partition);
+        self
+    }
+
+    /// Ring neighbours of `rank`.
+    pub fn neighbours(&self, rank: usize) -> Vec<usize> {
+        if self.ranks < 2 {
+            return vec![];
+        }
+        let left = (rank + self.ranks - 1) % self.ranks;
+        let right = (rank + 1) % self.ranks;
+        if left == right {
+            vec![right]
+        } else {
+            vec![left, right]
+        }
+    }
+
+    /// Build the rank programs: init barrier, then
+    /// `iterations x { compute; exchange; waitall }`, then a final
+    /// barrier.
+    pub fn programs(&self) -> Vec<Program> {
+        (0..self.ranks)
+            .map(|rank| {
+                let per_iter = self.work_of(rank) / u64::from(self.iterations.max(1));
+                let load = loads::btmz_load(self.seed.wrapping_add(rank as u64));
+                let neighbours = self.neighbours(rank);
+                let mut b = ProgramBuilder::new()
+                    .phase(TracePhase::Init)
+                    // Small initialization compute, then the start barrier
+                    // visible in Figure 3.
+                    .compute(WorkSpec::new(load.clone(), per_iter / 10))
+                    .barrier()
+                    .phase(TracePhase::Body);
+                let load2 = load.clone();
+                let nb = neighbours.clone();
+                let xbytes = self.exchange_bytes;
+                b = b.repeat(self.iterations, move |mut it| {
+                    it = it.compute(WorkSpec::new(load2.clone(), per_iter));
+                    for &n in &nb {
+                        it = it.isend(n, 0, xbytes).irecv(n, 0);
+                    }
+                    it.waitall()
+                });
+                b.barrier().build().named(format!("P{}", rank + 1))
+            })
+            .collect()
+    }
+
+    /// The reference placement (case A): rank i on cpu i.
+    pub fn placement_reference(&self) -> Vec<CtxAddr> {
+        (0..self.ranks).map(CtxAddr::from_cpu).collect()
+    }
+
+    /// The paper's balanced placement (cases B-D): P1+P4 on core 1,
+    /// P2+P3 on core 2 — pair the heaviest rank with the lightest.
+    pub fn placement_paired(&self) -> Vec<CtxAddr> {
+        assert_eq!(self.ranks, 4, "paired placement is for the 4-rank runs");
+        vec![
+            CtxAddr::from_cpu(0), // P1 -> core 0
+            CtxAddr::from_cpu(2), // P2 -> core 1
+            CtxAddr::from_cpu(3), // P3 -> core 1
+            CtxAddr::from_cpu(1), // P4 -> core 0 (with P1)
+        ]
+    }
+
+    /// ST-mode placement: one rank per core, sibling contexts off.
+    pub fn placement_st(&self) -> Vec<CtxAddr> {
+        assert_eq!(self.ranks, 2);
+        vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_distribution_matches_table5_shape() {
+        let cfg = BtMzConfig::default();
+        let w: Vec<u64> = (0..4).map(|r| cfg.work_of(r)).collect();
+        assert!(w[0] < w[1] && w[1] < w[2] && w[2] < w[3]);
+        let ratio = w[3] as f64 / w[0] as f64;
+        assert!((5.0..6.5).contains(&ratio), "P4/P1 work ratio {ratio}");
+    }
+
+    #[test]
+    fn st_partition_is_one_to_two() {
+        let cfg = BtMzConfig::st_mode();
+        let ratio = cfg.work_of(1) as f64 / cfg.work_of(0) as f64;
+        assert!((1.8..2.3).contains(&ratio), "ST imbalance {ratio}");
+    }
+
+    #[test]
+    fn neighbours_form_a_ring() {
+        let cfg = BtMzConfig::default();
+        assert_eq!(cfg.neighbours(0), vec![3, 1]);
+        assert_eq!(cfg.neighbours(2), vec![1, 3]);
+        let two = BtMzConfig::st_mode();
+        assert_eq!(two.neighbours(0), vec![1], "2-rank ring has one neighbour");
+    }
+
+    #[test]
+    fn programs_are_neighbour_synchronized_not_global() {
+        let cfg = BtMzConfig::tiny();
+        let progs = cfg.programs();
+        for (r, p) in progs.iter().enumerate() {
+            let ops = mtb_mpisim::interp::flatten(p, r);
+            // Exactly two global collectives: init + final barrier.
+            assert_eq!(mtb_mpisim::interp::count_sync_epochs(&ops), 2);
+            // And waitalls per iteration.
+            let waitalls = ops
+                .iter()
+                .filter(|o| matches!(o, mtb_mpisim::interp::FlatOp::WaitAll))
+                .count();
+            assert_eq!(waitalls, 10);
+        }
+    }
+
+    #[test]
+    fn paired_placement_puts_p1_with_p4() {
+        let cfg = BtMzConfig::default();
+        let pl = cfg.placement_paired();
+        assert_eq!(pl[0].core, pl[3].core, "P1 and P4 share a core");
+        assert_eq!(pl[1].core, pl[2].core, "P2 and P3 share a core");
+        assert_ne!(pl[0].core, pl[1].core);
+    }
+
+    #[test]
+    fn st_placement_uses_one_context_per_core() {
+        let cfg = BtMzConfig::st_mode();
+        let pl = cfg.placement_st();
+        assert_ne!(pl[0].core, pl[1].core);
+    }
+
+    #[test]
+    fn zones_sum_to_the_published_shares() {
+        let zones = zone_sizes();
+        assert_eq!(zones.len(), 16);
+        let cfg = BtMzConfig::default();
+        for r in 0..4 {
+            let group: u64 = zones[4 * r..4 * r + 4].iter().sum();
+            let published = cfg.work_of(r);
+            let rel = (group as f64 - published as f64).abs() / published as f64;
+            assert!(rel < 0.001, "rank {r}: zone sum {group} vs {published}");
+        }
+    }
+
+    #[test]
+    fn contiguous_partition_matches_work_of() {
+        let cfg = BtMzConfig::default().with_partition(contiguous_partition(4));
+        let plain = BtMzConfig::default();
+        for r in 0..4 {
+            let rel =
+                (cfg.work_of(r) as f64 - plain.work_of(r) as f64).abs() / plain.work_of(r) as f64;
+            assert!(rel < 0.001, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn custom_partition_changes_work() {
+        // Give rank 0 every zone.
+        let all: Vec<usize> = (0..16).collect();
+        let part = vec![all, vec![], vec![], vec![]];
+        let cfg = BtMzConfig::default().with_partition(part);
+        assert_eq!(cfg.work_of(1), 0);
+        let total: u64 = zone_sizes().iter().sum();
+        let rel = (cfg.work_of(0) as f64 - total as f64).abs() / total as f64;
+        assert!(rel < 1e-9);
+    }
+}

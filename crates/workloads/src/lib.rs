@@ -1,0 +1,36 @@
+//! # mtb-workloads — the paper's three applications, modelled
+//!
+//! Section VII evaluates the proposal on three MPI applications, which we
+//! reproduce as simulated workloads:
+//!
+//! * [`metbench`] — MetBench, BSC's Minimum Execution Time Benchmark: a
+//!   master/worker framework with per-worker loads and artificial
+//!   imbalance (Table IV / Figure 2).
+//! * [`btmz`] — a NAS BT Multi-Zone class-A-like iterative solver whose
+//!   zones have very uneven sizes; per-iteration neighbour exchange with
+//!   `isend/irecv/waitall` (Table V / Figure 3).
+//! * [`siesta`] — a SIESTA-like ab-initio materials code: init/iterate/
+//!   finalize phases with *per-iteration varying* rank loads, so the
+//!   bottleneck moves between ranks (Table VI / Figure 4).
+//! * [`spmz`] — SP-MZ and LU-MZ, the *balanced* multi-zone siblings
+//!   (equal zones): the control group where priorities have nothing to
+//!   gain.
+//! * [`synthetic`] — the 4-process synthetic example of Figure 1.
+//! * [`loads`] — the canonical workload profiles, calibrated so the three
+//!   applications respond to hardware priorities the way the paper
+//!   measured (see DESIGN.md §5): MetBench is decode-bandwidth-hungry,
+//!   BT-MZ extremely so, SIESTA is memory-bound and therefore only mildly
+//!   priority-sensitive.
+
+pub mod btmz;
+pub mod loads;
+pub mod metbench;
+pub mod mz;
+pub mod siesta;
+pub mod spmz;
+pub mod synthetic;
+
+pub use btmz::BtMzConfig;
+pub use metbench::MetBenchConfig;
+pub use siesta::SiestaConfig;
+pub use spmz::{MzKind, SpMzConfig};

@@ -1,0 +1,202 @@
+//! MetBench — the Minimum Execution Time Benchmark (Section VII-A).
+//!
+//! MetBench is BSC's micro-benchmark suite: a master keeps a set of
+//! workers in lockstep with an `mpi_barrier` per iteration; each worker
+//! executes its assigned load. Imbalance is introduced by giving one
+//! worker per core a larger load than its core-mate. In the paper's
+//! Table IV configuration, processes P1 and P3 carry the small load and
+//! P2 and P4 the large one (about 4x), with P1+P2 on core 1 and P3+P4 on
+//! core 2.
+//!
+//! The instruction totals below are calibrated so the reference case (all
+//! priorities MEDIUM) executes in ≈81.6 nominal seconds, like the paper's
+//! Case A, with the light ranks busy ≈24% of the time.
+
+use crate::loads;
+use mtb_mpisim::program::{Program, ProgramBuilder, TracePhase, WorkSpec};
+use mtb_oskernel::CtxAddr;
+
+/// Total instructions of the heavy ranks in the reference configuration.
+pub const HEAVY_TOTAL: u64 = 304_000_000_000;
+
+/// Heavy-to-light work ratio (Table IV case A: light ranks compute ~24.3%
+/// of the time while heavy ranks are ~99% busy).
+pub const HEAVY_OVER_LIGHT: f64 = 4.07;
+
+/// MetBench generator configuration.
+#[derive(Debug, Clone)]
+pub struct MetBenchConfig {
+    /// Number of ranks (the paper uses 4 workers across 2 cores).
+    pub ranks: usize,
+    /// Barrier-separated iterations.
+    pub iterations: u32,
+    /// Which ranks carry the heavy load (paper: P2 and P4 = ranks 1, 3).
+    pub heavy_ranks: Vec<usize>,
+    /// Work multiplier (1.0 = paper scale; tests use small values).
+    pub scale: f64,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl Default for MetBenchConfig {
+    fn default() -> Self {
+        MetBenchConfig {
+            ranks: 4,
+            iterations: 100,
+            heavy_ranks: vec![1, 3],
+            scale: 1.0,
+            seed: 0x4d45_5442, // "METB"
+        }
+    }
+}
+
+impl MetBenchConfig {
+    /// A cheap configuration for unit tests (~10⁻³ of paper scale).
+    pub fn tiny() -> MetBenchConfig {
+        MetBenchConfig { iterations: 10, scale: 1e-3, ..Default::default() }
+    }
+
+    /// Per-iteration instructions for `rank`.
+    pub fn work_of(&self, rank: usize) -> u64 {
+        let total = if self.heavy_ranks.contains(&rank) {
+            HEAVY_TOTAL as f64
+        } else {
+            HEAVY_TOTAL as f64 / HEAVY_OVER_LIGHT
+        };
+        (total * self.scale / f64::from(self.iterations.max(1))) as u64
+    }
+
+    /// Build the rank programs.
+    pub fn programs(&self) -> Vec<Program> {
+        (0..self.ranks)
+            .map(|rank| {
+                let per_iter = self.work_of(rank);
+                let load = loads::metbench_load(self.seed.wrapping_add(rank as u64));
+                ProgramBuilder::new()
+                    .phase(TracePhase::Body)
+                    .repeat(self.iterations, |b| {
+                        b.compute(WorkSpec::new(load.clone(), per_iter)).barrier()
+                    })
+                    .build()
+                    .named(format!("P{}", rank + 1))
+            })
+            .collect()
+    }
+
+    /// The paper's placement: P1+P2 on core 1, P3+P4 on core 2
+    /// (rank i on cpu i).
+    pub fn placement(&self) -> Vec<CtxAddr> {
+        (0..self.ranks).map(CtxAddr::from_cpu).collect()
+    }
+
+    /// The paper's literal master/worker structure (Section VII-A and
+    /// Figure 2): rank 0 is the master; each iteration it broadcasts the
+    /// go-signal, the workers execute their loads, everyone's results are
+    /// reduced back to the master, and the master runs the statistical
+    /// post-processing — the short black bars at the end of every
+    /// computation phase in Figure 2.
+    ///
+    /// The master also carries the light load (the paper's P1 computes
+    /// ~24% of the time), so the rank work distribution matches
+    /// [`MetBenchConfig::programs`]; only the synchronization protocol
+    /// differs (rooted collectives instead of a bare barrier).
+    pub fn master_worker_programs(&self) -> Vec<Program> {
+        let stats_work = self.work_of(0) / 20; // the master's bookkeeping
+        (0..self.ranks)
+            .map(|rank| {
+                let per_iter = self.work_of(rank);
+                let load = loads::metbench_load(self.seed.wrapping_add(rank as u64));
+                let mut b = ProgramBuilder::new().phase(TracePhase::Body);
+                let load2 = load.clone();
+                b = b.repeat(self.iterations, move |mut it| {
+                    // Master broadcasts the iteration's parameters.
+                    it = it.bcast(0, 256);
+                    // Everyone (master included) runs its load.
+                    it = it.compute(WorkSpec::new(load2.clone(), per_iter));
+                    // Results flow back to the master...
+                    it = it.reduce(0, 1024);
+                    if rank == 0 {
+                        // ...which post-processes them.
+                        it = it.compute(WorkSpec::new(load2.clone(), stats_work));
+                    }
+                    it
+                });
+                b.build().named(format!("P{}", rank + 1))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_ranks_get_heavier_work() {
+        let cfg = MetBenchConfig::default();
+        assert!(cfg.work_of(1) > cfg.work_of(0));
+        assert!(cfg.work_of(3) > cfg.work_of(2));
+        let ratio = cfg.work_of(1) as f64 / cfg.work_of(0) as f64;
+        assert!((ratio - HEAVY_OVER_LIGHT).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn total_work_matches_scale() {
+        let cfg = MetBenchConfig::default();
+        let per_iter = cfg.work_of(1);
+        assert_eq!(per_iter * u64::from(cfg.iterations), 304_000_000_000);
+        let half = MetBenchConfig { scale: 0.5, ..Default::default() };
+        assert_eq!(half.work_of(1) * 100, 152_000_000_000);
+    }
+
+    #[test]
+    fn programs_have_barrier_per_iteration() {
+        let cfg = MetBenchConfig::tiny();
+        let progs = cfg.programs();
+        assert_eq!(progs.len(), 4);
+        for p in &progs {
+            let ops = mtb_mpisim::interp::flatten(p, 0);
+            let barriers = mtb_mpisim::interp::count_sync_epochs(&ops);
+            assert_eq!(barriers, 10);
+        }
+        assert_eq!(progs[0].name.as_deref(), Some("P1"));
+    }
+
+    #[test]
+    fn master_worker_structure_uses_rooted_collectives() {
+        let cfg = MetBenchConfig::tiny();
+        let progs = cfg.master_worker_programs();
+        assert_eq!(progs.len(), 4);
+        for (r, p) in progs.iter().enumerate() {
+            let ops = mtb_mpisim::interp::flatten(p, r);
+            // bcast + reduce per iteration = 2 epochs each.
+            assert_eq!(
+                mtb_mpisim::interp::count_sync_epochs(&ops),
+                2 * cfg.iterations as usize,
+                "rank {r}"
+            );
+        }
+        // Only the master has the statistics compute: it has one extra
+        // compute op per iteration.
+        let count_computes = |r: usize| {
+            mtb_mpisim::interp::flatten(&progs[r], r)
+                .iter()
+                .filter(|o| matches!(o, mtb_mpisim::interp::FlatOp::Compute(_)))
+                .count()
+        };
+        assert_eq!(count_computes(0), 2 * cfg.iterations as usize);
+        assert_eq!(count_computes(1), cfg.iterations as usize);
+    }
+
+    #[test]
+    fn placement_is_rank_to_cpu_identity() {
+        let cfg = MetBenchConfig::default();
+        let pl = cfg.placement();
+        assert_eq!(pl[0].cpu(), 0);
+        assert_eq!(pl[3].cpu(), 3);
+        // P1+P2 share core 0, P3+P4 share core 1.
+        assert_eq!(pl[0].core, pl[1].core);
+        assert_eq!(pl[2].core, pl[3].core);
+        assert_ne!(pl[0].core, pl[2].core);
+    }
+}

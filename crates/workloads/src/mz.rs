@@ -1,0 +1,89 @@
+//! Shared skeleton of the NAS multi-zone benchmarks.
+//!
+//! BT-MZ, SP-MZ and LU-MZ (Jin & van der Wijngaart, the paper's reference 18)
+//! share one structure: per iteration, each rank solves its zones, then
+//! exchanges boundary data with its ring neighbours via
+//! `isend`/`irecv`/`waitall`. They differ in their zone-size
+//! distributions — BT-MZ's zones grow geometrically (badly imbalanced),
+//! SP-MZ's and LU-MZ's are equal (balanced) — which is exactly what makes
+//! them the treatment and control groups for priority balancing.
+
+use mtb_mpisim::program::{Program, ProgramBuilder, TracePhase, WorkSpec};
+use mtb_smtsim::model::Workload;
+
+/// Build the rank programs of a multi-zone benchmark: init compute +
+/// barrier, `iterations` x (compute, ring exchange, waitall), final
+/// barrier.
+pub fn ring_programs(
+    works: &[u64],
+    iterations: u32,
+    load_for: impl Fn(usize) -> Workload,
+    exchange_bytes: u64,
+) -> Vec<Program> {
+    let n = works.len();
+    (0..n)
+        .map(|rank| {
+            let per_iter = works[rank] / u64::from(iterations.max(1));
+            let load = load_for(rank);
+            let neighbours = ring_neighbours(rank, n);
+            let mut b = ProgramBuilder::new()
+                .phase(TracePhase::Init)
+                .compute(WorkSpec::new(load.clone(), per_iter / 10))
+                .barrier()
+                .phase(TracePhase::Body);
+            let load2 = load.clone();
+            b = b.repeat(iterations, move |mut it| {
+                it = it.compute(WorkSpec::new(load2.clone(), per_iter));
+                for &nb in &neighbours {
+                    it = it.isend(nb, 0, exchange_bytes).irecv(nb, 0);
+                }
+                it.waitall()
+            });
+            b.barrier().build().named(format!("P{}", rank + 1))
+        })
+        .collect()
+}
+
+/// Ring neighbours of `rank` among `n` ranks.
+pub fn ring_neighbours(rank: usize, n: usize) -> Vec<usize> {
+    if n < 2 {
+        return vec![];
+    }
+    let left = (rank + n - 1) % n;
+    let right = (rank + 1) % n;
+    if left == right {
+        vec![right]
+    } else {
+        vec![left, right]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loads;
+
+    #[test]
+    fn ring_neighbours_wrap() {
+        assert_eq!(ring_neighbours(0, 4), vec![3, 1]);
+        assert_eq!(ring_neighbours(3, 4), vec![2, 0]);
+        assert_eq!(ring_neighbours(0, 2), vec![1]);
+        assert!(ring_neighbours(0, 1).is_empty());
+    }
+
+    #[test]
+    fn programs_share_the_mz_shape() {
+        let works = [100_000u64, 200_000, 300_000, 400_000];
+        let progs = ring_programs(&works, 5, |r| loads::btmz_load(r as u64), 1024);
+        assert_eq!(progs.len(), 4);
+        for (r, p) in progs.iter().enumerate() {
+            let ops = mtb_mpisim::interp::flatten(p, r);
+            assert_eq!(mtb_mpisim::interp::count_sync_epochs(&ops), 2);
+            let waitalls = ops
+                .iter()
+                .filter(|o| matches!(o, mtb_mpisim::interp::FlatOp::WaitAll))
+                .count();
+            assert_eq!(waitalls, 5);
+        }
+    }
+}

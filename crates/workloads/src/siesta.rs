@@ -1,0 +1,265 @@
+//! SIESTA — ab-initio order-N materials simulation (Section VII-C).
+//!
+//! SIESTA is the paper's "real application": a self-consistent density
+//! functional code whose imbalance comes from both the algorithm and the
+//! input set. Its defining property for the balancing study is that the
+//! behaviour is **not constant across iterations** — "the process that
+//! computes the most is not the same across all the iterations" — which is
+//! why the paper's static priorities help less than on BT-MZ (8.1% best
+//! case) and motivate the dynamic policy of Section VIII.
+//!
+//! The model: an initialization phase (~12% of runtime), a body of
+//! iterations whose per-rank load is the mean Table VI share modulated by
+//! a deterministic pseudo-random per-iteration factor, and a finalization
+//! phase (~13%). Each iteration exchanges data with a rotating subset of
+//! peers and ends at a global synchronization point.
+
+use crate::loads;
+use mtb_mpisim::program::{LoopCtx, Program, ProgramBuilder, TracePhase, WorkSpec};
+use mtb_oskernel::CtxAddr;
+use mtb_smtsim::rng::SplitMix64;
+
+/// Total instructions of the heaviest rank (P4) at paper scale.
+pub const P4_TOTAL: u64 = 1_560_000_000_000;
+
+/// Mean per-rank work fractions of [`P4_TOTAL`], from Table VI case A
+/// compute percentages.
+pub const MEAN_FRACTIONS: [f64; 4] = [0.8125, 0.805, 0.878, 1.0];
+
+/// 2-rank (ST row) per-rank totals, from Table VI's ST row shape.
+pub const WORK_2: [u64; 2] = [2_430_000_000_000, 2_780_000_000_000];
+
+/// Share of a rank's work done in the initialization phase.
+pub const INIT_SHARE: f64 = 0.12;
+/// Share done in the finalization phase.
+pub const FINAL_SHARE: f64 = 0.13;
+
+/// Exchange payload per peer per iteration.
+pub const EXCHANGE_BYTES: u64 = 256 << 10;
+
+/// SIESTA generator configuration.
+#[derive(Debug, Clone)]
+pub struct SiestaConfig {
+    /// Ranks (4, or 2 for the ST row).
+    pub ranks: usize,
+    /// Body iterations.
+    pub iterations: u32,
+    /// Relative amplitude of the per-iteration load variation (0.25 makes
+    /// the bottleneck move between ranks like the paper describes).
+    pub variation: f64,
+    /// Work multiplier (1.0 = paper scale).
+    pub scale: f64,
+    /// Seed for the load variation and streams.
+    pub seed: u64,
+}
+
+impl Default for SiestaConfig {
+    fn default() -> Self {
+        SiestaConfig {
+            ranks: 4,
+            iterations: 40,
+            variation: 0.25,
+            scale: 1.0,
+            seed: 0x5349_4553, // "SIES"
+        }
+    }
+}
+
+impl SiestaConfig {
+    /// A cheap configuration for unit tests.
+    pub fn tiny() -> SiestaConfig {
+        SiestaConfig { iterations: 6, scale: 1e-4, ..Default::default() }
+    }
+
+    /// The 2-rank partition of the ST row.
+    pub fn st_mode() -> SiestaConfig {
+        SiestaConfig { ranks: 2, ..Default::default() }
+    }
+
+    /// Mean total instructions of `rank`.
+    pub fn mean_work_of(&self, rank: usize) -> u64 {
+        let total = match self.ranks {
+            2 => WORK_2[rank] as f64,
+            _ => P4_TOTAL as f64 * MEAN_FRACTIONS[rank],
+        };
+        (total * self.scale) as u64
+    }
+
+    /// Per-iteration load multiplier for (rank, iteration): deterministic,
+    /// mean ≈ 1, in `[1-variation, 1+variation]`.
+    pub fn iter_factor(&self, rank: usize, iteration: u32) -> f64 {
+        let mut rng = SplitMix64::new(
+            self.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ u64::from(iteration).wrapping_mul(0xD1B5_4A32_D192_ED03),
+        );
+        1.0 + self.variation * (2.0 * rng.unit_f64() - 1.0)
+    }
+
+    /// The exchange partner `rank` *sends to* at `iteration`: a rotating
+    /// shift permutation, so every send has a matching receive and the
+    /// peer subset changes every iteration (the paper: "each process
+    /// exchanges data only with a subset of the other processes").
+    pub fn send_peer(&self, rank: usize, iteration: u32) -> Option<usize> {
+        if self.ranks < 2 {
+            return None;
+        }
+        let s = 1 + (iteration as usize % (self.ranks - 1));
+        Some((rank + s) % self.ranks)
+    }
+
+    /// The partner `rank` *receives from* at `iteration` (the rank whose
+    /// [`SiestaConfig::send_peer`] is `rank`).
+    pub fn recv_peer(&self, rank: usize, iteration: u32) -> Option<usize> {
+        if self.ranks < 2 {
+            return None;
+        }
+        let s = 1 + (iteration as usize % (self.ranks - 1));
+        Some((rank + self.ranks - s) % self.ranks)
+    }
+
+    /// Build the rank programs. Iterations are emitted unrolled because
+    /// the exchange partners rotate per iteration; the per-iteration load
+    /// uses [`Stmt::DynCompute`] semantics via [`SiestaConfig::iter_factor`].
+    ///
+    /// [`Stmt::DynCompute`]: mtb_mpisim::program::Stmt::DynCompute
+    pub fn programs(&self) -> Vec<Program> {
+        (0..self.ranks)
+            .map(|rank| {
+                let mean = self.mean_work_of(rank) as f64;
+                let init_w = (mean * INIT_SHARE) as u64;
+                let final_w = (mean * FINAL_SHARE) as u64;
+                let body_total = mean * (1.0 - INIT_SHARE - FINAL_SHARE);
+                let per_iter_mean = body_total / f64::from(self.iterations.max(1));
+                let load = loads::siesta_load(self.seed.wrapping_add(rank as u64));
+                let cfg = self.clone();
+                let load_body = load.clone();
+
+                let mut b = ProgramBuilder::new()
+                    .phase(TracePhase::Init)
+                    .compute(WorkSpec::new(load.clone(), init_w))
+                    .barrier()
+                    .phase(TracePhase::Body);
+                for i in 0..self.iterations {
+                    let cfg2 = cfg.clone();
+                    let load2 = load_body.clone();
+                    b = b.dyn_compute(move |ctx: &LoopCtx| {
+                        // Unrolled: the closure captures its iteration.
+                        let f = cfg2.iter_factor(ctx.rank, i);
+                        WorkSpec::new(load2.clone(), (per_iter_mean * f) as u64)
+                    });
+                    if let (Some(to), Some(from)) =
+                        (self.send_peer(rank, i), self.recv_peer(rank, i))
+                    {
+                        b = b.isend(to, i, EXCHANGE_BYTES).irecv(from, i).waitall();
+                    }
+                    b = b.barrier();
+                }
+                b.phase(TracePhase::Final)
+                    .compute(WorkSpec::new(load, final_w))
+                    .build()
+                    .named(format!("P{}", rank + 1))
+            })
+            .collect()
+    }
+
+    /// Reference placement (case A): rank i on cpu i (P1+P2 core 1,
+    /// P3+P4 core 2).
+    pub fn placement_reference(&self) -> Vec<CtxAddr> {
+        (0..self.ranks).map(CtxAddr::from_cpu).collect()
+    }
+
+    /// The paper's cases B-D placement: P2+P3 on core 1, P1+P4 on
+    /// core 2 (pair ranks with similar load, and the lightest with the
+    /// heaviest).
+    pub fn placement_paired(&self) -> Vec<CtxAddr> {
+        assert_eq!(self.ranks, 4, "paired placement is for 4-rank runs");
+        vec![
+            CtxAddr::from_cpu(2), // P1 -> core 1
+            CtxAddr::from_cpu(0), // P2 -> core 0
+            CtxAddr::from_cpu(1), // P3 -> core 0 (with P2)
+            CtxAddr::from_cpu(3), // P4 -> core 1 (with P1)
+        ]
+    }
+
+    /// ST-mode placement: one rank per core.
+    pub fn placement_st(&self) -> Vec<CtxAddr> {
+        assert_eq!(self.ranks, 2);
+        vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_work_follows_table6_shape() {
+        let cfg = SiestaConfig::default();
+        let w: Vec<u64> = (0..4).map(|r| cfg.mean_work_of(r)).collect();
+        assert!(w[3] > w[2] && w[2] > w[0]);
+        let spread = w[3] as f64 / w[1] as f64;
+        assert!((1.15..1.35).contains(&spread), "P4/P2 mean ratio {spread}");
+    }
+
+    #[test]
+    fn iter_factors_vary_and_are_deterministic() {
+        let cfg = SiestaConfig::default();
+        assert_eq!(cfg.iter_factor(2, 7), cfg.iter_factor(2, 7));
+        let factors: Vec<f64> = (0..20).map(|i| cfg.iter_factor(0, i)).collect();
+        let min = factors.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = factors.iter().cloned().fold(0.0, f64::max);
+        assert!(max - min > 0.2, "variation must be visible: {min}..{max}");
+        for f in factors {
+            assert!((1.0 - cfg.variation..=1.0 + cfg.variation).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bottleneck_moves_between_iterations() {
+        // The paper's key SIESTA property: the most-loaded rank changes
+        // from iteration to iteration.
+        let cfg = SiestaConfig::default();
+        let bottleneck_of = |i: u32| {
+            (0..4)
+                .map(|r| (r, MEAN_FRACTIONS[r] * cfg.iter_factor(r, i)))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+                .unwrap()
+                .0
+        };
+        let bottlenecks: std::collections::HashSet<usize> =
+            (0..40).map(bottleneck_of).collect();
+        assert!(bottlenecks.len() >= 2, "bottleneck must rotate: {bottlenecks:?}");
+    }
+
+    #[test]
+    fn programs_have_init_body_final_structure() {
+        let cfg = SiestaConfig::tiny();
+        let progs = cfg.programs();
+        assert_eq!(progs.len(), 4);
+        let ops = mtb_mpisim::interp::flatten(&progs[0], 0);
+        // 1 init barrier + 6 body barriers.
+        assert_eq!(mtb_mpisim::interp::count_sync_epochs(&ops), 7);
+    }
+
+    #[test]
+    fn paired_placement_matches_paper_cases() {
+        let cfg = SiestaConfig::default();
+        let pl = cfg.placement_paired();
+        assert_eq!(pl[1].core, pl[2].core, "P2 and P3 together");
+        assert_eq!(pl[0].core, pl[3].core, "P1 and P4 together");
+    }
+
+    #[test]
+    fn peers_rotate_and_match() {
+        let cfg = SiestaConfig::default();
+        let p0: Vec<usize> = (0..3).filter_map(|i| cfg.send_peer(0, i)).collect();
+        assert_eq!(p0, vec![1, 2, 3], "peer rotates over the other ranks");
+        // Matching invariant: if r sends to p, then p receives from r.
+        for i in 0..10 {
+            for r in 0..4 {
+                let p = cfg.send_peer(r, i).unwrap();
+                assert_eq!(cfg.recv_peer(p, i), Some(r), "iter {i}, rank {r}");
+            }
+        }
+    }
+}

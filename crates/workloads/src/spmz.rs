@@ -1,0 +1,138 @@
+//! SP-MZ and LU-MZ — the balanced multi-zone benchmarks.
+//!
+//! Unlike BT-MZ, the Scalar-Pentadiagonal and Lower-Upper multi-zone
+//! benchmarks partition their mesh into *equal-size* zones (Jin & van der
+//! Wijngaart), so their per-rank work is balanced by construction. They
+//! are the control group for the paper's method: with nothing to
+//! rebalance, priorities should gain nothing — and a correct dynamic
+//! policy should leave them alone (EXT-8).
+
+use crate::loads;
+use crate::mz::ring_programs;
+use mtb_mpisim::program::Program;
+use mtb_oskernel::CtxAddr;
+use mtb_smtsim::model::Workload;
+
+/// Which balanced multi-zone benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MzKind {
+    /// Scalar-Pentadiagonal multi-zone: many small equal zones, frequent
+    /// exchanges.
+    SpMz,
+    /// Lower-Upper multi-zone: fewer, bigger iterations (the LU solver's
+    /// pipelined sweeps amortize synchronization).
+    LuMz,
+}
+
+/// Total per-rank work at paper-comparable scale (instructions). Chosen
+/// so a 4-rank run lands in the same tens-of-seconds band as BT-MZ
+/// class A.
+pub const WORK_PER_RANK: u64 = 130_000_000_000;
+
+/// Generator for the balanced multi-zone benchmarks.
+#[derive(Debug, Clone)]
+pub struct SpMzConfig {
+    /// Which benchmark.
+    pub kind: MzKind,
+    /// Rank count.
+    pub ranks: usize,
+    /// Iterations (SP-MZ uses many short ones, LU-MZ fewer long ones).
+    pub iterations: u32,
+    /// Work multiplier.
+    pub scale: f64,
+    /// Stream seed.
+    pub seed: u64,
+    /// Boundary-exchange payload per neighbour per iteration.
+    pub exchange_bytes: u64,
+}
+
+impl SpMzConfig {
+    /// SP-MZ defaults: 400 short iterations.
+    pub fn sp() -> SpMzConfig {
+        SpMzConfig {
+            kind: MzKind::SpMz,
+            ranks: 4,
+            iterations: 400,
+            scale: 1.0,
+            seed: 0x5350_4d5a, // "SPMZ"
+            exchange_bytes: 32 << 10,
+        }
+    }
+
+    /// LU-MZ defaults: 75 long iterations.
+    pub fn lu() -> SpMzConfig {
+        SpMzConfig {
+            kind: MzKind::LuMz,
+            ranks: 4,
+            iterations: 75,
+            scale: 1.0,
+            seed: 0x4c55_4d5a, // "LUMZ"
+            exchange_bytes: 128 << 10,
+        }
+    }
+
+    /// A cheap configuration for unit tests.
+    pub fn tiny(kind: MzKind) -> SpMzConfig {
+        let mut cfg = match kind {
+            MzKind::SpMz => SpMzConfig::sp(),
+            MzKind::LuMz => SpMzConfig::lu(),
+        };
+        cfg.iterations = 8;
+        cfg.scale = 1e-3;
+        cfg
+    }
+
+    /// Per-rank total work — equal by construction.
+    pub fn work_of(&self, _rank: usize) -> u64 {
+        (WORK_PER_RANK as f64 * self.scale) as u64
+    }
+
+    /// The per-rank workload (both benchmarks are dense solvers; LU's
+    /// sweeps are slightly more memory-bound).
+    pub fn load(&self, rank: usize) -> Workload {
+        match self.kind {
+            MzKind::SpMz => loads::btmz_load(self.seed.wrapping_add(rank as u64)),
+            MzKind::LuMz => loads::metbench_load(self.seed.wrapping_add(rank as u64)),
+        }
+    }
+
+    /// Build the rank programs.
+    pub fn programs(&self) -> Vec<Program> {
+        let works: Vec<u64> = (0..self.ranks).map(|r| self.work_of(r)).collect();
+        ring_programs(&works, self.iterations, |r| self.load(r), self.exchange_bytes)
+    }
+
+    /// Identity placement.
+    pub fn placement(&self) -> Vec<CtxAddr> {
+        (0..self.ranks).map(CtxAddr::from_cpu).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zones_are_equal() {
+        let cfg = SpMzConfig::sp();
+        assert_eq!(cfg.work_of(0), cfg.work_of(3));
+        let lu = SpMzConfig::lu();
+        assert_eq!(lu.work_of(1), lu.work_of(2));
+    }
+
+    #[test]
+    fn programs_build_for_both_kinds() {
+        for kind in [MzKind::SpMz, MzKind::LuMz] {
+            let cfg = SpMzConfig::tiny(kind);
+            let progs = cfg.programs();
+            assert_eq!(progs.len(), 4);
+            let ops = mtb_mpisim::interp::flatten(&progs[0], 0);
+            assert_eq!(mtb_mpisim::interp::count_sync_epochs(&ops), 2);
+        }
+    }
+
+    #[test]
+    fn sp_iterates_more_often_than_lu() {
+        assert!(SpMzConfig::sp().iterations > 4 * SpMzConfig::lu().iterations);
+    }
+}

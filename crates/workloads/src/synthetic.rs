@@ -1,0 +1,91 @@
+//! The synthetic example of Figure 1.
+//!
+//! Four processes on two cores; P1 computes much longer than the others,
+//! so P2-P4 idle at the synchronization point. Figure 1(b) shows the
+//! expected effect of giving P1 more hardware resources: P1 speeds up, its
+//! core-mate P2 slows down but stays off the critical path, and the whole
+//! application finishes earlier.
+
+use crate::loads;
+use mtb_mpisim::program::{Program, ProgramBuilder, TracePhase, WorkSpec};
+use mtb_oskernel::CtxAddr;
+
+/// Synthetic-imbalance generator.
+#[derive(Debug, Clone)]
+pub struct SyntheticConfig {
+    /// Work of the three balanced processes (instructions).
+    pub base_work: u64,
+    /// Multiplier for P1's work (Figure 1 draws roughly 3x).
+    pub skew: f64,
+    /// Barrier-separated repetitions.
+    pub iterations: u32,
+    /// Stream seed.
+    pub seed: u64,
+}
+
+impl Default for SyntheticConfig {
+    fn default() -> Self {
+        SyntheticConfig { base_work: 30_000_000_000, skew: 3.0, iterations: 4, seed: 0xF16 }
+    }
+}
+
+impl SyntheticConfig {
+    /// A cheap configuration for unit tests.
+    pub fn tiny() -> SyntheticConfig {
+        SyntheticConfig { base_work: 100_000, iterations: 2, ..Default::default() }
+    }
+
+    /// Instructions per iteration for `rank`.
+    pub fn work_of(&self, rank: usize) -> u64 {
+        let total = if rank == 0 {
+            self.base_work as f64 * self.skew
+        } else {
+            self.base_work as f64
+        };
+        (total / f64::from(self.iterations.max(1))) as u64
+    }
+
+    /// The four programs (P1 heavy, P2-P4 equal).
+    pub fn programs(&self) -> Vec<Program> {
+        (0..4)
+            .map(|rank| {
+                let per_iter = self.work_of(rank);
+                let load = loads::btmz_load(self.seed.wrapping_add(rank as u64));
+                ProgramBuilder::new()
+                    .phase(TracePhase::Body)
+                    .repeat(self.iterations, |b| {
+                        b.compute(WorkSpec::new(load.clone(), per_iter)).barrier()
+                    })
+                    .build()
+                    .named(format!("P{}", rank + 1))
+            })
+            .collect()
+    }
+
+    /// Figure 1 placement: P1+P2 share core 1, P3+P4 share core 2.
+    pub fn placement(&self) -> Vec<CtxAddr> {
+        (0..4).map(CtxAddr::from_cpu).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn p1_is_the_heavy_process() {
+        let cfg = SyntheticConfig::default();
+        assert!(cfg.work_of(0) > 2 * cfg.work_of(1));
+        assert_eq!(cfg.work_of(1), cfg.work_of(2));
+        assert_eq!(cfg.work_of(2), cfg.work_of(3));
+    }
+
+    #[test]
+    fn four_programs_with_barriers() {
+        let cfg = SyntheticConfig::tiny();
+        let progs = cfg.programs();
+        assert_eq!(progs.len(), 4);
+        let ops = mtb_mpisim::interp::flatten(&progs[0], 0);
+        assert_eq!(mtb_mpisim::interp::count_sync_epochs(&ops), 2);
+    }
+}

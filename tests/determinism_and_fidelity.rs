@@ -1,0 +1,98 @@
+//! Cross-crate determinism and model-fidelity integration tests.
+
+use mtbalance::balance::paper_cases::metbench_cases;
+use mtbalance::workloads::metbench::MetBenchConfig;
+use mtbalance::workloads::siesta::SiestaConfig;
+use mtbalance::{execute, StaticRun};
+
+#[test]
+fn full_runs_are_bit_deterministic() {
+    let run = || {
+        let cfg = SiestaConfig { iterations: 10, scale: 1e-2, ..Default::default() };
+        let progs = cfg.programs();
+        execute(StaticRun::new(&progs, cfg.placement_paired())).unwrap()
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.retired, b.retired);
+    assert_eq!(a.timelines, b.timelines);
+}
+
+#[test]
+fn different_seeds_change_the_details_not_the_shape() {
+    let exec_with_seed = |seed: u64| {
+        let cfg = SiestaConfig { iterations: 10, scale: 1e-2, seed, ..Default::default() };
+        let progs = cfg.programs();
+        execute(StaticRun::new(&progs, cfg.placement_reference()))
+            .unwrap()
+            .total_cycles
+    };
+    let a = exec_with_seed(1);
+    let b = exec_with_seed(2);
+    assert_ne!(a, b, "different load profiles must differ in detail");
+    let rel = (a as f64 - b as f64).abs() / a as f64;
+    assert!(rel < 0.15, "but total time is seed-stable to ~15%: {rel}");
+}
+
+#[test]
+fn cycle_accurate_engine_reproduces_the_metbench_ordering() {
+    // The expensive fidelity check: run MetBench cases A and C on the
+    // cycle-level core (tiny scale) and confirm the balancing direction
+    // matches the mesoscale result.
+    let cfg = MetBenchConfig { iterations: 2, scale: 2e-6, ..Default::default() };
+    let progs = cfg.programs();
+    let cases = metbench_cases();
+
+    let run = |case_idx: usize, cycle_accurate: bool| {
+        let case = &cases[case_idx];
+        let mut run = StaticRun::new(&progs, case.placement.clone())
+            .with_priorities(case.priorities.clone());
+        if cycle_accurate {
+            run = run.cycle_accurate();
+        }
+        execute(run).unwrap().total_cycles
+    };
+
+    let a_meso = run(0, false);
+    let c_meso = run(2, false);
+    let a_cyc = run(0, true);
+    let c_cyc = run(2, true);
+
+    assert!(c_meso < a_meso, "meso: C beats A");
+    assert!(c_cyc < a_cyc, "cycle-accurate: C beats A too ({c_cyc} vs {a_cyc})");
+
+    // Absolute agreement between the models stays within a factor ~1.5
+    // at this scale (cold caches hurt the cycle model).
+    let ratio = a_cyc as f64 / a_meso as f64;
+    assert!((0.5..2.0).contains(&ratio), "A-case model ratio {ratio}");
+}
+
+#[test]
+fn paraver_export_roundtrips_a_real_run() {
+    let cfg = MetBenchConfig::tiny();
+    let progs = cfg.programs();
+    let r = execute(StaticRun::new(&progs, cfg.placement())).unwrap();
+    let text = mtbalance::trace::paraver::export(&r.timelines);
+    let back = mtbalance::trace::paraver::import(&text).unwrap();
+    assert_eq!(back.len(), r.timelines.len());
+    for (orig, re) in r.timelines.iter().zip(&back) {
+        assert_eq!(orig.intervals(), re.intervals());
+    }
+}
+
+#[test]
+fn run_metrics_are_consistent_with_timelines() {
+    let cfg = MetBenchConfig::tiny();
+    let progs = cfg.programs();
+    let r = execute(StaticRun::new(&progs, cfg.placement())).unwrap();
+    for t in &r.timelines {
+        t.check_invariants().unwrap();
+    }
+    let recomputed = mtbalance::RunMetrics::from_timelines(&r.timelines);
+    assert_eq!(recomputed, r.metrics);
+    assert_eq!(
+        r.timelines.iter().map(|t| t.end()).max().unwrap(),
+        r.total_cycles
+    );
+}

@@ -1,0 +1,79 @@
+//! Integration tests for the energy model and cluster topology at the
+//! facade level.
+
+use mtbalance::balance::mapper::{block_placement, striped_placement};
+use mtbalance::trace::energy::{measure, EnergyModel};
+use mtbalance::workloads::btmz::{contiguous_partition, BtMzConfig};
+use mtbalance::workloads::metbench::MetBenchConfig;
+use mtbalance::{execute, StaticRun};
+
+#[test]
+fn balancing_improves_time_and_energy_together() {
+    let cfg = MetBenchConfig { iterations: 20, scale: 2e-2, ..Default::default() };
+    let progs = cfg.programs();
+    let cases = mtbalance::balance::paper_cases::metbench_cases();
+    let model = EnergyModel::default();
+
+    let energy_of = |case_idx: usize| {
+        let r = execute(
+            StaticRun::new(&progs, cases[case_idx].placement.clone())
+                .with_priorities(cases[case_idx].priorities.clone()),
+        )
+        .unwrap();
+        (
+            r.total_cycles,
+            measure(&r.timelines, &r.retired, r.total_cycles, 4, &model),
+        )
+    };
+    let (t_a, e_a) = energy_of(0);
+    let (t_c, e_c) = energy_of(2);
+    assert!(t_c < t_a);
+    assert!(e_c.joules < e_a.joules, "case C saves energy: {} vs {}", e_c.joules, e_a.joules);
+    assert!(e_c.edp < e_a.edp, "and EDP");
+
+    let (t_d, e_d) = energy_of(3);
+    assert!(t_d > t_a);
+    assert!(e_d.joules > e_a.joules, "the inversion wastes energy too");
+}
+
+#[test]
+fn cross_node_placement_costs_real_time() {
+    let cfg = BtMzConfig {
+        ranks: 8,
+        iterations: 10,
+        scale: 5e-2,
+        exchange_bytes: 64 << 20,
+        ..Default::default()
+    }
+    .with_partition(contiguous_partition(8));
+    let progs = cfg.programs();
+
+    let run = |placement| {
+        execute(StaticRun::new(&progs, placement).on_cluster(2, 2))
+            .unwrap()
+            .total_cycles
+    };
+    let striped = run(striped_placement(8, 2, 2));
+    let block = run(block_placement(8));
+    assert!(
+        (block as f64) < striped as f64 * 0.95,
+        "keeping ring edges on-node must pay: {block} vs {striped}"
+    );
+}
+
+#[test]
+fn single_node_placements_are_equivalent() {
+    // Without a network tier, striped vs block placement differ only in
+    // which SMT pairs form — with equal work the difference is small.
+    let cfg = MetBenchConfig {
+        iterations: 8,
+        scale: 5e-3,
+        heavy_ranks: vec![],
+        ..Default::default()
+    };
+    let progs = cfg.programs();
+    let a = execute(StaticRun::new(&progs, block_placement(4))).unwrap();
+    let b = execute(StaticRun::new(&progs, striped_placement(4, 1, 2))).unwrap();
+    let rel = (a.total_cycles as f64 - b.total_cycles as f64).abs() / a.total_cycles as f64;
+    assert!(rel < 0.02, "balanced single-node placements agree: {rel}");
+}

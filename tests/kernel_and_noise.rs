@@ -1,0 +1,140 @@
+//! Integration tests for the OS-layer mechanisms: kernel flavours,
+//! priority interfaces and extrinsic noise (Sections II-B and VI).
+
+use mtbalance::os::noise::interrupt_annoyance;
+use mtbalance::smt::PrivilegeLevel;
+use mtbalance::workloads::metbench::MetBenchConfig;
+use mtbalance::workloads::synthetic::SyntheticConfig;
+use mtbalance::{
+    execute, CtxAddr, KernelConfig, NoiseSource, PrioritySetting, StaticRun,
+};
+
+fn ticks(period: u64, cost: u64) -> Vec<NoiseSource> {
+    (0..4)
+        .map(|cpu| NoiseSource::timer(CtxAddr::from_cpu(cpu), period, cost))
+        .collect()
+}
+
+#[test]
+fn vanilla_kernel_defeats_balancing_under_interrupts() {
+    let cfg = MetBenchConfig { iterations: 20, scale: 1e-2, ..Default::default() };
+    let progs = cfg.programs();
+    // User-reachable balancing: drop the light ranks one level.
+    let prios = vec![
+        PrioritySetting::OrNop(3, PrivilegeLevel::User),
+        PrioritySetting::OrNop(4, PrivilegeLevel::User),
+        PrioritySetting::OrNop(3, PrivilegeLevel::User),
+        PrioritySetting::OrNop(4, PrivilegeLevel::User),
+    ];
+    let noise = ticks(1_500_000, 7_500);
+
+    let reference = execute(
+        StaticRun::new(&progs, cfg.placement()).with_noise(noise.clone()),
+    )
+    .unwrap();
+    let patched = execute(
+        StaticRun::new(&progs, cfg.placement())
+            .with_priorities(prios.clone())
+            .with_noise(noise.clone()),
+    )
+    .unwrap();
+    let vanilla = execute(
+        StaticRun::new(&progs, cfg.placement())
+            .with_priorities(prios)
+            .with_kernel(KernelConfig::vanilla())
+            .with_noise(noise),
+    )
+    .unwrap();
+
+    assert!(
+        patched.total_cycles < reference.total_cycles,
+        "balancing helps on the patched kernel: {} vs {}",
+        patched.total_cycles,
+        reference.total_cycles
+    );
+    // The vanilla run decays to MEDIUM at the first tick: within 1% of the
+    // unbalanced reference.
+    let rel = (vanilla.total_cycles as f64 - reference.total_cycles as f64).abs()
+        / reference.total_cycles as f64;
+    assert!(rel < 0.01, "vanilla must match the reference: {rel}");
+}
+
+#[test]
+fn procfs_requires_the_patch() {
+    let cfg = SyntheticConfig::tiny();
+    let progs = cfg.programs();
+    let res = execute(
+        StaticRun::new(&progs, cfg.placement())
+            .with_kernel(KernelConfig::vanilla())
+            .with_priorities(vec![PrioritySetting::ProcFs(5)]),
+    );
+    assert!(res.is_err(), "no /proc/<pid>/hmt_priority on stock kernels");
+}
+
+#[test]
+fn interrupt_annoyance_skews_a_balanced_app() {
+    let cfg = SyntheticConfig { skew: 1.0, iterations: 8, ..Default::default() };
+    let progs = cfg.programs();
+    let quiet = execute(StaticRun::new(&progs, cfg.placement())).unwrap();
+    assert!(quiet.metrics.imbalance_pct < 0.5, "balanced app, quiet machine");
+
+    let noise = interrupt_annoyance(2, 1_500_000, 7_500, 500_000, 25_000);
+    let noisy = execute(
+        StaticRun::new(&progs, cfg.placement()).with_noise(noise),
+    )
+    .unwrap();
+    assert!(
+        noisy.metrics.imbalance_pct > 2.0,
+        "CPU0-routed IRQs must imbalance it: {}",
+        noisy.metrics.imbalance_pct
+    );
+    assert!(noisy.total_cycles > quiet.total_cycles);
+    // CPU0's rank suffers the most theft.
+    assert!(
+        noisy.interrupt_cycles[0] > 3 * noisy.interrupt_cycles[1],
+        "interrupt annoyance concentrates on CPU0: {:?}",
+        noisy.interrupt_cycles
+    );
+}
+
+#[test]
+fn noise_imbalance_grows_with_duty_cycle() {
+    let cfg = SyntheticConfig { skew: 1.0, iterations: 4, ..Default::default() };
+    let progs = cfg.programs();
+    let mut last = -1.0;
+    for duty in [1u64, 5, 10] {
+        let period = 500_000;
+        let noise = vec![NoiseSource::device(
+            "dev",
+            CtxAddr::from_cpu(0),
+            period,
+            period * duty / 100,
+            0,
+        )];
+        let r = execute(
+            StaticRun::new(&progs, cfg.placement()).with_noise(noise),
+        )
+        .unwrap();
+        assert!(
+            r.metrics.imbalance_pct > last,
+            "imbalance must grow with duty {duty}: {} vs {last}",
+            r.metrics.imbalance_pct
+        );
+        last = r.metrics.imbalance_pct;
+    }
+}
+
+#[test]
+fn daemons_steal_from_their_cpu_only() {
+    let cfg = SyntheticConfig { skew: 1.0, iterations: 4, ..Default::default() };
+    let progs = cfg.programs();
+    let noise = vec![NoiseSource::daemon("statsd", CtxAddr::from_cpu(2), 10_000_000, 500_000)];
+    let r = execute(
+        StaticRun::new(&progs, cfg.placement()).with_noise(noise),
+    )
+    .unwrap();
+    assert!(r.interrupt_cycles[2] > 0);
+    assert_eq!(r.interrupt_cycles[0], 0);
+    assert_eq!(r.interrupt_cycles[1], 0);
+    assert_eq!(r.interrupt_cycles[3], 0);
+}

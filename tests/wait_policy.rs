@@ -1,0 +1,70 @@
+//! Integration tests for the EXT-11 wait-policy experiment: how ranks
+//! wait inside MPI calls changes the sibling's world (Section VI).
+
+use mtbalance::workloads::metbench::MetBenchConfig;
+use mtbalance::{execute, StaticRun, WaitPolicy};
+
+fn run(policy: WaitPolicy) -> u64 {
+    let cfg = MetBenchConfig { iterations: 20, scale: 2e-2, ..Default::default() };
+    let progs = cfg.programs();
+    execute(
+        StaticRun::new(&progs, cfg.placement()).with_wait_policy(policy),
+    )
+    .unwrap()
+    .total_cycles
+}
+
+#[test]
+fn cooperative_waiting_beats_stock_spinning() {
+    let stock = run(WaitPolicy::SpinOwn);
+    let coop = run(WaitPolicy::SpinAt(2));
+    let block = run(WaitPolicy::Block);
+    assert!(
+        (coop as f64) < stock as f64 * 0.95,
+        "spin-at-LOW must free decode slots: {coop} vs {stock}"
+    );
+    assert!(
+        block <= coop,
+        "blocking donates at least as much as a lowered spin: {block} vs {coop}"
+    );
+}
+
+#[test]
+fn wait_policy_composes_with_priorities() {
+    // With case-C priorities the waiters are already starved of decode
+    // slots, so the wait policy makes little further difference — the two
+    // mechanisms converge on the same slots.
+    let cases = mtbalance::balance::paper_cases::metbench_cases();
+    let cfg = MetBenchConfig { iterations: 20, scale: 2e-2, ..Default::default() };
+    let progs = cfg.programs();
+    let with = |policy: WaitPolicy| {
+        execute(
+            StaticRun::new(&progs, cases[2].placement.clone())
+                .with_priorities(cases[2].priorities.clone())
+                .with_wait_policy(policy),
+        )
+        .unwrap()
+        .total_cycles
+    };
+    let stock = with(WaitPolicy::SpinOwn);
+    let block = with(WaitPolicy::Block);
+    let rel = (stock as f64 - block as f64).abs() / stock as f64;
+    assert!(rel < 0.02, "under case-C priorities the policies converge: {rel}");
+}
+
+#[test]
+fn spin_waste_shrinks_under_cooperative_waiting() {
+    let cfg = MetBenchConfig { iterations: 20, scale: 2e-2, ..Default::default() };
+    let progs = cfg.programs();
+    let spin_of = |policy: WaitPolicy| {
+        let r = execute(
+            StaticRun::new(&progs, cfg.placement()).with_wait_policy(policy),
+        )
+        .unwrap();
+        r.spin_cycles.iter().sum::<u64>()
+    };
+    let stock = spin_of(WaitPolicy::SpinOwn);
+    let block = spin_of(WaitPolicy::Block);
+    assert!(stock > 0, "stock MPICH burns cycles spinning");
+    assert_eq!(block, 0, "blocking waits burn nothing");
+}
