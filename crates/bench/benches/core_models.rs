@@ -14,8 +14,14 @@ const CYCLES: u64 = 10_000;
 
 fn cycle_core() -> SmtCore {
     let mut core = SmtCore::new(CoreConfig::default());
-    core.assign(ThreadId::A, Workload::from_spec("a", StreamSpec::balanced(1)));
-    core.assign(ThreadId::B, Workload::from_spec("b", StreamSpec::fpu_bound(2)));
+    core.assign(
+        ThreadId::A,
+        Workload::from_spec("a", StreamSpec::balanced(1)),
+    );
+    core.assign(
+        ThreadId::B,
+        Workload::from_spec("b", StreamSpec::fpu_bound(2)),
+    );
     core.set_priority(ThreadId::A, HwPriority::MEDIUM_HIGH);
     core.set_priority(ThreadId::B, HwPriority::MEDIUM);
     core
@@ -23,8 +29,14 @@ fn cycle_core() -> SmtCore {
 
 fn meso_core() -> MesoCore {
     let mut core = MesoCore::new(MesoConfig::default());
-    core.assign(ThreadId::A, Workload::from_spec("a", StreamSpec::balanced(1)));
-    core.assign(ThreadId::B, Workload::from_spec("b", StreamSpec::fpu_bound(2)));
+    core.assign(
+        ThreadId::A,
+        Workload::from_spec("a", StreamSpec::balanced(1)),
+    );
+    core.assign(
+        ThreadId::B,
+        Workload::from_spec("b", StreamSpec::fpu_bound(2)),
+    );
     core.set_priority(ThreadId::A, HwPriority::MEDIUM_HIGH);
     core.set_priority(ThreadId::B, HwPriority::MEDIUM);
     core

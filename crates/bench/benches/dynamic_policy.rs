@@ -8,23 +8,23 @@ use mtb_core::dynamic::DynamicBalancer;
 use mtb_workloads::MetBenchConfig;
 
 fn bench_policy(c: &mut Criterion) {
-    let cfg = MetBenchConfig { iterations: 30, scale: 3e-3, ..Default::default() };
+    let cfg = MetBenchConfig {
+        iterations: 30,
+        scale: 3e-3,
+        ..Default::default()
+    };
     let progs = cfg.programs();
     let mut g = c.benchmark_group("dynamic_policy");
     g.sample_size(30);
 
     g.bench_function("static_reference/30iter", |bench| {
-        bench.iter(|| {
-            black_box(execute(StaticRun::new(&progs, cfg.placement())).unwrap())
-        })
+        bench.iter(|| black_box(execute(StaticRun::new(&progs, cfg.placement())).unwrap()))
     });
 
     g.bench_function("dynamic_observer/30iter", |bench| {
         bench.iter(|| {
             let mut balancer = DynamicBalancer::with_defaults(&cfg.placement());
-            black_box(
-                execute_with(StaticRun::new(&progs, cfg.placement()), &mut balancer).unwrap(),
-            )
+            black_box(execute_with(StaticRun::new(&progs, cfg.placement()), &mut balancer).unwrap())
         })
     });
 

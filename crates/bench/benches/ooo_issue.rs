@@ -11,9 +11,15 @@ use mtb_smtsim::model::{CoreModel, ThreadId, Workload};
 use mtb_smtsim::{CoreConfig, HwPriority, SmtCore};
 
 fn run(lookahead: usize, cycles: u64) -> u64 {
-    let cfg = CoreConfig { lookahead, ..CoreConfig::default() };
+    let cfg = CoreConfig {
+        lookahead,
+        ..CoreConfig::default()
+    };
     let mut core = SmtCore::new(cfg);
-    core.assign(ThreadId::A, Workload::from_spec("w", StreamSpec::balanced(1)));
+    core.assign(
+        ThreadId::A,
+        Workload::from_spec("w", StreamSpec::balanced(1)),
+    );
     core.set_priority(ThreadId::A, HwPriority::VERY_HIGH);
     core.set_priority(ThreadId::B, HwPriority::OFF);
     core.advance(cycles)[0]

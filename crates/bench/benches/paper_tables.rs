@@ -13,21 +13,33 @@ fn bench_tables(c: &mut Criterion) {
 
     g.bench_function("table4_metbench/4cases_20iter", |bench| {
         bench.iter(|| {
-            let cfg = MetBenchConfig { iterations: 20, scale: 1e-2, ..Default::default() };
+            let cfg = MetBenchConfig {
+                iterations: 20,
+                scale: 1e-2,
+                ..Default::default()
+            };
             black_box(run_cases(metbench_cases(), |_| cfg.programs()))
         })
     });
 
     g.bench_function("table5_btmz/4cases_40iter", |bench| {
         bench.iter(|| {
-            let cfg = BtMzConfig { iterations: 40, scale: 1e-2, ..Default::default() };
+            let cfg = BtMzConfig {
+                iterations: 40,
+                scale: 1e-2,
+                ..Default::default()
+            };
             black_box(run_cases(btmz_cases(), |_| cfg.programs()))
         })
     });
 
     g.bench_function("table6_siesta/4cases_10iter", |bench| {
         bench.iter(|| {
-            let cfg = SiestaConfig { iterations: 10, scale: 1e-2, ..Default::default() };
+            let cfg = SiestaConfig {
+                iterations: 10,
+                scale: 1e-2,
+                ..Default::default()
+            };
             black_box(run_cases(siesta_cases(), |_| cfg.programs()))
         })
     });

@@ -11,12 +11,21 @@ use mtb_smtsim::model::{CoreModel, ThreadId, Workload};
 use mtb_smtsim::{CoreConfig, HwPriority, SmtCore};
 
 fn run(stealing: bool, cycles: u64) -> [u64; 2] {
-    let cfg = CoreConfig { slot_stealing: stealing, ..CoreConfig::default() };
+    let cfg = CoreConfig {
+        slot_stealing: stealing,
+        ..CoreConfig::default()
+    };
     let mut core = SmtCore::new(cfg);
     // FPU-bound owner leaves slots unused; frontend-bound sibling at low
     // priority would love to take them.
-    core.assign(ThreadId::A, Workload::from_spec("fpu", StreamSpec::fpu_bound(1)));
-    core.assign(ThreadId::B, Workload::from_spec("fe", StreamSpec::frontend_bound(2)));
+    core.assign(
+        ThreadId::A,
+        Workload::from_spec("fpu", StreamSpec::fpu_bound(1)),
+    );
+    core.assign(
+        ThreadId::B,
+        Workload::from_spec("fe", StreamSpec::frontend_bound(2)),
+    );
     core.set_priority(ThreadId::A, HwPriority::HIGH);
     core.set_priority(ThreadId::B, HwPriority::LOW);
     core.advance(cycles)

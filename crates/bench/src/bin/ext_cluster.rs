@@ -8,7 +8,8 @@
 //! SMT priorities then address the zone imbalance — the two mechanisms
 //! compose, as the paper argues they should.
 
-use mtb_core::balance::{execute, StaticRun};
+use mtb_bench::harness::run_static;
+use mtb_core::balance::StaticRun;
 use mtb_core::mapper::{block_placement, striped_placement};
 use mtb_core::policy::PrioritySetting;
 use mtb_core::predictor::best_priority_pair;
@@ -32,7 +33,7 @@ fn main() {
     let work: Vec<u64> = (0..8).map(|r| cfg.work_of(r)).collect();
 
     let run = |placement, prios: Vec<PrioritySetting>| {
-        execute(
+        run_static(
             StaticRun::new(&progs, placement)
                 .on_cluster(2, 2)
                 .with_priorities(prios),
@@ -74,4 +75,6 @@ fn main() {
          then attack the zone imbalance on top — the placement and priority\n\
          mechanisms compose."
     );
+
+    mtb_bench::harness::print_summary();
 }

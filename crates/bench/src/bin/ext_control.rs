@@ -7,7 +7,8 @@
 //! were not bottlenecks. The audited dynamic policy, by contrast, detects
 //! the balance and stays idle.
 
-use mtb_core::balance::{execute, execute_with, StaticRun};
+use mtb_bench::harness::run_static;
+use mtb_core::balance::{execute_with, StaticRun};
 use mtb_core::dynamic::DynamicBalancer;
 use mtb_core::paper_cases::{btmz_cases, btmz_paired_placement};
 use mtb_trace::cycles_to_seconds;
@@ -18,17 +19,16 @@ fn main() {
     for (name, cfg) in [("SP-MZ", SpMzConfig::sp()), ("LU-MZ", SpMzConfig::lu())] {
         let progs = cfg.programs();
 
-        let reference = execute(StaticRun::new(&progs, cfg.placement())).unwrap();
+        let reference = run_static(StaticRun::new(&progs, cfg.placement())).unwrap();
         // Misapply BT-MZ's winning treatment.
         let case_d = &btmz_cases()[3];
-        let misapplied = execute(
+        let misapplied = run_static(
             StaticRun::new(&progs, btmz_paired_placement())
                 .with_priorities(case_d.priorities.clone()),
         )
         .unwrap();
         let mut balancer = DynamicBalancer::with_defaults(&cfg.placement());
-        let dynamic =
-            execute_with(StaticRun::new(&progs, cfg.placement()), &mut balancer).unwrap();
+        let dynamic = execute_with(StaticRun::new(&progs, cfg.placement()), &mut balancer).unwrap();
 
         let pct = |r: &mtb_mpisim::engine::RunResult| {
             100.0 * (reference.total_cycles as f64 - r.total_cycles as f64)
@@ -58,4 +58,6 @@ fn main() {
          while the audited dynamic policy recognizes the balance and stays\n\
          (nearly) idle — the safety property the paper's conclusion asks for."
     );
+
+    mtb_bench::harness::print_summary();
 }

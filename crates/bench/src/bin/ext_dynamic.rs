@@ -9,8 +9,8 @@ use mtb_core::dynamic::{DynamicBalancer, DynamicConfig};
 use mtb_core::paper_cases::{siesta_cases, Case};
 use mtb_core::policy::PrioritySetting;
 use mtb_trace::cycles_to_seconds;
-use mtb_workloads::siesta::SiestaConfig;
 use mtb_workloads::metbench::MetBenchConfig;
+use mtb_workloads::siesta::SiestaConfig;
 
 fn main() {
     println!("EXT-1 — dynamic priority balancing vs static configurations\n");
@@ -70,8 +70,7 @@ fn main() {
         "  reference: {:.2}s | dynamic: {:.2}s ({:+.2}%, {} adjustments)",
         cycles_to_seconds(mref.total_cycles),
         cycles_to_seconds(mdyn.total_cycles),
-        100.0 * (mref.total_cycles as f64 - mdyn.total_cycles as f64)
-            / mref.total_cycles as f64,
+        100.0 * (mref.total_cycles as f64 - mdyn.total_cycles as f64) / mref.total_cycles as f64,
         mbal.adjustments(),
     );
 }

@@ -59,4 +59,6 @@ fn main() {
          much longer runs — worse energy AND far worse EDP. Balancing (case D)\n\
          improves every column at once: shorter runs burn fewer spin cycles."
     );
+
+    mtb_bench::harness::print_summary();
 }

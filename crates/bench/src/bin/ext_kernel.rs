@@ -6,7 +6,8 @@
 //! with a realistic timer tick and shows the patched kernel retains the
 //! benefit while the vanilla kernel regresses to the imbalanced baseline.
 
-use mtb_core::balance::{execute, StaticRun};
+use mtb_bench::harness::run_static;
+use mtb_core::balance::StaticRun;
 use mtb_core::paper_cases::metbench_cases;
 use mtb_core::policy::PrioritySetting;
 use mtb_oskernel::{CtxAddr, KernelConfig, NoiseSource};
@@ -41,7 +42,7 @@ fn main() {
     let runs = [
         (
             "patched, no noise (paper setup)",
-            execute(
+            run_static(
                 StaticRun::new(&progs, case_c.placement.clone())
                     .with_priorities(case_c.priorities.clone()),
             )
@@ -49,7 +50,7 @@ fn main() {
         ),
         (
             "patched, 1kHz timer ticks",
-            execute(
+            run_static(
                 StaticRun::new(&progs, case_c.placement.clone())
                     .with_priorities(case_c.priorities.clone())
                     .with_noise(ticks()),
@@ -58,7 +59,7 @@ fn main() {
         ),
         (
             "vanilla, or-nop(2/4), 1kHz ticks",
-            execute(
+            run_static(
                 StaticRun::new(&progs, case_c.placement.clone())
                     .with_priorities(vanilla_best)
                     .with_kernel(KernelConfig::vanilla())
@@ -68,7 +69,7 @@ fn main() {
         ),
         (
             "reference (all MEDIUM, patched)",
-            execute(StaticRun::new(&progs, case_c.placement.clone())).unwrap(),
+            run_static(StaticRun::new(&progs, case_c.placement.clone())).unwrap(),
         ),
     ];
 
@@ -84,4 +85,6 @@ fn main() {
          its run matches the unbalanced reference, while the patched kernel\n\
          keeps the case-C gain even under interrupt noise."
     );
+
+    mtb_bench::harness::print_summary();
 }

@@ -6,7 +6,8 @@
 //! duty cycle and report the induced imbalance, then apply the dynamic
 //! balancer to claw the time back.
 
-use mtb_core::balance::{execute, execute_with, StaticRun};
+use mtb_bench::harness::run_static;
+use mtb_core::balance::{execute_with, StaticRun};
 use mtb_core::dynamic::DynamicBalancer;
 use mtb_oskernel::noise::interrupt_annoyance;
 use mtb_trace::{cycles_to_seconds, Table};
@@ -15,7 +16,11 @@ use mtb_workloads::synthetic::SyntheticConfig;
 fn main() {
     println!("EXT-3 — OS noise as an extrinsic imbalance source\n");
     // A *balanced* application: equal work on all four ranks.
-    let cfg = SyntheticConfig { skew: 1.0, iterations: 16, ..Default::default() };
+    let cfg = SyntheticConfig {
+        skew: 1.0,
+        iterations: 16,
+        ..Default::default()
+    };
     let progs = cfg.programs();
 
     let mut t = Table::new(&[
@@ -34,10 +39,8 @@ fn main() {
             let period = 500_000;
             interrupt_annoyance(2, 1_500_000, 7_500, period, period * duty_pct / 100)
         };
-        let plain = execute(
-            StaticRun::new(&progs, cfg.placement()).with_noise(noise.clone()),
-        )
-        .unwrap();
+        let plain =
+            run_static(StaticRun::new(&progs, cfg.placement()).with_noise(noise.clone())).unwrap();
         let mut balancer = DynamicBalancer::with_defaults(&cfg.placement());
         let balanced = execute_with(
             StaticRun::new(&progs, cfg.placement()).with_noise(noise),
@@ -54,4 +57,6 @@ fn main() {
         ]);
     }
     println!("{}", t.render());
+
+    mtb_bench::harness::print_summary();
 }

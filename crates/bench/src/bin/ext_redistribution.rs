@@ -9,15 +9,14 @@
 //!   4. both combined: redistribute, then fix the residual granularity
 //!      imbalance with priorities chosen by the what-if predictor.
 
+use mtb_bench::harness::run_static;
 use mtb_bench::run_case;
+use mtb_core::balance::StaticRun;
+use mtb_core::mapper::pair_by_load;
 use mtb_core::paper_cases::btmz_cases;
 use mtb_core::policy::PrioritySetting;
 use mtb_core::predictor::best_priority_pair;
-use mtb_core::redistribution::{
-    lpt, moved_items, partition_imbalance_pct, redistribution_cycles,
-};
-use mtb_core::balance::{execute, StaticRun};
-use mtb_core::mapper::pair_by_load;
+use mtb_core::redistribution::{lpt, moved_items, partition_imbalance_pct, redistribution_cycles};
 use mtb_mpisim::comm::LatencyModel;
 use mtb_trace::cycles_to_seconds;
 use mtb_workloads::btmz::{contiguous_partition, zone_sizes, BtMzConfig};
@@ -56,7 +55,7 @@ fn main() {
         BYTES_PER_INSTRUCTION,
         &LatencyModel::default(),
     );
-    let lpt_run = execute(StaticRun::new(
+    let lpt_run = run_static(StaticRun::new(
         &cfg_lpt.programs(),
         cfg_lpt.placement_reference(),
     ))
@@ -76,10 +75,9 @@ fn main() {
         priorities[a] = PrioritySetting::ProcFs(pa);
         priorities[b] = PrioritySetting::ProcFs(pb);
     }
-    let combined = execute(
-        StaticRun::new(&cfg_lpt.programs(), placement).with_priorities(priorities),
-    )
-    .unwrap();
+    let combined =
+        run_static(StaticRun::new(&cfg_lpt.programs(), placement).with_priorities(priorities))
+            .unwrap();
     let combined_total = combined.total_cycles + move_cost;
 
     let report = |label: &str, cycles: u64, imb: f64| {
@@ -90,10 +88,26 @@ fn main() {
             100.0 * (ref_cycles as f64 - cycles as f64) / ref_cycles as f64
         );
     };
-    report("1. reference (contiguous zones)", ref_cycles, reference.metrics.imbalance_pct);
-    report("2. priority balancing (paper case D)", prio_best.total_cycles, prio_best.metrics.imbalance_pct);
-    report("3. LPT redistribution (+move cost)", lpt_total, lpt_run.metrics.imbalance_pct);
-    report("4. redistribution + predictor priorities", combined_total, combined.metrics.imbalance_pct);
+    report(
+        "1. reference (contiguous zones)",
+        ref_cycles,
+        reference.metrics.imbalance_pct,
+    );
+    report(
+        "2. priority balancing (paper case D)",
+        prio_best.total_cycles,
+        prio_best.metrics.imbalance_pct,
+    );
+    report(
+        "3. LPT redistribution (+move cost)",
+        lpt_total,
+        lpt_run.metrics.imbalance_pct,
+    );
+    report(
+        "4. redistribution + predictor priorities",
+        combined_total,
+        combined.metrics.imbalance_pct,
+    );
 
     // Coarse-grained variant: when zones are big (merge adjacent pairs
     // into 8 super-zones), LPT leaves a residual the predictor CAN fix.
@@ -111,7 +125,7 @@ fn main() {
         BYTES_PER_INSTRUCTION,
         &LatencyModel::default(),
     );
-    let lpt_coarse = execute(StaticRun::new(
+    let lpt_coarse = run_static(StaticRun::new(
         &cfg_coarse.programs(),
         cfg_coarse.placement_reference(),
     ))
@@ -127,10 +141,9 @@ fn main() {
         prios_c[a] = PrioritySetting::ProcFs(pa);
         prios_c[b] = PrioritySetting::ProcFs(pb);
     }
-    let combined_c = execute(
-        StaticRun::new(&cfg_coarse.programs(), placement_c).with_priorities(prios_c),
-    )
-    .unwrap();
+    let combined_c =
+        run_static(StaticRun::new(&cfg_coarse.programs(), placement_c).with_priorities(prios_c))
+            .unwrap();
 
     println!(
         "\ncoarse-grained variant (8 super-zones; LPT residual {:.1}%):",
@@ -154,4 +167,6 @@ fn main() {
          be re-tuned per input. With coarse granularity (rows 5-6) the two\n\
          compose: priorities absorb the residual the partitioner cannot fix."
     );
+
+    mtb_bench::harness::print_summary();
 }

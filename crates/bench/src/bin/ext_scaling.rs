@@ -6,14 +6,15 @@
 //! cores (single node), comparing the identity schedule against
 //! mapper-paired placement plus predictor-chosen priorities.
 
-use mtb_core::balance::{execute, StaticRun};
+use mtb_bench::harness::run_static;
+use mtb_core::balance::StaticRun;
 use mtb_core::mapper::pair_by_load;
 use mtb_core::policy::PrioritySetting;
 use mtb_core::predictor::best_priority_pair;
+use mtb_oskernel::CtxAddr;
 use mtb_trace::{cycles_to_seconds, Table};
 use mtb_workloads::btmz::BtMzConfig;
 use mtb_workloads::loads;
-use mtb_oskernel::CtxAddr;
 
 /// An imbalanced zone partition for `n` ranks: geometric zone sizes so the
 /// heaviest rank has ~4x the lightest's work at any scale.
@@ -47,23 +48,19 @@ fn main() {
         );
 
         let identity: Vec<CtxAddr> = (0..ranks).map(CtxAddr::from_cpu).collect();
-        let reference = execute(
-            StaticRun::new(&progs, identity).on_cluster(1, cores),
-        )
-        .unwrap();
+        let reference = run_static(StaticRun::new(&progs, identity).on_cluster(1, cores)).unwrap();
 
         let placement = pair_by_load(&w, cores);
         let profile = loads::btmz_load(0).profile;
         let mut prios = vec![PrioritySetting::Default; ranks];
         for core in 0..cores {
-            let pair: Vec<usize> =
-                (0..ranks).filter(|&r| placement[r].core == core).collect();
+            let pair: Vec<usize> = (0..ranks).filter(|&r| placement[r].core == core).collect();
             let (a, b) = (pair[0], pair[1]);
             let (pa, pb, _) = best_priority_pair(&profile, &profile, w[a], w[b], 2);
             prios[a] = PrioritySetting::ProcFs(pa);
             prios[b] = PrioritySetting::ProcFs(pb);
         }
-        let balanced = execute(
+        let balanced = run_static(
             StaticRun::new(&progs, placement)
                 .on_cluster(1, cores)
                 .with_priorities(prios),
@@ -92,4 +89,6 @@ fn main() {
          grows: each SMT pair is balanced locally, so the benefit holds at\n\
          every scale."
     );
+
+    mtb_bench::harness::print_summary();
 }

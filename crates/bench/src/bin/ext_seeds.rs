@@ -21,7 +21,10 @@ fn main() {
     let seeds: Vec<u64> = (0..12).map(|i| 0x5349_4553 + i * 7919).collect();
 
     for &seed in &seeds {
-        let cfg = SiestaConfig { seed, ..Default::default() };
+        let cfg = SiestaConfig {
+            seed,
+            ..Default::default()
+        };
         let progs = cfg.programs();
         let a = run_case(&progs, &cases[0]).total_cycles as f64;
         let c = run_case(&progs, &cases[2]).total_cycles as f64;
@@ -60,4 +63,6 @@ fn main() {
         "\nThe paper's qualitative claims (C helps, D inverts) hold for every\n\
          seed; only the magnitudes move with the load profile."
     );
+
+    mtb_bench::harness::print_summary();
 }

@@ -9,7 +9,8 @@
 //! compares the tuning landscape: the linear law is forgiving but cannot
 //! deliver the large share transfers the best static cases need.
 
-use mtb_core::balance::{execute, StaticRun};
+use mtb_bench::harness::run_static;
+use mtb_core::balance::StaticRun;
 use mtb_core::policy::PrioritySetting;
 use mtb_smtsim::perfmodel::{MesoConfig, ShareLaw};
 use mtb_trace::{cycles_to_seconds, Table};
@@ -38,14 +39,13 @@ fn main() {
             PrioritySetting::ProcFs(light),
             PrioritySetting::ProcFs(heavy),
         ];
-        let mut row = vec![
-            light.to_string(),
-            heavy.to_string(),
-            diff.to_string(),
-        ];
+        let mut row = vec![light.to_string(), heavy.to_string(), diff.to_string()];
         for (i, law) in [ShareLaw::Power5, ShareLaw::Linear].into_iter().enumerate() {
-            let meso = MesoConfig { share_law: law, ..MesoConfig::default() };
-            let r = execute(
+            let meso = MesoConfig {
+                share_law: law,
+                ..MesoConfig::default()
+            };
+            let r = run_static(
                 StaticRun::new(&progs, cfg.placement())
                     .with_priorities(prios.clone())
                     .with_meso(meso),
@@ -68,4 +68,6 @@ fn main() {
         "linear law: best at diff {} ({:.2}s) — smooth landscape, smaller peak gain.",
         best[1].0, best[1].1
     );
+
+    mtb_bench::harness::print_summary();
 }

@@ -16,8 +16,9 @@
 //! case — showing how much of the static-priority win a smarter wait
 //! already captures.
 
+use mtb_bench::harness::run_static;
 use mtb_bench::run_case;
-use mtb_core::balance::{execute, StaticRun};
+use mtb_core::balance::StaticRun;
 use mtb_core::paper_cases::{btmz_cases, metbench_cases, Case};
 use mtb_oskernel::WaitPolicy;
 use mtb_trace::{cycles_to_seconds, Table};
@@ -27,13 +28,21 @@ fn main() {
     println!("EXT-11 — MPI wait policy (Section VI's recommendation, quantified)\n");
 
     let apps: Vec<(&str, Vec<mtb_mpisim::program::Program>, Vec<Case>)> = vec![
-        ("MetBench", MetBenchConfig::default().programs(), metbench_cases()),
+        (
+            "MetBench",
+            MetBenchConfig::default().programs(),
+            metbench_cases(),
+        ),
         ("BT-MZ", BtMzConfig::default().programs(), btmz_cases()),
     ];
 
     for (name, progs, cases) in &apps {
         let reference = run_case(progs, &cases[0]).total_cycles as f64;
-        let best_case = if *name == "MetBench" { &cases[2] } else { &cases[3] };
+        let best_case = if *name == "MetBench" {
+            &cases[2]
+        } else {
+            &cases[3]
+        };
 
         let mut t = Table::new(&[
             "wait policy",
@@ -47,13 +56,13 @@ fn main() {
             ("SpinAt(2) (cooperative)", WaitPolicy::SpinAt(2)),
             ("Block (kernel-assisted)", WaitPolicy::Block),
         ] {
-            let plain = execute(
+            let plain = run_static(
                 StaticRun::new(progs, cases[0].placement.clone())
                     .with_priorities(cases[0].priorities.clone())
                     .with_wait_policy(policy),
             )
             .unwrap();
-            let tuned = execute(
+            let tuned = run_static(
                 StaticRun::new(progs, best_case.placement.clone())
                     .with_priorities(best_case.priorities.clone())
                     .with_wait_policy(policy),
@@ -83,4 +92,6 @@ fn main() {
          priorities for the rest. This is exactly why MPI libraries grew\n\
          yield/backoff waits in the years after the paper."
     );
+
+    mtb_bench::harness::print_summary();
 }

@@ -47,4 +47,6 @@ fn main() {
         println!("{gantt}");
     }
     println!("legend: #=compute .=sync");
+
+    mtb_bench::harness::print_summary();
 }

@@ -17,7 +17,8 @@
 //!     --kernel vanilla --noise 5
 //! ```
 
-use mtb_core::balance::{execute, execute_with, StaticRun};
+use mtb_bench::harness::run_static;
+use mtb_core::balance::{execute_with, StaticRun};
 use mtb_core::dynamic::DynamicBalancer;
 use mtb_core::paper_cases;
 use mtb_core::policy::PrioritySetting;
@@ -55,7 +56,7 @@ RUN OPTIONS:
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match args.first().map(String::as_str) {
+    let code = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("tables") => cmd_tables(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
@@ -67,7 +68,9 @@ fn main() -> ExitCode {
             eprintln!("unknown command {other:?}\n\n{USAGE}");
             ExitCode::FAILURE
         }
-    }
+    };
+    mtb_bench::harness::print_summary();
+    code
 }
 
 fn noise_for(duty_pct: u64) -> Vec<NoiseSource> {
@@ -96,7 +99,12 @@ fn print_result(label: &str, r: &RunResult, gantt: bool) {
             "{}",
             render_gantt(
                 &r.timelines,
-                &GanttConfig { width: 100, legend: true, title: None, window: None }
+                &GanttConfig {
+                    width: 100,
+                    legend: true,
+                    title: None,
+                    window: None
+                }
             )
         );
     }
@@ -112,7 +120,10 @@ fn cmd_run(args: &[String]) -> ExitCode {
     };
     let app = opts.get("app").map(String::as_str).unwrap_or("");
     let case_name = opts.get("case").map(String::as_str).unwrap_or("A");
-    let scale: f64 = opts.get("scale").map_or(Ok(1.0), |s| s.parse()).unwrap_or(1.0);
+    let scale: f64 = opts
+        .get("scale")
+        .map_or(Ok(1.0), |s| s.parse())
+        .unwrap_or(1.0);
     let iterations = opts.get("iterations").and_then(|s| s.parse().ok());
     let seed = opts.get("seed").and_then(|s| s.parse().ok());
     let duty: u64 = opts.get("noise").and_then(|s| s.parse().ok()).unwrap_or(0);
@@ -121,7 +132,11 @@ fn cmd_run(args: &[String]) -> ExitCode {
         _ => KernelConfig::patched(),
     };
 
-    let overrides = AppOverrides { scale: Some(scale), iterations, seed };
+    let overrides = AppOverrides {
+        scale: Some(scale),
+        iterations,
+        seed,
+    };
     let (programs, case) = match build_app(app, case_name, overrides) {
         Ok(x) => x,
         Err(e) => {
@@ -150,7 +165,7 @@ fn cmd_run(args: &[String]) -> ExitCode {
         }
         r
     } else {
-        execute(run)
+        run_static(run)
     };
 
     match result {
@@ -184,7 +199,9 @@ fn cmd_tables(args: &[String]) -> ExitCode {
         let st = mtb_bench::run_case(&st_cfg.programs(), &paper_cases::btmz_st_case());
         let cfg = BtMzConfig::default();
         let mut runs = vec![(paper_cases::btmz_st_case(), st)];
-        runs.extend(mtb_bench::run_cases(paper_cases::btmz_cases(), |_| cfg.programs()));
+        runs.extend(mtb_bench::run_cases(paper_cases::btmz_cases(), |_| {
+            cfg.programs()
+        }));
         println!("{}", mtb_bench::report("TABLE V — BT-MZ", "A", &runs));
     }
     if all || which == "6" {
@@ -192,7 +209,9 @@ fn cmd_tables(args: &[String]) -> ExitCode {
         let st = mtb_bench::run_case(&st_cfg.programs(), &paper_cases::siesta_st_case());
         let cfg = SiestaConfig::default();
         let mut runs = vec![(paper_cases::siesta_st_case(), st)];
-        runs.extend(mtb_bench::run_cases(paper_cases::siesta_cases(), |_| cfg.programs()));
+        runs.extend(mtb_bench::run_cases(paper_cases::siesta_cases(), |_| {
+            cfg.programs()
+        }));
         println!("{}", mtb_bench::report("TABLE VI — SIESTA", "A", &runs));
     }
     if !(all || ["4", "5", "6"].contains(&which)) {
@@ -232,7 +251,7 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
             }
         };
         let placement: Vec<CtxAddr> = case.placement.clone();
-        match execute(StaticRun::new(&programs, placement).with_priorities(prios)) {
+        match run_static(StaticRun::new(&programs, placement).with_priorities(prios)) {
             Ok(r) => println!(
                 "  diff {diff} ({light}/{heavy}): exec {:7.2}s, imbalance {:5.2}%",
                 cycles_to_seconds(r.total_cycles),

@@ -108,23 +108,45 @@ fn main() {
     // Headline verification.
     println!("## Headline checks\n");
     let imp = |runs: &[(Case, RunResult)], name: &str| {
-        let a = runs.iter().find(|(c, _)| c.name == "A").unwrap().1.total_cycles as f64;
-        let x = runs.iter().find(|(c, _)| c.name == name).unwrap().1.total_cycles as f64;
+        let a = runs
+            .iter()
+            .find(|(c, _)| c.name == "A")
+            .unwrap()
+            .1
+            .total_cycles as f64;
+        let x = runs
+            .iter()
+            .find(|(c, _)| c.name == name)
+            .unwrap()
+            .1
+            .total_cycles as f64;
         100.0 * (a - x) / a
     };
     let bt_d = imp(&bt_runs, "D");
     let si_c = imp(&si_runs, "C");
     println!(
         "- BT-MZ best case: **{bt_d:+.1}%** (paper: +18.08%) — {}",
-        if (14.0..25.0).contains(&bt_d) { "REPRODUCED" } else { "DEVIATES" }
+        if (14.0..25.0).contains(&bt_d) {
+            "REPRODUCED"
+        } else {
+            "DEVIATES"
+        }
     );
     println!(
         "- SIESTA best case: **{si_c:+.1}%** (paper: +8.1%) — {}",
-        if (4.0..12.0).contains(&si_c) { "REPRODUCED" } else { "DEVIATES" }
+        if (4.0..12.0).contains(&si_c) {
+            "REPRODUCED"
+        } else {
+            "DEVIATES"
+        }
     );
     let met_d = imp(&met_runs, "D");
     println!(
         "- MetBench case-D inversion: **{met_d:+.1}%** (paper: −17.2%) — {}",
-        if met_d < -10.0 { "REPRODUCED" } else { "DEVIATES" }
+        if met_d < -10.0 {
+            "REPRODUCED"
+        } else {
+            "DEVIATES"
+        }
     );
 }

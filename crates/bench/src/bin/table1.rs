@@ -5,8 +5,13 @@ use mtb_smtsim::HwPriority;
 use mtb_trace::Table;
 
 fn main() {
-    let mut t = Table::new(&["Priority", "Priority level", "Privilege level", "or-nop inst."])
-        .with_title("TABLE I — HARDWARE THREAD PRIORITIES IN THE IBM POWER5 PROCESSOR");
+    let mut t = Table::new(&[
+        "Priority",
+        "Priority level",
+        "Privilege level",
+        "or-nop inst.",
+    ])
+    .with_title("TABLE I — HARDWARE THREAD PRIORITIES IN THE IBM POWER5 PROCESSOR");
     for p in HwPriority::ALL {
         t.row_owned(vec![
             p.value().to_string(),

@@ -26,8 +26,14 @@ fn main() {
 
         // Measure on the cycle-accurate core.
         let mut core = SmtCore::new(CoreConfig::default());
-        core.assign(ThreadId::A, Workload::from_spec("a", StreamSpec::frontend_bound(1)));
-        core.assign(ThreadId::B, Workload::from_spec("b", StreamSpec::frontend_bound(2)));
+        core.assign(
+            ThreadId::A,
+            Workload::from_spec("a", StreamSpec::frontend_bound(1)),
+        );
+        core.assign(
+            ThreadId::B,
+            Workload::from_spec("b", StreamSpec::frontend_bound(2)),
+        );
         core.set_priority(ThreadId::A, pa);
         core.set_priority(ThreadId::B, pb);
         core.advance(3200);

@@ -9,8 +9,14 @@ use mtb_trace::Table;
 
 fn run(pa: u8, pb: u8, cycles: u64) -> [u64; 2] {
     let mut core = SmtCore::new(CoreConfig::default());
-    core.assign(ThreadId::A, Workload::from_spec("a", StreamSpec::frontend_bound(1)));
-    core.assign(ThreadId::B, Workload::from_spec("b", StreamSpec::frontend_bound(2)));
+    core.assign(
+        ThreadId::A,
+        Workload::from_spec("a", StreamSpec::frontend_bound(1)),
+    );
+    core.assign(
+        ThreadId::B,
+        Workload::from_spec("b", StreamSpec::frontend_bound(2)),
+    );
     core.set_priority(ThreadId::A, HwPriority::new(pa).unwrap());
     core.set_priority(ThreadId::B, HwPriority::new(pb).unwrap());
     core.advance(cycles)
@@ -19,7 +25,11 @@ fn run(pa: u8, pb: u8, cycles: u64) -> [u64; 2] {
 fn main() {
     let rows: [(u8, u8, &str); 6] = [
         (4, 4, "Decode cycles given per thread priorities"),
-        (1, 4, "ThreadB gets all execution resources; A takes leftovers"),
+        (
+            1,
+            4,
+            "ThreadB gets all execution resources; A takes leftovers",
+        ),
         (1, 1, "Power save mode; each receives 1 of 64 decode cycles"),
         (0, 4, "Processor in ST mode; ThreadB receives all resources"),
         (0, 1, "1 of 32 cycles given to ThreadB"),

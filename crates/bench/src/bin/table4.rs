@@ -7,7 +7,14 @@ use mtb_workloads::metbench::MetBenchConfig;
 fn main() {
     let cfg = MetBenchConfig::default();
     let runs = run_cases(metbench_cases(), |_| cfg.programs());
-    println!("{}", report("TABLE IV — METBENCH BALANCED AND IMBALANCED CHARACTERIZATION", "A", &runs));
+    println!(
+        "{}",
+        report(
+            "TABLE IV — METBENCH BALANCED AND IMBALANCED CHARACTERIZATION",
+            "A",
+            &runs
+        )
+    );
     if std::env::args().any(|a| a == "--gantt") {
         println!("{}", gantts("Figure 2", &runs, 100));
     }

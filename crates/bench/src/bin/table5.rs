@@ -13,7 +13,14 @@ fn main() {
     let mut runs = vec![(st_case, st)];
     runs.extend(run_cases(btmz_cases(), |_| cfg.programs()));
 
-    println!("{}", report("TABLE V — BT-MZ BALANCED AND IMBALANCED CHARACTERIZATION", "A", &runs));
+    println!(
+        "{}",
+        report(
+            "TABLE V — BT-MZ BALANCED AND IMBALANCED CHARACTERIZATION",
+            "A",
+            &runs
+        )
+    );
     if std::env::args().any(|a| a == "--gantt") {
         println!("{}", gantts("Figure 3", &runs[1..], 100));
     }

@@ -13,7 +13,14 @@ fn main() {
     let mut runs = vec![(st_case, st)];
     runs.extend(run_cases(siesta_cases(), |_| cfg.programs()));
 
-    println!("{}", report("TABLE VI — SIESTA BALANCED AND IMBALANCED CHARACTERIZATION", "A", &runs));
+    println!(
+        "{}",
+        report(
+            "TABLE VI — SIESTA BALANCED AND IMBALANCED CHARACTERIZATION",
+            "A",
+            &runs
+        )
+    );
     if std::env::args().any(|a| a == "--gantt") {
         println!("{}", gantts("Figure 4", &runs[1..], 100));
     }

@@ -10,7 +10,10 @@ use mtb_workloads::{BtMzConfig, MetBenchConfig, SiestaConfig};
 use std::collections::HashMap;
 
 /// Parse `--key value` pairs and bare `--flag`s (flags: `dynamic`,
-/// `gantt`, `cycle-accurate`).
+/// `gantt`, `cycle-accurate`, `no-cache`). `--jobs N` and `--no-cache`
+/// are also read by the global sweep harness
+/// ([`crate::harness::SweepOptions::from_env`]); they are accepted here
+/// so the driver's own parser does not reject them.
 pub fn parse_opts(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), String> {
     let mut opts = HashMap::new();
     let mut flags = Vec::new();
@@ -20,7 +23,7 @@ pub fn parse_opts(args: &[String]) -> Result<(HashMap<String, String>, Vec<Strin
             return Err(format!("unexpected argument {a:?}"));
         };
         match key {
-            "dynamic" | "gantt" | "cycle-accurate" => flags.push(key.to_string()),
+            "dynamic" | "gantt" | "cycle-accurate" | "no-cache" => flags.push(key.to_string()),
             _ => {
                 let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
                 opts.insert(key.to_string(), v.clone());
@@ -57,7 +60,10 @@ pub fn build_app(
     };
     match app {
         "metbench" => {
-            let mut cfg = MetBenchConfig { scale, ..Default::default() };
+            let mut cfg = MetBenchConfig {
+                scale,
+                ..Default::default()
+            };
             if let Some(i) = ov.iterations {
                 cfg.iterations = i;
             }
@@ -68,13 +74,19 @@ pub fn build_app(
         }
         "btmz" => {
             if case_name.eq_ignore_ascii_case("ST") {
-                let mut cfg = BtMzConfig { scale, ..BtMzConfig::st_mode() };
+                let mut cfg = BtMzConfig {
+                    scale,
+                    ..BtMzConfig::st_mode()
+                };
                 if let Some(i) = ov.iterations {
                     cfg.iterations = i;
                 }
                 return Ok((cfg.programs(), paper_cases::btmz_st_case()));
             }
-            let mut cfg = BtMzConfig { scale, ..Default::default() };
+            let mut cfg = BtMzConfig {
+                scale,
+                ..Default::default()
+            };
             if let Some(i) = ov.iterations {
                 cfg.iterations = i;
             }
@@ -85,13 +97,19 @@ pub fn build_app(
         }
         "siesta" => {
             if case_name.eq_ignore_ascii_case("ST") {
-                let mut cfg = SiestaConfig { scale, ..SiestaConfig::st_mode() };
+                let mut cfg = SiestaConfig {
+                    scale,
+                    ..SiestaConfig::st_mode()
+                };
                 if let Some(i) = ov.iterations {
                     cfg.iterations = i;
                 }
                 return Ok((cfg.programs(), paper_cases::siesta_st_case()));
             }
-            let mut cfg = SiestaConfig { scale, ..Default::default() };
+            let mut cfg = SiestaConfig {
+                scale,
+                ..Default::default()
+            };
             if let Some(i) = ov.iterations {
                 cfg.iterations = i;
             }
@@ -132,12 +150,27 @@ mod tests {
 
     #[test]
     fn parses_options_and_flags() {
-        let (opts, flags) =
-            parse_opts(&args(&["--app", "btmz", "--case", "D", "--gantt", "--dynamic"])).unwrap();
+        let (opts, flags) = parse_opts(&args(&[
+            "--app",
+            "btmz",
+            "--case",
+            "D",
+            "--gantt",
+            "--dynamic",
+        ]))
+        .unwrap();
         assert_eq!(opts.get("app").map(String::as_str), Some("btmz"));
         assert_eq!(opts.get("case").map(String::as_str), Some("D"));
         assert!(flags.contains(&"gantt".to_string()));
         assert!(flags.contains(&"dynamic".to_string()));
+    }
+
+    #[test]
+    fn parses_harness_flags() {
+        let (opts, flags) =
+            parse_opts(&args(&["--app", "btmz", "--jobs", "4", "--no-cache"])).unwrap();
+        assert_eq!(opts.get("jobs").map(String::as_str), Some("4"));
+        assert!(flags.contains(&"no-cache".to_string()));
     }
 
     #[test]
@@ -149,16 +182,21 @@ mod tests {
     #[test]
     fn builds_every_app_and_case() {
         for app in ["metbench", "btmz", "siesta", "synthetic"] {
-            let (progs, case) =
-                build_app(app, "A", AppOverrides { scale: Some(1e-3), ..Default::default() })
-                    .unwrap_or_else(|e| panic!("{app}: {e}"));
+            let (progs, case) = build_app(
+                app,
+                "A",
+                AppOverrides {
+                    scale: Some(1e-3),
+                    ..Default::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("{app}: {e}"));
             assert_eq!(progs.len(), 4, "{app}");
             assert_eq!(case.placement.len(), 4, "{app}");
         }
         // ST variants.
         for app in ["btmz", "siesta"] {
-            let (progs, case) =
-                build_app(app, "ST", AppOverrides::default()).unwrap();
+            let (progs, case) = build_app(app, "ST", AppOverrides::default()).unwrap();
             assert_eq!(progs.len(), 2, "{app} ST");
             assert_eq!(case.name, "ST");
         }
@@ -172,13 +210,25 @@ mod tests {
 
     #[test]
     fn case_names_are_case_insensitive() {
-        let (_, case) = build_app("metbench", "c", AppOverrides { scale: Some(1e-3), ..Default::default() }).unwrap();
+        let (_, case) = build_app(
+            "metbench",
+            "c",
+            AppOverrides {
+                scale: Some(1e-3),
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(case.name, "C");
     }
 
     #[test]
     fn overrides_apply() {
-        let ov = AppOverrides { scale: Some(0.5), iterations: Some(7), seed: Some(99) };
+        let ov = AppOverrides {
+            scale: Some(0.5),
+            iterations: Some(7),
+            seed: Some(99),
+        };
         let (progs, _) = build_app("metbench", "A", ov).unwrap();
         let ops = mtb_mpisim::interp::flatten(&progs[0], 0);
         let barriers = mtb_mpisim::interp::count_sync_epochs(&ops);

@@ -1,0 +1,870 @@
+//! The parallel sweep harness with structured, cached run records.
+//!
+//! Every table/figure binary boils down to the same loop: simulate a list
+//! of independent `(Case, programs)` configurations and render the
+//! results. This module factors that loop out:
+//!
+//! * [`SweepRunner`] fans the simulations over a worker pool
+//!   (`--jobs N`, defaulting to the machine's parallelism) — the engine
+//!   is deterministic, so results are identical at any job count;
+//! * every completed simulation is captured as a [`RunRecord`] — case
+//!   name, priorities, placement, per-rank compute/sync cycles, the full
+//!   timelines and communication log, total cycles and wall-clock — and
+//!   persisted as JSON under `target/mtb-runs/<config-hash>.json`;
+//! * re-running the same configuration reuses the cached record instead
+//!   of re-simulating (`--no-cache` opts out), reconstructing a
+//!   [`RunResult`] that is equal to the original, so rendered tables are
+//!   byte-identical across cached and fresh runs.
+//!
+//! The cache key is an FNV-1a hash over the schema version, the case
+//! (name, priorities, placement) and the debug form of the rank
+//! programs, so any change to the workload or configuration invalidates
+//! the record automatically. Engine changes require bumping
+//! [`SCHEMA_VERSION`].
+
+use crate::json::Json;
+use mtb_core::balance::{execute, StaticRun};
+use mtb_core::paper_cases::Case;
+use mtb_mpisim::engine::RunResult;
+use mtb_mpisim::program::Program;
+use mtb_oskernel::PriorityError;
+use mtb_trace::paraver::CommEvent;
+use mtb_trace::{ProcState, RunMetrics, Timeline, TimelineBuilder};
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Bump when the engine or the record layout changes in a way that makes
+/// old cached records stale.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// 64-bit FNV-1a — the cache's (and the per-case seed's) hash function.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// A deterministic per-case seed: a pure function of the case identity
+/// (name, priorities, placement), stable across processes and job
+/// counts. Sweep binaries that need case-local randomness derive it from
+/// this instead of global state, so a sweep's records are reproducible.
+pub fn case_seed(case: &Case) -> u64 {
+    let mut key = String::new();
+    key.push_str(case.name);
+    key.push('\x1f');
+    key.push_str(&format!("{:?}\x1f{:?}", case.priorities, case.placement));
+    fnv1a(key.as_bytes())
+}
+
+/// Append the full content of each rank program to the hash key.
+/// `Program`'s `Debug` form is intentionally compact (it elides loop
+/// bodies and work sizes), so the key uses the *flattened* per-rank op
+/// streams — which carry every work amount, message size and workload
+/// profile — plus the program names (they become timeline labels).
+fn push_programs(key: &mut String, programs: &[Program]) {
+    for (rank, p) in programs.iter().enumerate() {
+        key.push_str(&format!(
+            "{:?}\x1f{:?}\x1f",
+            p.name,
+            mtb_mpisim::interp::flatten(p, rank)
+        ));
+    }
+}
+
+/// The cache key for a default-configuration case run.
+pub fn config_hash(case: &Case, programs: &[Program]) -> u64 {
+    let mut key = format!("v{SCHEMA_VERSION}\x1f");
+    key.push_str(&format!(
+        "{}\x1f{:?}\x1f{:?}\x1f",
+        case.name, case.priorities, case.placement
+    ));
+    push_programs(&mut key, programs);
+    fnv1a(key.as_bytes())
+}
+
+/// The cache key for a fully-specified [`StaticRun`] (covers kernel
+/// flavour, noise, fidelity, topology and wait policy on top of the
+/// case-level fields).
+pub fn config_hash_static(run: &StaticRun<'_>) -> u64 {
+    let mut key = format!("v{SCHEMA_VERSION}-static\x1f");
+    key.push_str(&format!(
+        "{:?}\x1f{:?}\x1f{:?}\x1f{:?}\x1f{:?}\x1f{}\x1f{:?}\x1f{:?}\x1f",
+        run.placement,
+        run.priorities,
+        run.kernel,
+        run.noise,
+        run.fidelity,
+        run.cores,
+        run.topology,
+        run.wait_policy
+    ));
+    push_programs(&mut key, run.programs);
+    fnv1a(key.as_bytes())
+}
+
+/// One timeline, flattened for the record: `(start, end, state-index)`
+/// triples, state indexed into [`ProcState::ALL`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineRecord {
+    /// Process id.
+    pub pid: u64,
+    /// Display label.
+    pub label: String,
+    /// `(start, end, state)` triples, contiguous and ordered.
+    pub intervals: Vec<(u64, u64, u8)>,
+}
+
+/// One point-to-point message, flattened for the record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommRecord {
+    /// Sender pid.
+    pub from: u64,
+    /// Receiver pid.
+    pub to: u64,
+    /// Payload bytes.
+    pub bytes: u64,
+    /// Send-post time.
+    pub send_time: u64,
+    /// Arrival time.
+    pub recv_time: u64,
+}
+
+/// The structured result of one case simulation — everything needed to
+/// reconstruct the [`RunResult`] (and hence re-render any table or Gantt
+/// byte-identically) without re-simulating.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunRecord {
+    /// Record layout version ([`SCHEMA_VERSION`] at write time).
+    pub schema: u64,
+    /// The case label.
+    pub case: String,
+    /// Per-rank priorities, in debug form (provenance, not reparsed).
+    pub priorities: Vec<String>,
+    /// Rank-to-context placement, in debug form.
+    pub placement: Vec<String>,
+    /// Wall-clock seconds the simulation took when the record was made.
+    pub wall_secs: f64,
+    /// Per-rank useful-compute cycles.
+    pub compute_cycles: Vec<u64>,
+    /// Per-rank synchronization-wait cycles.
+    pub sync_cycles: Vec<u64>,
+    /// Per-rank instructions retired.
+    pub retired: Vec<u64>,
+    /// Per-rank cycles stolen by noise.
+    pub interrupt_cycles: Vec<u64>,
+    /// Per-rank busy cycles.
+    pub busy_cycles: Vec<u64>,
+    /// Per-rank spin-wait cycles.
+    pub spin_cycles: Vec<u64>,
+    /// Total execution time in cycles.
+    pub total_cycles: u64,
+    /// Full per-rank timelines.
+    pub timelines: Vec<TimelineRecord>,
+    /// Full communication log.
+    pub comm: Vec<CommRecord>,
+}
+
+fn state_index(s: ProcState) -> u8 {
+    ProcState::ALL
+        .iter()
+        .position(|&x| x == s)
+        .expect("state present in ALL") as u8
+}
+
+impl RunRecord {
+    /// Capture a completed simulation.
+    pub fn from_run(case: &Case, result: &RunResult, wall_secs: f64) -> RunRecord {
+        RunRecord {
+            schema: SCHEMA_VERSION,
+            case: case.name.to_string(),
+            priorities: case.priorities.iter().map(|p| format!("{p:?}")).collect(),
+            placement: case.placement.iter().map(|a| format!("{a:?}")).collect(),
+            wall_secs,
+            compute_cycles: result.compute_cycles(),
+            sync_cycles: result.sync_cycles(),
+            retired: result.retired.clone(),
+            interrupt_cycles: result.interrupt_cycles.clone(),
+            busy_cycles: result.busy_cycles.clone(),
+            spin_cycles: result.spin_cycles.clone(),
+            total_cycles: result.total_cycles,
+            timelines: result
+                .timelines
+                .iter()
+                .map(|t| TimelineRecord {
+                    pid: t.pid as u64,
+                    label: t.label.clone(),
+                    intervals: t
+                        .intervals()
+                        .iter()
+                        .map(|iv| (iv.start, iv.end, state_index(iv.state)))
+                        .collect(),
+                })
+                .collect(),
+            comm: result
+                .comm_log
+                .iter()
+                .map(|e| CommRecord {
+                    from: e.from as u64,
+                    to: e.to as u64,
+                    bytes: e.bytes,
+                    send_time: e.send_time,
+                    recv_time: e.recv_time,
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild the full [`RunResult`]. Timelines are replayed through
+    /// [`TimelineBuilder`] (the same path the engine uses) and metrics
+    /// recomputed with [`RunMetrics::from_timelines`], which is a pure
+    /// function of the timelines — so the reconstruction compares equal
+    /// to the original result.
+    pub fn to_run_result(&self) -> RunResult {
+        let timelines: Vec<Timeline> = self
+            .timelines
+            .iter()
+            .map(|t| {
+                let mut ivs = t.intervals.iter();
+                let Some(&(s0, _, st0)) = ivs.next() else {
+                    return TimelineBuilder::new(
+                        t.pid as usize,
+                        t.label.clone(),
+                        0,
+                        ProcState::Idle,
+                    )
+                    .finish(0);
+                };
+                let mut b = TimelineBuilder::new(
+                    t.pid as usize,
+                    t.label.clone(),
+                    s0,
+                    ProcState::ALL[st0 as usize],
+                );
+                let mut end = t.intervals[0].1;
+                for &(s, e, st) in ivs {
+                    b.enter(ProcState::ALL[st as usize], s);
+                    end = e;
+                }
+                b.finish(end)
+            })
+            .collect();
+        let metrics = RunMetrics::from_timelines(&timelines);
+        RunResult {
+            timelines,
+            metrics,
+            retired: self.retired.clone(),
+            interrupt_cycles: self.interrupt_cycles.clone(),
+            busy_cycles: self.busy_cycles.clone(),
+            spin_cycles: self.spin_cycles.clone(),
+            comm_log: self
+                .comm
+                .iter()
+                .map(|c| CommEvent {
+                    from: c.from as usize,
+                    to: c.to as usize,
+                    bytes: c.bytes,
+                    send_time: c.send_time,
+                    recv_time: c.recv_time,
+                })
+                .collect(),
+            total_cycles: self.total_cycles,
+        }
+    }
+
+    /// Serialize to compact JSON.
+    pub fn to_json(&self) -> String {
+        let uints = |v: &[u64]| Json::Arr(v.iter().map(|&n| Json::UInt(n)).collect());
+        let strs = |v: &[String]| Json::Arr(v.iter().map(|s| Json::Str(s.clone())).collect());
+        Json::Obj(vec![
+            ("schema".into(), Json::UInt(self.schema)),
+            ("case".into(), Json::Str(self.case.clone())),
+            ("priorities".into(), strs(&self.priorities)),
+            ("placement".into(), strs(&self.placement)),
+            ("wall_secs".into(), Json::Float(self.wall_secs)),
+            ("compute_cycles".into(), uints(&self.compute_cycles)),
+            ("sync_cycles".into(), uints(&self.sync_cycles)),
+            ("retired".into(), uints(&self.retired)),
+            ("interrupt_cycles".into(), uints(&self.interrupt_cycles)),
+            ("busy_cycles".into(), uints(&self.busy_cycles)),
+            ("spin_cycles".into(), uints(&self.spin_cycles)),
+            ("total_cycles".into(), Json::UInt(self.total_cycles)),
+            (
+                "timelines".into(),
+                Json::Arr(
+                    self.timelines
+                        .iter()
+                        .map(|t| {
+                            Json::Obj(vec![
+                                ("pid".into(), Json::UInt(t.pid)),
+                                ("label".into(), Json::Str(t.label.clone())),
+                                (
+                                    "intervals".into(),
+                                    Json::Arr(
+                                        t.intervals
+                                            .iter()
+                                            .map(|&(s, e, st)| {
+                                                Json::Arr(vec![
+                                                    Json::UInt(s),
+                                                    Json::UInt(e),
+                                                    Json::UInt(st as u64),
+                                                ])
+                                            })
+                                            .collect(),
+                                    ),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "comm".into(),
+                Json::Arr(
+                    self.comm
+                        .iter()
+                        .map(|c| {
+                            Json::Arr(vec![
+                                Json::UInt(c.from),
+                                Json::UInt(c.to),
+                                Json::UInt(c.bytes),
+                                Json::UInt(c.send_time),
+                                Json::UInt(c.recv_time),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+        .render()
+    }
+
+    /// Parse a record back from JSON text.
+    pub fn from_json(text: &str) -> Result<RunRecord, String> {
+        let doc = Json::parse(text)?;
+        let field = |k: &str| doc.get(k).ok_or_else(|| format!("missing field {k:?}"));
+        let uints = |k: &str| -> Result<Vec<u64>, String> {
+            field(k)?
+                .as_arr()
+                .ok_or_else(|| format!("{k} not an array"))?
+                .iter()
+                .map(|v| v.as_u64().ok_or_else(|| format!("{k}: non-integer entry")))
+                .collect()
+        };
+        let strs = |k: &str| -> Result<Vec<String>, String> {
+            field(k)?
+                .as_arr()
+                .ok_or_else(|| format!("{k} not an array"))?
+                .iter()
+                .map(|v| {
+                    v.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("{k}: non-string entry"))
+                })
+                .collect()
+        };
+        let timelines = field("timelines")?
+            .as_arr()
+            .ok_or("timelines not an array")?
+            .iter()
+            .map(|t| {
+                let ivs = t
+                    .get("intervals")
+                    .and_then(Json::as_arr)
+                    .ok_or("timeline missing intervals")?
+                    .iter()
+                    .map(|iv| {
+                        let triple = iv.as_arr().ok_or("interval not a triple")?;
+                        match triple {
+                            [s, e, st] => {
+                                let st = st.as_u64().ok_or("bad state index")? as usize;
+                                if st >= ProcState::ALL.len() {
+                                    return Err(format!("state index {st} out of range"));
+                                }
+                                Ok((
+                                    s.as_u64().ok_or("bad interval start")?,
+                                    e.as_u64().ok_or("bad interval end")?,
+                                    st as u8,
+                                ))
+                            }
+                            _ => Err("interval not a triple".into()),
+                        }
+                    })
+                    .collect::<Result<Vec<_>, String>>()?;
+                Ok(TimelineRecord {
+                    pid: t
+                        .get("pid")
+                        .and_then(Json::as_u64)
+                        .ok_or("timeline missing pid")?,
+                    label: t
+                        .get("label")
+                        .and_then(Json::as_str)
+                        .ok_or("timeline missing label")?
+                        .to_string(),
+                    intervals: ivs,
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        let comm = field("comm")?
+            .as_arr()
+            .ok_or("comm not an array")?
+            .iter()
+            .map(|c| {
+                let v = c.as_arr().ok_or("comm entry not an array")?;
+                match v {
+                    [f, t, b, s, r] => Ok(CommRecord {
+                        from: f.as_u64().ok_or("bad comm.from")?,
+                        to: t.as_u64().ok_or("bad comm.to")?,
+                        bytes: b.as_u64().ok_or("bad comm.bytes")?,
+                        send_time: s.as_u64().ok_or("bad comm.send_time")?,
+                        recv_time: r.as_u64().ok_or("bad comm.recv_time")?,
+                    }),
+                    _ => Err("comm entry not a 5-tuple".to_string()),
+                }
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(RunRecord {
+            schema: field("schema")?.as_u64().ok_or("bad schema")?,
+            case: field("case")?.as_str().ok_or("bad case")?.to_string(),
+            priorities: strs("priorities")?,
+            placement: strs("placement")?,
+            wall_secs: field("wall_secs")?.as_f64().ok_or("bad wall_secs")?,
+            compute_cycles: uints("compute_cycles")?,
+            sync_cycles: uints("sync_cycles")?,
+            retired: uints("retired")?,
+            interrupt_cycles: uints("interrupt_cycles")?,
+            busy_cycles: uints("busy_cycles")?,
+            spin_cycles: uints("spin_cycles")?,
+            total_cycles: field("total_cycles")?.as_u64().ok_or("bad total_cycles")?,
+            timelines,
+            comm,
+        })
+    }
+}
+
+/// Harness configuration, normally parsed from the process arguments.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Worker threads for [`SweepRunner::run_sweep`].
+    pub jobs: usize,
+    /// Whether to read/write the on-disk record cache.
+    pub cache: bool,
+    /// Record directory.
+    pub dir: PathBuf,
+}
+
+fn default_run_dir() -> PathBuf {
+    // An empty MTB_RUN_DIR would scatter records into the cwd; treat it
+    // as unset.
+    if let Ok(d) = std::env::var("MTB_RUN_DIR") {
+        if !d.is_empty() {
+            return PathBuf::from(d);
+        }
+    }
+    // Resolve relative to the workspace, not the cwd, so `cargo test`
+    // (which runs with the crate directory as cwd) and `cargo run` agree.
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/mtb-runs")
+}
+
+impl Default for SweepOptions {
+    fn default() -> SweepOptions {
+        SweepOptions {
+            jobs: std::thread::available_parallelism().map_or(1, usize::from),
+            cache: true,
+            dir: default_run_dir(),
+        }
+    }
+}
+
+impl SweepOptions {
+    /// Parse `--jobs N` (or `--jobs=N`) and `--no-cache` from the process
+    /// arguments; everything else is left for the binary's own parser.
+    pub fn from_env() -> SweepOptions {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// [`SweepOptions::from_env`] over an explicit argument list.
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> SweepOptions {
+        let mut opts = SweepOptions::default();
+        let mut args = args.into_iter().peekable();
+        while let Some(a) = args.next() {
+            if a == "--no-cache" {
+                opts.cache = false;
+            } else if a == "--jobs" {
+                if let Some(n) = args.peek().and_then(|v| v.parse().ok()) {
+                    opts.jobs = n;
+                    args.next();
+                }
+            } else if let Some(n) = a.strip_prefix("--jobs=").and_then(|v| v.parse().ok()) {
+                opts.jobs = n;
+            }
+        }
+        opts.jobs = opts.jobs.max(1);
+        opts
+    }
+}
+
+/// Cumulative harness counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SweepStats {
+    /// Cases asked for (cached or simulated).
+    pub cases_run: usize,
+    /// Cases served from the record cache.
+    pub cache_hits: usize,
+    /// Wall-clock seconds spent producing them.
+    pub wall_secs: f64,
+}
+
+impl SweepStats {
+    /// The harness summary line.
+    pub fn line(&self) -> String {
+        let rate = if self.wall_secs > 0.0 {
+            self.cases_run as f64 / self.wall_secs
+        } else {
+            f64::INFINITY
+        };
+        format!(
+            "harness: {} case{} ({} cached) in {:.2}s — {:.1} cases/s",
+            self.cases_run,
+            if self.cases_run == 1 { "" } else { "s" },
+            self.cache_hits,
+            self.wall_secs,
+            rate
+        )
+    }
+}
+
+/// Runs sweeps of independent case simulations over a worker pool,
+/// caching each result as a [`RunRecord`] on disk.
+pub struct SweepRunner {
+    opts: SweepOptions,
+    stats: Mutex<SweepStats>,
+}
+
+impl SweepRunner {
+    /// A runner with explicit options.
+    pub fn new(opts: SweepOptions) -> SweepRunner {
+        SweepRunner {
+            opts,
+            stats: Mutex::new(SweepStats::default()),
+        }
+    }
+
+    /// The process-wide runner, configured from the command line on
+    /// first use.
+    pub fn global() -> &'static SweepRunner {
+        static GLOBAL: OnceLock<SweepRunner> = OnceLock::new();
+        GLOBAL.get_or_init(|| SweepRunner::new(SweepOptions::from_env()))
+    }
+
+    /// The options this runner was built with.
+    pub fn options(&self) -> &SweepOptions {
+        &self.opts
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> SweepStats {
+        *self.stats.lock().unwrap()
+    }
+
+    fn record_path(&self, hash: u64) -> PathBuf {
+        self.opts.dir.join(format!("{hash:016x}.json"))
+    }
+
+    fn load_record(&self, hash: u64) -> Option<RunRecord> {
+        if !self.opts.cache {
+            return None;
+        }
+        let text = std::fs::read_to_string(self.record_path(hash)).ok()?;
+        let record = RunRecord::from_json(&text).ok()?;
+        (record.schema == SCHEMA_VERSION).then_some(record)
+    }
+
+    fn store_record(&self, hash: u64, record: &RunRecord) {
+        if !self.opts.cache {
+            return;
+        }
+        // Best-effort: a read-only disk degrades to never caching.
+        if std::fs::create_dir_all(&self.opts.dir).is_err() {
+            return;
+        }
+        let path = self.record_path(hash);
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        if std::fs::write(&tmp, record.to_json()).is_ok() {
+            let _ = std::fs::rename(&tmp, &path);
+        }
+    }
+
+    fn account(&self, cached: bool, wall: f64) {
+        let mut s = self.stats.lock().unwrap();
+        s.cases_run += 1;
+        s.cache_hits += cached as usize;
+        s.wall_secs += wall;
+    }
+
+    /// Run one case (cache-aware): the byte-compatible replacement for
+    /// the old uncached `run_case`.
+    ///
+    /// # Panics
+    /// Panics when the priority configuration is invalid for the kernel.
+    pub fn run_case(&self, programs: &[Program], case: &Case) -> RunResult {
+        let t0 = Instant::now();
+        let hash = config_hash(case, programs);
+        if let Some(record) = self.load_record(hash) {
+            let result = record.to_run_result();
+            self.account(true, t0.elapsed().as_secs_f64());
+            return result;
+        }
+        let result = execute(
+            StaticRun::new(programs, case.placement.clone())
+                .with_priorities(case.priorities.clone()),
+        )
+        .unwrap_or_else(|e| panic!("case {} failed: {e}", case.name));
+        let wall = t0.elapsed().as_secs_f64();
+        self.store_record(hash, &RunRecord::from_run(case, &result, wall));
+        self.account(false, wall);
+        result
+    }
+
+    /// Run a fully-specified [`StaticRun`] through the cache. Covers the
+    /// extension binaries that vary kernel flavour, noise, fidelity,
+    /// topology or wait policy beyond what a [`Case`] expresses.
+    pub fn run_static(&self, run: StaticRun<'_>) -> Result<RunResult, PriorityError> {
+        let t0 = Instant::now();
+        let hash = config_hash_static(&run);
+        if let Some(record) = self.load_record(hash) {
+            let result = record.to_run_result();
+            self.account(true, t0.elapsed().as_secs_f64());
+            return Ok(result);
+        }
+        let case = Case {
+            name: "static",
+            placement: run.placement.clone(),
+            priorities: run.priorities.clone(),
+        };
+        let result = execute(run)?;
+        let wall = t0.elapsed().as_secs_f64();
+        self.store_record(hash, &RunRecord::from_run(&case, &result, wall));
+        self.account(false, wall);
+        Ok(result)
+    }
+
+    /// Fan the cases over the worker pool and return the results in case
+    /// order. The engine is deterministic and the cases independent, so
+    /// the output is identical at every job count; with one job the pool
+    /// is skipped entirely.
+    pub fn run_sweep(
+        &self,
+        cases: Vec<Case>,
+        programs_for: impl Fn(&Case) -> Vec<Program> + Sync,
+    ) -> Vec<(Case, RunResult)> {
+        let n = cases.len();
+        let jobs = self.opts.jobs.min(n).max(1);
+        if jobs == 1 {
+            return cases
+                .into_iter()
+                .map(|case| {
+                    let progs = programs_for(&case);
+                    let result = self.run_case(&progs, &case);
+                    (case, result)
+                })
+                .collect();
+        }
+        let slots: Vec<Mutex<Option<RunResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let progs = programs_for(&cases[i]);
+                    let result = self.run_case(&progs, &cases[i]);
+                    *slots[i].lock().unwrap() = Some(result);
+                });
+            }
+        });
+        cases
+            .into_iter()
+            .zip(slots)
+            .map(|(case, slot)| {
+                let result = slot
+                    .into_inner()
+                    .unwrap()
+                    .expect("worker filled every slot");
+                (case, result)
+            })
+            .collect()
+    }
+}
+
+/// [`SweepRunner::run_static`] on the global runner — the drop-in
+/// cached replacement for `mtb_core::balance::execute` in the extension
+/// binaries.
+pub fn run_static(run: StaticRun<'_>) -> Result<RunResult, PriorityError> {
+    SweepRunner::global().run_static(run)
+}
+
+/// Print the global runner's cumulative summary line to stderr (stdout
+/// stays byte-compatible with the uncached harness). No-op when nothing
+/// ran.
+pub fn print_summary() {
+    let stats = SweepRunner::global().stats();
+    if stats.cases_run > 0 {
+        eprintln!("{}", stats.line());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mtb_core::paper_cases::metbench_cases;
+    use mtb_workloads::metbench::MetBenchConfig;
+    use std::sync::atomic::AtomicU32;
+
+    fn temp_runner(jobs: usize, cache: bool) -> SweepRunner {
+        static NONCE: AtomicU32 = AtomicU32::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "mtb-harness-test-{}-{}",
+            std::process::id(),
+            NONCE.fetch_add(1, Ordering::Relaxed)
+        ));
+        SweepRunner::new(SweepOptions { jobs, cache, dir })
+    }
+
+    fn tiny_runs(runner: &SweepRunner) -> Vec<(Case, RunResult)> {
+        let cfg = MetBenchConfig::tiny();
+        runner.run_sweep(metbench_cases(), |_| cfg.programs())
+    }
+
+    #[test]
+    fn record_json_round_trips_losslessly() {
+        let runner = temp_runner(1, false);
+        let runs = tiny_runs(&runner);
+        for (case, result) in &runs {
+            let record = RunRecord::from_run(case, result, 0.0625);
+            let text = record.to_json();
+            let back = RunRecord::from_json(&text).unwrap();
+            assert_eq!(back, record, "record round-trip for case {}", case.name);
+            // And the reconstructed RunResult is equal to the original —
+            // timelines, metrics, logs, everything a renderer consumes.
+            assert_eq!(&back.to_run_result(), result, "case {}", case.name);
+        }
+    }
+
+    #[test]
+    fn record_captures_per_rank_breakdown() {
+        let runner = temp_runner(1, false);
+        let (case, result) = tiny_runs(&runner).remove(0);
+        let record = RunRecord::from_run(&case, &result, 0.0);
+        assert_eq!(record.compute_cycles.len(), result.timelines.len());
+        assert_eq!(record.compute_cycles, result.compute_cycles());
+        assert_eq!(record.sync_cycles, result.sync_cycles());
+        assert!(record.total_cycles > 0);
+        assert_eq!(record.priorities.len(), case.priorities.len());
+    }
+
+    #[test]
+    fn second_sweep_is_served_from_cache() {
+        let runner = temp_runner(2, true);
+        let first = tiny_runs(&runner);
+        let after_first = runner.stats();
+        assert_eq!(after_first.cases_run, 4);
+        assert_eq!(after_first.cache_hits, 0, "cold cache");
+        let second = tiny_runs(&runner);
+        let after_second = runner.stats();
+        assert_eq!(after_second.cases_run, 8);
+        assert_eq!(after_second.cache_hits, 4, "warm cache");
+        for ((c1, r1), (c2, r2)) in first.iter().zip(&second) {
+            assert_eq!(c1.name, c2.name);
+            assert_eq!(r1, r2, "cached result differs for case {}", c1.name);
+        }
+        let _ = std::fs::remove_dir_all(&runner.options().dir);
+    }
+
+    #[test]
+    fn job_count_does_not_change_results() {
+        let serial = tiny_runs(&temp_runner(1, false));
+        let parallel = tiny_runs(&temp_runner(4, false));
+        assert_eq!(serial.len(), parallel.len());
+        for ((c1, r1), (c2, r2)) in serial.iter().zip(&parallel) {
+            assert_eq!(c1.name, c2.name, "case order is preserved");
+            assert_eq!(r1, r2, "case {}", c1.name);
+        }
+    }
+
+    #[test]
+    fn config_hash_separates_configurations() {
+        let cfg = MetBenchConfig::tiny();
+        let progs = cfg.programs();
+        let cases = metbench_cases();
+        let h: Vec<u64> = cases.iter().map(|c| config_hash(c, &progs)).collect();
+        for i in 0..h.len() {
+            for j in i + 1..h.len() {
+                assert_ne!(h[i], h[j], "{} vs {}", cases[i].name, cases[j].name);
+            }
+        }
+        // Changing the programs changes the hash too.
+        let other = MetBenchConfig {
+            scale: 0.5,
+            ..MetBenchConfig::tiny()
+        }
+        .programs();
+        assert_ne!(
+            config_hash(&cases[0], &progs),
+            config_hash(&cases[0], &other)
+        );
+    }
+
+    #[test]
+    fn case_seed_is_a_pure_function_of_the_case() {
+        let cases = metbench_cases();
+        assert_eq!(case_seed(&cases[0]), case_seed(&metbench_cases()[0]));
+        assert_ne!(case_seed(&cases[0]), case_seed(&cases[1]));
+    }
+
+    #[test]
+    fn options_parse_jobs_and_no_cache() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let o = SweepOptions::from_args(args(&["--jobs", "3", "--no-cache", "--app", "btmz"]));
+        assert_eq!(o.jobs, 3);
+        assert!(!o.cache);
+        let o = SweepOptions::from_args(args(&["--jobs=2"]));
+        assert_eq!(o.jobs, 2);
+        assert!(o.cache);
+        let o = SweepOptions::from_args(args(&["--jobs", "0"]));
+        assert_eq!(o.jobs, 1, "job count is clamped to at least 1");
+        // Malformed --jobs values fall back to the default.
+        let d = SweepOptions::default();
+        assert_eq!(SweepOptions::from_args(args(&["--jobs", "x"])).jobs, d.jobs);
+    }
+
+    #[test]
+    fn stale_schema_records_are_ignored() {
+        let runner = temp_runner(1, true);
+        let cfg = MetBenchConfig::tiny();
+        let progs = cfg.programs();
+        let case = metbench_cases().remove(0);
+        let hash = config_hash(&case, &progs);
+        let result = runner.run_case(&progs, &case);
+        let mut record = RunRecord::from_run(&case, &result, 0.0);
+        record.schema = SCHEMA_VERSION + 1;
+        std::fs::create_dir_all(&runner.options().dir).unwrap();
+        std::fs::write(runner.record_path(hash), record.to_json()).unwrap();
+        let fresh = temp_runner(1, true);
+        let again = SweepRunner::new(SweepOptions {
+            dir: runner.options().dir.clone(),
+            ..fresh.opts
+        });
+        let r2 = again.run_case(&progs, &case);
+        assert_eq!(again.stats().cache_hits, 0, "stale schema must not hit");
+        assert_eq!(r2, result);
+        let _ = std::fs::remove_dir_all(&runner.options().dir);
+    }
+}

@@ -1,0 +1,429 @@
+//! A minimal JSON value, writer and parser.
+//!
+//! The run cache (`harness` module) persists structured run records to
+//! disk; the workspace builds offline, so instead of `serde_json` this is
+//! a small hand-rolled codec covering exactly what the records need:
+//! objects, arrays, strings, booleans, null, unsigned integers and
+//! finite floats.
+//!
+//! Losslessness contract: `u64` values round-trip exactly (they are
+//! written as bare integers and re-parsed with `u64::from_str`), and
+//! finite `f64` values round-trip exactly (written with Rust's
+//! shortest-round-trip `{:?}` formatting, re-parsed with
+//! `f64::from_str`). Non-finite floats are rejected at write time.
+
+use std::fmt::Write as _;
+
+/// A JSON document node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A non-negative integer (the cache records' native number type).
+    UInt(u64),
+    /// Any other finite number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a key in an object node.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, when it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::UInt(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (integers coerce).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(n) => Some(*n as f64),
+            Json::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, when it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Serialize to compact JSON text.
+    ///
+    /// # Panics
+    /// Panics on non-finite floats — the cache never produces them, and
+    /// JSON cannot represent them.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+
+    fn render_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::UInt(n) => {
+                let _ = write!(out, "{n}");
+            }
+            Json::Float(x) => {
+                assert!(x.is_finite(), "JSON cannot encode {x}");
+                // `{:?}` is Rust's shortest representation that parses
+                // back to the same bits.
+                let _ = write!(out, "{x:?}");
+            }
+            Json::Str(s) => render_string(s, out),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    render_string(k, out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse JSON text. Rejects trailing garbage.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+fn render_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|c| c as char)
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E') | Some(b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        let tok = std::str::from_utf8(&self.bytes[start..self.pos]).map_err(|e| e.to_string())?;
+        if !tok.contains(['.', 'e', 'E', '-', '+']) {
+            if let Ok(n) = tok.parse::<u64>() {
+                return Ok(Json::UInt(n));
+            }
+        }
+        tok.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|e| format!("bad number {tok:?} at byte {start}: {e}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                16,
+                            )
+                            .map_err(|e| e.to_string())?;
+                            out.push(
+                                char::from_u32(code).ok_or(format!("bad \\u escape {code:#x}"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?} at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 scalar.
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).map_err(|e| e.to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or ']' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                other => {
+                    return Err(format!(
+                        "expected ',' or '}}' at byte {}, found {:?}",
+                        self.pos,
+                        other.map(|c| c as char)
+                    ))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::UInt(0),
+            Json::UInt(u64::MAX),
+            Json::Float(0.1),
+            Json::Float(-1.5e300),
+            Json::Str("he\"llo\\\n\tworld ß∂".into()),
+        ] {
+            let text = v.render();
+            assert_eq!(Json::parse(&text).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn u64_is_exact_beyond_f64_precision() {
+        // 2^53 + 1 is not representable as f64; the UInt path must keep it.
+        let v = Json::UInt((1 << 53) + 1);
+        assert_eq!(
+            Json::parse(&v.render()).unwrap().as_u64(),
+            Some((1 << 53) + 1)
+        );
+    }
+
+    #[test]
+    fn nested_structures_round_trip() {
+        let v = Json::Obj(vec![
+            (
+                "a".into(),
+                Json::Arr(vec![Json::UInt(1), Json::Float(2.5), Json::Null]),
+            ),
+            (
+                "b".into(),
+                Json::Obj(vec![("c".into(), Json::Str("d".into()))]),
+            ),
+            ("empty".into(), Json::Arr(vec![])),
+            ("none".into(), Json::Obj(vec![])),
+        ]);
+        let text = v.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back.get("b").unwrap().get("c").unwrap().as_str(), Some("d"));
+        assert_eq!(back.get("a").unwrap().as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn whitespace_and_escapes_parse() {
+        let v = Json::parse(" { \"k\" : [ 1 , \"\\u0041\\n\" , true ] } ").unwrap();
+        let arr = v.get("k").unwrap().as_arr().unwrap();
+        assert_eq!(arr[0].as_u64(), Some(1));
+        assert_eq!(arr[1].as_str(), Some("A\n"));
+        assert_eq!(arr[2], Json::Bool(true));
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"abc",
+            "{\"a\" 1}",
+            "nul",
+            "1 2",
+            "{\"a\":}",
+        ] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+}

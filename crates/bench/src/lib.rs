@@ -6,41 +6,47 @@
 //! same rows the paper reports; `EXPERIMENTS.md` records the comparison.
 
 pub mod cli;
+pub mod harness;
+pub mod json;
 
+use harness::SweepRunner;
 use mtb_core::analysis::{improvements_over, render_case_table};
-use mtb_core::balance::{execute, StaticRun};
 use mtb_core::paper_cases::Case;
 use mtb_mpisim::engine::RunResult;
 use mtb_mpisim::program::Program;
 use mtb_trace::{cycles_to_seconds, render_gantt, GanttConfig};
 
-/// Execute `case` over `programs`.
+/// Execute `case` over `programs`, through the global run-record cache
+/// (`--no-cache` to force a fresh simulation).
 ///
 /// # Panics
 /// Panics when the priority configuration is invalid for the kernel — the
 /// paper-case configurations are always valid on the patched kernel.
 pub fn run_case(programs: &[Program], case: &Case) -> RunResult {
-    execute(
-        StaticRun::new(programs, case.placement.clone())
-            .with_priorities(case.priorities.clone()),
-    )
-    .unwrap_or_else(|e| panic!("case {} failed: {e}", case.name))
+    SweepRunner::global().run_case(programs, case)
 }
 
 /// Run every case with programs built per rank count (ST rows use 2-rank
-/// programs).
+/// programs), fanned over the harness worker pool (`--jobs N`), and print
+/// the harness summary line to stderr.
 pub fn run_cases(
     cases: Vec<Case>,
-    programs_for: impl Fn(&Case) -> Vec<Program>,
+    programs_for: impl Fn(&Case) -> Vec<Program> + Sync,
 ) -> Vec<(Case, RunResult)> {
-    cases
-        .into_iter()
-        .map(|case| {
-            let progs = programs_for(&case);
-            let result = run_case(&progs, &case);
-            (case, result)
-        })
-        .collect()
+    let runner = SweepRunner::global();
+    let before = runner.stats();
+    let t0 = std::time::Instant::now();
+    let runs = runner.run_sweep(cases, programs_for);
+    let after = runner.stats();
+    let sweep = harness::SweepStats {
+        cases_run: after.cases_run - before.cases_run,
+        cache_hits: after.cache_hits - before.cache_hits,
+        // Elapsed sweep time, not summed per-case time — with several
+        // jobs the latter exceeds the wall clock.
+        wall_secs: t0.elapsed().as_secs_f64(),
+    };
+    eprintln!("{}", sweep.line());
+    runs
 }
 
 /// Render the paper-style table plus the improvement summary.
@@ -51,7 +57,11 @@ pub fn report(title: &str, reference: &str, runs: &[(Case, RunResult)]) -> Strin
         out.push_str(&format!(
             "case {name}: exec {:.2}s, improvement over {reference}: {imp:+.2}%\n",
             cycles_to_seconds(
-                runs.iter().find(|(c, _)| c.name == name).unwrap().1.total_cycles
+                runs.iter()
+                    .find(|(c, _)| c.name == name)
+                    .unwrap()
+                    .1
+                    .total_cycles
             )
         ));
     }

@@ -25,7 +25,15 @@ fn help_prints_usage() {
 #[test]
 fn run_executes_a_tiny_case() {
     let (ok, stdout, stderr) = mtb(&[
-        "run", "--app", "metbench", "--case", "C", "--scale", "0.001", "--iterations", "5",
+        "run",
+        "--app",
+        "metbench",
+        "--case",
+        "C",
+        "--scale",
+        "0.001",
+        "--iterations",
+        "5",
     ]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("metbench case C"), "{stdout}");
@@ -35,7 +43,14 @@ fn run_executes_a_tiny_case() {
 #[test]
 fn run_with_gantt_renders_a_chart() {
     let (ok, stdout, _) = mtb(&[
-        "run", "--app", "synthetic", "--scale", "0.001", "--iterations", "2", "--gantt",
+        "run",
+        "--app",
+        "synthetic",
+        "--scale",
+        "0.001",
+        "--iterations",
+        "2",
+        "--gantt",
     ]);
     assert!(ok);
     assert!(stdout.contains("legend:"), "{stdout}");
@@ -44,7 +59,14 @@ fn run_with_gantt_renders_a_chart() {
 #[test]
 fn dynamic_flag_reports_policy_activity() {
     let (ok, stdout, _) = mtb(&[
-        "run", "--app", "metbench", "--scale", "0.002", "--iterations", "10", "--dynamic",
+        "run",
+        "--app",
+        "metbench",
+        "--scale",
+        "0.002",
+        "--iterations",
+        "10",
+        "--dynamic",
     ]);
     assert!(ok);
     assert!(stdout.contains("dynamic policy:"), "{stdout}");
@@ -55,7 +77,10 @@ fn vanilla_kernel_rejects_procfs_cases() {
     let (ok, _, stderr) = mtb(&[
         "run", "--app", "metbench", "--case", "C", "--scale", "0.001", "--kernel", "vanilla",
     ]);
-    assert!(!ok, "case C needs priority 6 via procfs — impossible on vanilla");
+    assert!(
+        !ok,
+        "case C needs priority 6 via procfs — impossible on vanilla"
+    );
     assert!(stderr.contains("hmt_priority"), "{stderr}");
 }
 

@@ -7,8 +7,8 @@
 
 use crate::paper_cases::Case;
 use mtb_mpisim::engine::RunResult;
-use mtb_trace::table::{secs, Table};
 use mtb_trace::cycles_to_seconds;
+use mtb_trace::table::{secs, Table};
 
 /// One process row of a characterization table.
 #[derive(Debug, Clone, PartialEq)]
@@ -34,10 +34,7 @@ pub fn characterize(case: &Case, result: &RunResult) -> Vec<CaseRow> {
         .map(|p| CaseRow {
             proc: p.label.clone(),
             core: case.placement[p.pid].core + 1,
-            priority: case
-                .priorities
-                .get(p.pid)
-                .map_or(4, |s| s.requested()),
+            priority: case.priorities.get(p.pid).map_or(4, |s| s.requested()),
             comp_pct: p.comp_pct,
             sync_pct: p.sync_pct,
         })
@@ -46,8 +43,17 @@ pub fn characterize(case: &Case, result: &RunResult) -> Vec<CaseRow> {
 
 /// Render a full paper-style table for a set of (case, result) pairs.
 pub fn render_case_table(title: &str, runs: &[(Case, RunResult)]) -> String {
-    let mut t = Table::new(&["Test", "Proc", "Core", "P", "Comp %", "Sync %", "Imb %", "Exec. Time"])
-        .with_title(title.to_string());
+    let mut t = Table::new(&[
+        "Test",
+        "Proc",
+        "Core",
+        "P",
+        "Comp %",
+        "Sync %",
+        "Imb %",
+        "Exec. Time",
+    ])
+    .with_title(title.to_string());
     for (i, (case, result)) in runs.iter().enumerate() {
         if i > 0 {
             t.separator();
@@ -56,7 +62,11 @@ pub fn render_case_table(title: &str, runs: &[(Case, RunResult)]) -> String {
         for (j, r) in rows.iter().enumerate() {
             let first = j == 0;
             t.row_owned(vec![
-                if first { case.name.to_string() } else { String::new() },
+                if first {
+                    case.name.to_string()
+                } else {
+                    String::new()
+                },
                 r.proc.clone(),
                 r.core.to_string(),
                 r.priority.to_string(),
@@ -79,10 +89,7 @@ pub fn render_case_table(title: &str, runs: &[(Case, RunResult)]) -> String {
 }
 
 /// Improvement (%) of each case over the named reference case.
-pub fn improvements_over(
-    reference: &str,
-    runs: &[(Case, RunResult)],
-) -> Vec<(String, f64)> {
+pub fn improvements_over(reference: &str, runs: &[(Case, RunResult)]) -> Vec<(String, f64)> {
     let Some(ref_run) = runs.iter().find(|(c, _)| c.name == reference) else {
         return Vec::new();
     };
@@ -109,8 +116,7 @@ mod tests {
         let progs = cfg.programs();
         let case = metbench_cases().remove(0);
         let r = execute(
-            StaticRun::new(&progs, case.placement.clone())
-                .with_priorities(case.priorities.clone()),
+            StaticRun::new(&progs, case.placement.clone()).with_priorities(case.priorities.clone()),
         )
         .unwrap();
         (case, r)

@@ -147,7 +147,11 @@ mod tests {
         // The Figure 1 story end to end: P1 is the bottleneck; give it
         // HIGH priority (its core-mate P2 implicitly loses bandwidth) and
         // the total execution time must drop.
-        let cfg = SyntheticConfig { base_work: 20_000_000, iterations: 2, ..Default::default() };
+        let cfg = SyntheticConfig {
+            base_work: 20_000_000,
+            iterations: 2,
+            ..Default::default()
+        };
         let progs = cfg.programs();
 
         let base = execute(StaticRun::new(&progs, cfg.placement())).unwrap();
@@ -174,7 +178,12 @@ mod tests {
     fn overboosting_inverts_the_imbalance() {
         // The MetBench case-D phenomenon: penalize the co-runner too much
         // and it becomes the new bottleneck.
-        let cfg = SyntheticConfig { base_work: 20_000_000, iterations: 2, skew: 1.3, ..Default::default() };
+        let cfg = SyntheticConfig {
+            base_work: 20_000_000,
+            iterations: 2,
+            skew: 1.3,
+            ..Default::default()
+        };
         let progs = cfg.programs();
         let base = execute(StaticRun::new(&progs, cfg.placement())).unwrap();
         let inverted = execute(

@@ -195,7 +195,11 @@ impl Observer for DynamicBalancer {
         for w in windows {
             let x = w.compute as f64;
             let s = &mut self.smooth[w.rank];
-            *s = if *s == 0.0 { x } else { self.cfg.ewma * *s + (1.0 - self.cfg.ewma) * x };
+            *s = if *s == 0.0 {
+                x
+            } else {
+                self.cfg.ewma * *s + (1.0 - self.cfg.ewma) * x
+            };
         }
 
         for p in 0..self.pairs.len() {
@@ -210,8 +214,7 @@ impl Observer for DynamicBalancer {
             if let Some(audit) = self.pair_state[p].pending {
                 if epoch > audit.applied_at {
                     self.pair_state[p].pending = None;
-                    if raw_bottleneck
-                        > audit.bottleneck_before * (1.0 + self.cfg.revert_tolerance)
+                    if raw_bottleneck > audit.bottleneck_before * (1.0 + self.cfg.revert_tolerance)
                     {
                         let (pa, pb) = audit.previous;
                         self.apply(machine, a, pa);
@@ -277,7 +280,11 @@ mod tests {
     fn windows(c: &[Cycles]) -> Vec<RankWindow> {
         c.iter()
             .enumerate()
-            .map(|(rank, &compute)| RankWindow { rank, compute, sync: 0 })
+            .map(|(rank, &compute)| RankWindow {
+                rank,
+                compute,
+                sync: 0,
+            })
             .collect()
     }
 
@@ -318,14 +325,17 @@ mod tests {
         // The headline claim of the future-work section: the automatic
         // policy should recover (most of) the static win without manual
         // tuning.
-        let cfg = MetBenchConfig { iterations: 30, scale: 3e-3, ..Default::default() };
+        let cfg = MetBenchConfig {
+            iterations: 30,
+            scale: 3e-3,
+            ..Default::default()
+        };
         let progs = cfg.programs();
 
         let reference = execute(StaticRun::new(&progs, cfg.placement())).unwrap();
 
         let mut balancer = DynamicBalancer::with_defaults(&cfg.placement());
-        let dynamic =
-            execute_with(StaticRun::new(&progs, cfg.placement()), &mut balancer).unwrap();
+        let dynamic = execute_with(StaticRun::new(&progs, cfg.placement()), &mut balancer).unwrap();
 
         assert!(balancer.adjustments() > 0, "policy must have acted");
         assert!(
@@ -340,7 +350,11 @@ mod tests {
     #[test]
     fn policy_never_exceeds_diff_cap() {
         let placement: Vec<CtxAddr> = (0..4).map(CtxAddr::from_cpu).collect();
-        let cfg = MetBenchConfig { iterations: 20, scale: 1e-3, ..Default::default() };
+        let cfg = MetBenchConfig {
+            iterations: 20,
+            scale: 1e-3,
+            ..Default::default()
+        };
         let progs = cfg.programs();
         let mut balancer = DynamicBalancer::with_defaults(&placement);
         let _ = execute_with(StaticRun::new(&progs, placement.clone()), &mut balancer).unwrap();
@@ -355,14 +369,17 @@ mod tests {
         // cannot recover stolen cycles, and penalizing the co-runner makes
         // things worse. The audited policy must end close to where it
         // started and record reverts — and must not blow the runtime up.
-        let cfg = SyntheticConfig { skew: 1.0, base_work: 40_000_000, iterations: 10, ..Default::default() };
+        let cfg = SyntheticConfig {
+            skew: 1.0,
+            base_work: 40_000_000,
+            iterations: 10,
+            ..Default::default()
+        };
         let progs = cfg.programs();
         let noise = mtb_oskernel::noise::interrupt_annoyance(2, 1_500_000, 7_500, 500_000, 50_000);
 
-        let plain = execute(
-            StaticRun::new(&progs, cfg.placement()).with_noise(noise.clone()),
-        )
-        .unwrap();
+        let plain =
+            execute(StaticRun::new(&progs, cfg.placement()).with_noise(noise.clone())).unwrap();
         let mut balancer = DynamicBalancer::with_defaults(&cfg.placement());
         let dynamic = execute_with(
             StaticRun::new(&progs, cfg.placement()).with_noise(noise),

@@ -76,12 +76,16 @@ impl Observer for WindowRecorder {
 mod tests {
     use super::*;
     use crate::balance::{execute_with, StaticRun};
-    use mtb_workloads::siesta::SiestaConfig;
     use mtb_workloads::metbench::MetBenchConfig;
+    use mtb_workloads::siesta::SiestaConfig;
 
     #[test]
     fn recorder_sees_every_epoch() {
-        let cfg = MetBenchConfig { iterations: 12, scale: 1e-3, ..Default::default() };
+        let cfg = MetBenchConfig {
+            iterations: 12,
+            scale: 1e-3,
+            ..Default::default()
+        };
         let progs = cfg.programs();
         let mut rec = WindowRecorder::new();
         let _ = execute_with(StaticRun::new(&progs, cfg.placement()), &mut rec).unwrap();
@@ -92,7 +96,11 @@ mod tests {
 
     #[test]
     fn metbench_bottleneck_is_static_siestas_moves() {
-        let met = MetBenchConfig { iterations: 15, scale: 1e-3, ..Default::default() };
+        let met = MetBenchConfig {
+            iterations: 15,
+            scale: 1e-3,
+            ..Default::default()
+        };
         let mut rec_met = WindowRecorder::new();
         let _ = execute_with(
             StaticRun::new(&met.programs(), met.placement()),
@@ -100,7 +108,11 @@ mod tests {
         )
         .unwrap();
 
-        let sie = SiestaConfig { iterations: 15, scale: 1e-3, ..Default::default() };
+        let sie = SiestaConfig {
+            iterations: 15,
+            scale: 1e-3,
+            ..Default::default()
+        };
         let mut rec_sie = WindowRecorder::new();
         let _ = execute_with(
             StaticRun::new(&sie.programs(), sie.placement_reference()),
@@ -120,13 +132,21 @@ mod tests {
 
     #[test]
     fn compute_summary_reflects_load_shares() {
-        let cfg = MetBenchConfig { iterations: 10, scale: 1e-3, ..Default::default() };
+        let cfg = MetBenchConfig {
+            iterations: 10,
+            scale: 1e-3,
+            ..Default::default()
+        };
         let mut rec = WindowRecorder::new();
-        let _ = execute_with(StaticRun::new(&cfg.programs(), cfg.placement()), &mut rec)
-            .unwrap();
+        let _ = execute_with(StaticRun::new(&cfg.programs(), cfg.placement()), &mut rec).unwrap();
         let light = rec.compute_summary(0).unwrap();
         let heavy = rec.compute_summary(1).unwrap();
-        assert!(heavy.mean > 3.0 * light.mean, "{} vs {}", heavy.mean, light.mean);
+        assert!(
+            heavy.mean > 3.0 * light.mean,
+            "{} vs {}",
+            heavy.mean,
+            light.mean
+        );
         assert!(rec.compute_summary(9).is_none(), "no such rank");
     }
 }

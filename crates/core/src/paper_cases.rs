@@ -41,10 +41,26 @@ fn st_priorities(n: usize) -> Vec<PrioritySetting> {
 /// case, only priorities change.
 pub fn metbench_cases() -> Vec<Case> {
     vec![
-        Case { name: "A", placement: identity(4), priorities: procfs(&[4, 4, 4, 4]) },
-        Case { name: "B", placement: identity(4), priorities: procfs(&[5, 6, 5, 6]) },
-        Case { name: "C", placement: identity(4), priorities: procfs(&[4, 6, 4, 6]) },
-        Case { name: "D", placement: identity(4), priorities: procfs(&[3, 6, 3, 6]) },
+        Case {
+            name: "A",
+            placement: identity(4),
+            priorities: procfs(&[4, 4, 4, 4]),
+        },
+        Case {
+            name: "B",
+            placement: identity(4),
+            priorities: procfs(&[5, 6, 5, 6]),
+        },
+        Case {
+            name: "C",
+            placement: identity(4),
+            priorities: procfs(&[4, 6, 4, 6]),
+        },
+        Case {
+            name: "D",
+            placement: identity(4),
+            priorities: procfs(&[3, 6, 3, 6]),
+        },
     ]
 }
 
@@ -62,7 +78,11 @@ pub fn btmz_paired_placement() -> Vec<CtxAddr> {
 /// see [`btmz_st_case`]).
 pub fn btmz_cases() -> Vec<Case> {
     vec![
-        Case { name: "A", placement: identity(4), priorities: procfs(&[4, 4, 4, 4]) },
+        Case {
+            name: "A",
+            placement: identity(4),
+            priorities: procfs(&[4, 4, 4, 4]),
+        },
         Case {
             name: "B",
             placement: btmz_paired_placement(),
@@ -103,7 +123,11 @@ pub fn siesta_paired_placement() -> Vec<CtxAddr> {
 /// Table VI — SIESTA cases.
 pub fn siesta_cases() -> Vec<Case> {
     vec![
-        Case { name: "A", placement: identity(4), priorities: procfs(&[4, 4, 4, 4]) },
+        Case {
+            name: "A",
+            placement: identity(4),
+            priorities: procfs(&[4, 4, 4, 4]),
+        },
         Case {
             name: "B",
             placement: siesta_paired_placement(),

@@ -60,7 +60,8 @@ mod tests {
     fn machine(kernel: KernelConfig) -> Machine {
         let mut m = Machine::new(build_cores(2, false), kernel);
         for r in 0..4 {
-            m.spawn(r, format!("P{}", r + 1), CtxAddr::from_cpu(r)).unwrap();
+            m.spawn(r, format!("P{}", r + 1), CtxAddr::from_cpu(r))
+                .unwrap();
         }
         m
     }
@@ -95,6 +96,9 @@ mod tests {
     fn requested_reports_the_value() {
         assert_eq!(PrioritySetting::Default.requested(), 4);
         assert_eq!(PrioritySetting::procfs(6).requested(), 6);
-        assert_eq!(PrioritySetting::OrNop(2, PrivilegeLevel::User).requested(), 2);
+        assert_eq!(
+            PrioritySetting::OrNop(2, PrivilegeLevel::User).requested(),
+            2
+        );
     }
 }

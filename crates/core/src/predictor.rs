@@ -15,12 +15,7 @@ use mtb_smtsim::HwPriority;
 
 /// Predicted steady-state throughputs (instructions/cycle) of two
 /// co-running workloads at the given priorities.
-pub fn predict_pair(
-    a: &WorkloadProfile,
-    b: &WorkloadProfile,
-    pa: u8,
-    pb: u8,
-) -> (f64, f64) {
+pub fn predict_pair(a: &WorkloadProfile, b: &WorkloadProfile, pa: u8, pb: u8) -> (f64, f64) {
     let mut core = MesoCore::new(MesoConfig::default());
     core.assign(
         ThreadId::A,
@@ -145,9 +140,11 @@ mod tests {
 
     #[test]
     fn best_pair_for_imbalanced_work_boosts_the_heavy_thread() {
-        let (pa, pb, t) =
-            best_priority_pair(&dense(2.6), &dense(2.6), 4_000_000, 1_000_000, 2);
-        assert!(pa > pb, "thread A has 4x the work, it must be boosted: ({pa},{pb})");
+        let (pa, pb, t) = best_priority_pair(&dense(2.6), &dense(2.6), 4_000_000, 1_000_000, 2);
+        assert!(
+            pa > pb,
+            "thread A has 4x the work, it must be boosted: ({pa},{pb})"
+        );
         assert!(t.is_finite());
         // And the chosen pair beats the default.
         let t_default = predict_makespan(&dense(2.6), &dense(2.6), 4_000_000, 1_000_000, 4, 4);
@@ -156,8 +153,7 @@ mod tests {
 
     #[test]
     fn best_pair_for_balanced_work_is_symmetric() {
-        let (pa, pb, _) =
-            best_priority_pair(&dense(2.6), &dense(2.6), 1_000_000, 1_000_000, 2);
+        let (pa, pb, _) = best_priority_pair(&dense(2.6), &dense(2.6), 1_000_000, 1_000_000, 2);
         assert_eq!(pa, pb, "no reason to skew a balanced pair");
     }
 
@@ -169,13 +165,15 @@ mod tests {
         let (_, r_lo_eq) = predict_pair(&mem, &mem, 4, 4);
         let (_, r_lo_boosted) = predict_pair(&mem, &mem, 5, 4);
         let hit = 1.0 - r_lo_boosted / r_lo_eq;
-        assert!(hit < 0.05, "diff-1 penalty should be tiny for memory-bound code: {hit}");
+        assert!(
+            hit < 0.05,
+            "diff-1 penalty should be tiny for memory-bound code: {hit}"
+        );
     }
 
     #[test]
     fn diff_cap_is_respected() {
-        let (pa, pb, _) =
-            best_priority_pair(&dense(2.6), &dense(2.6), 100_000_000, 1_000_000, 1);
+        let (pa, pb, _) = best_priority_pair(&dense(2.6), &dense(2.6), 100_000_000, 1_000_000, 1);
         assert!(pa.abs_diff(pb) <= 1);
     }
 }

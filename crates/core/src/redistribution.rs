@@ -123,8 +123,14 @@ mod tests {
         let balanced = lpt(&zones, 4);
         let before = partition_imbalance_pct(&zones, &contiguous);
         let after = partition_imbalance_pct(&zones, &balanced);
-        assert!(before > 60.0, "contiguous partition is badly imbalanced: {before:.1}");
-        assert!(after < 10.0, "LPT gets within granularity limits: {after:.1}");
+        assert!(
+            before > 60.0,
+            "contiguous partition is badly imbalanced: {before:.1}"
+        );
+        assert!(
+            after < 10.0,
+            "LPT gets within granularity limits: {after:.1}"
+        );
         assert!(makespan(&zones, &balanced) < makespan(&zones, &contiguous));
     }
 
@@ -165,6 +171,27 @@ mod tests {
     #[should_panic(expected = "at least one bin")]
     fn zero_bins_panics() {
         let _ = lpt(&[1, 2], 0);
+    }
+
+    /// Replays the checked-in `proptest-regressions/redistribution.txt`
+    /// counterexample (`items = [7458, 6644, 7078, 4987], bins = 3`):
+    /// LPT must place the final item in the lightest bin, keeping the
+    /// makespan within Graham's greedy bound and beating the naive
+    /// one-bin-per-sorted-item split.
+    #[test]
+    fn regression_lpt_four_items_three_bins() {
+        let items = [7458u64, 6644, 7078, 4987];
+        let part = lpt(&items, 3);
+        let ms = makespan(&items, &part);
+        // 4987 joins 6644 (the lightest bin after the first three
+        // placements): bins {7458} {7078} {6644, 4987}.
+        assert_eq!(ms, 6644 + 4987);
+        let total: u64 = items.iter().sum();
+        let mean = total as f64 / 3.0;
+        assert!(ms as f64 <= mean + 7458.0 + 1.0, "greedy bound: {ms}");
+        let mut seen: Vec<usize> = part.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
     }
 
     proptest! {

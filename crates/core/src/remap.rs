@@ -26,7 +26,11 @@ pub struct RemapConfig {
 
 impl Default for RemapConfig {
     fn default() -> Self {
-        RemapConfig { settle: 3, min_ratio: 1.15, ewma: 0.5 }
+        RemapConfig {
+            settle: 3,
+            min_ratio: 1.15,
+            ewma: 0.5,
+        }
     }
 }
 
@@ -71,7 +75,11 @@ impl Observer for AdaptiveMapper {
         for w in windows {
             let x = w.compute as f64;
             let s = &mut self.smooth[w.rank];
-            *s = if *s == 0.0 { x } else { self.cfg.ewma * *s + (1.0 - self.cfg.ewma) * x };
+            *s = if *s == 0.0 {
+                x
+            } else {
+                self.cfg.ewma * *s + (1.0 - self.cfg.ewma) * x
+            };
         }
         self.epochs_seen += 1;
         if self.remapped || self.epochs_seen < self.cfg.settle {
@@ -101,15 +109,14 @@ impl Observer for AdaptiveMapper {
         // is free.
         self.remapped = true;
         for _ in 0..2 * n {
-            let Some(rank) = (0..n).find(|&r| {
-                machine.pcb(r).map(|p| p.affinity) != Some(desired[r])
-            }) else {
+            let Some(rank) =
+                (0..n).find(|&r| machine.pcb(r).map(|p| p.affinity) != Some(desired[r]))
+            else {
                 break;
             };
             let target = desired[rank];
-            let occupant = (0..n).find(|&o| {
-                o != rank && machine.pcb(o).map(|p| p.affinity) == Some(target)
-            });
+            let occupant =
+                (0..n).find(|&o| o != rank && machine.pcb(o).map(|p| p.affinity) == Some(target));
             let ok = match occupant {
                 Some(o) => machine.swap(rank, o).is_ok(),
                 None => machine.migrate(rank, target).is_ok(),
@@ -219,8 +226,7 @@ mod tests {
         let mut mapper = AdaptiveMapper::new(4, RemapConfig::default());
         let mut balancer = DynamicBalancer::with_defaults(&placement);
         let mut combo = Composite::new(vec![&mut mapper, &mut balancer]);
-        let combined =
-            execute_with(StaticRun::new(&progs, placement), &mut combo).unwrap();
+        let combined = execute_with(StaticRun::new(&progs, placement), &mut combo).unwrap();
 
         assert!(
             (combined.total_cycles as f64) < reference.total_cycles as f64 * 0.92,

@@ -1,0 +1,188 @@
+//! A minimal, dependency-free subset of the `criterion` crate API.
+//!
+//! The workspace builds without network access, so the real `criterion`
+//! cannot be vendored. This stub keeps the `benches/` targets compiling
+//! and producing useful (if statistically unsophisticated) numbers under
+//! `cargo bench`: each benchmark runs a short warmup, then reports the
+//! minimum and mean wall-clock time per iteration over a fixed sample.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier — prevents the optimizer from deleting the
+/// benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group (reported per element or
+/// per byte).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Runs closures handed to [`Bencher::iter`] and measures them.
+pub struct Bencher {
+    samples: u32,
+    /// Best (minimum) per-iteration time observed.
+    best: Duration,
+    /// Mean per-iteration time.
+    mean: Duration,
+}
+
+impl Bencher {
+    fn new(samples: u32) -> Bencher {
+        Bencher {
+            samples,
+            best: Duration::ZERO,
+            mean: Duration::ZERO,
+        }
+    }
+
+    /// Measure `f`, recording per-iteration timing.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warmup: one call, and size the inner batch so one sample takes
+        // roughly a millisecond.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u32;
+
+        let mut best = Duration::MAX;
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let per_iter = start.elapsed() / batch;
+            best = best.min(per_iter);
+            total += per_iter;
+        }
+        self.best = best;
+        self.mean = total / self.samples;
+    }
+}
+
+fn report(name: &str, b: &Bencher, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<48} best {:>12?}  mean {:>12?}", b.best, b.mean);
+    if let Some(tp) = throughput {
+        let (n, unit) = match tp {
+            Throughput::Elements(n) => (n, "elem"),
+            Throughput::Bytes(n) => (n, "B"),
+        };
+        if b.best > Duration::ZERO {
+            let rate = n as f64 / b.best.as_secs_f64();
+            line.push_str(&format!("  {rate:>14.0} {unit}/s"));
+        }
+    }
+    println!("{line}");
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    samples: u32,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Number of timing samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Criterion {
+        self.samples = (n as u32).max(1);
+        self
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Criterion {
+        let mut f = f;
+        let mut b = Bencher::new(self.samples);
+        f(&mut b);
+        report(name.as_ref(), &b, None);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}:");
+        BenchmarkGroup {
+            criterion: self,
+            throughput: None,
+            samples: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    samples: Option<u32>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate the group with a throughput unit.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Override the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some((n as u32).max(1));
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function(
+        &mut self,
+        name: impl AsRef<str>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut f = f;
+        let mut b = Bencher::new(self.samples.unwrap_or(self.criterion.samples));
+        f(&mut b);
+        report(&format!("  {}", name.as_ref()), &b, self.throughput);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a callable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` invokes bench targets with `--test`; there is
+            // nothing to test here, so only run when benchmarking.
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}

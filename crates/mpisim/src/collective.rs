@@ -62,7 +62,11 @@ pub struct SyncEpochs {
 impl SyncEpochs {
     /// Tracker for `n_ranks` ranks.
     pub fn new(n_ranks: usize) -> SyncEpochs {
-        SyncEpochs { n_ranks, epochs: Vec::new(), next: vec![0; n_ranks] }
+        SyncEpochs {
+            n_ranks,
+            epochs: Vec::new(),
+            next: vec![0; n_ranks],
+        }
     }
 
     /// Rank `rank` arrives at its next epoch at time `t`, proposing
@@ -87,7 +91,10 @@ impl SyncEpochs {
         }
         let e = &mut self.epochs[idx];
         assert_eq!(e.kind, kind, "ranks disagree on the kind of epoch {idx}");
-        assert!(!e.arrived.contains(&rank), "rank {rank} arrived twice at epoch {idx}");
+        assert!(
+            !e.arrived.contains(&rank),
+            "rank {rank} arrived twice at epoch {idx}"
+        );
         e.arrived.push(rank);
         e.arrival_times.push(t);
         e.last_arrival = e.last_arrival.max(t);
@@ -172,7 +179,11 @@ mod tests {
     fn ranks_progress_through_epochs_independently() {
         let mut s = SyncEpochs::new(2);
         assert_eq!(s.arrive(0, 10, 1, EpochKind::AllToAll), 0);
-        assert_eq!(s.arrive(0, 30, 1, EpochKind::AllToAll), 1, "rank 0 runs ahead to epoch 1");
+        assert_eq!(
+            s.arrive(0, 30, 1, EpochKind::AllToAll),
+            1,
+            "rank 0 runs ahead to epoch 1"
+        );
         assert_eq!(s.next_epoch(0), 2);
         assert_eq!(s.next_epoch(1), 0);
         assert_eq!(s.arrive(1, 50, 1, EpochKind::AllToAll), 0);
@@ -219,7 +230,11 @@ mod tests {
         assert_eq!(s.release_time_for(0, 0), None, "root not here yet");
         s.arrive(1, 300, 10, kind); // the root
         assert_eq!(s.release_time_for(0, 0), Some(310), "waits for the root");
-        assert_eq!(s.release_time_for(0, 1), Some(310), "root leaves after its own cost");
+        assert_eq!(
+            s.release_time_for(0, 1),
+            Some(310),
+            "root leaves after its own cost"
+        );
         s.arrive(2, 500, 10, kind); // late non-root
         assert_eq!(
             s.release_time_for(0, 2),
@@ -233,9 +248,17 @@ mod tests {
         let mut s = SyncEpochs::new(3);
         let kind = EpochKind::ToRoot { root: 0 };
         s.arrive(1, 100, 5, kind);
-        assert_eq!(s.release_time_for(0, 1), Some(105), "contributor leaves at once");
+        assert_eq!(
+            s.release_time_for(0, 1),
+            Some(105),
+            "contributor leaves at once"
+        );
         s.arrive(0, 200, 5, kind); // the root
-        assert_eq!(s.release_time_for(0, 0), None, "root still waits for rank 2");
+        assert_eq!(
+            s.release_time_for(0, 0),
+            None,
+            "root still waits for rank 2"
+        );
         s.arrive(2, 400, 5, kind);
         assert_eq!(s.release_time_for(0, 0), Some(405));
     }

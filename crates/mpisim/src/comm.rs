@@ -173,7 +173,9 @@ impl CommState {
             .position(|m| m.from == from && m.tag == tag)
         {
             let msg = mbox.unexpected.remove(pos).expect("pos valid");
-            self.handles[rank].push(Handle { complete_at: Some(msg.arrival.max(now)) });
+            self.handles[rank].push(Handle {
+                complete_at: Some(msg.arrival.max(now)),
+            });
         } else {
             self.handles[rank].push(Handle { complete_at: None });
             mbox.pending_recvs.push_back((from, tag, hidx));
@@ -184,7 +186,9 @@ impl CommState {
     /// Register a sender-side handle (isend completes at local overhead
     /// end; the eager protocol never blocks the sender on the receiver).
     pub fn post_isend_handle(&mut self, rank: Rank, complete_at: Cycles) -> usize {
-        self.handles[rank].push(Handle { complete_at: Some(complete_at) });
+        self.handles[rank].push(Handle {
+            complete_at: Some(complete_at),
+        });
         self.handles[rank].len() - 1
     }
 
@@ -243,7 +247,10 @@ mod tests {
         // across the network than across the chip.
         let on_chip = m.latency(&topo, cpu(0), cpu(2), 1 << 20);
         let on_net = m.latency(&topo, cpu(0), cpu(4), 1 << 20);
-        assert!(on_net > 5 * on_chip, "network bandwidth tier: {on_net} vs {on_chip}");
+        assert!(
+            on_net > 5 * on_chip,
+            "network bandwidth tier: {on_net} vs {on_chip}"
+        );
     }
 
     #[test]
@@ -269,7 +276,13 @@ mod tests {
     #[test]
     fn send_then_irecv_matches_with_arrival_time() {
         let mut cs = CommState::new(2);
-        cs.post_send(Message { from: 0, to: 1, tag: 7, bytes: 10, arrival: 500 });
+        cs.post_send(Message {
+            from: 0,
+            to: 1,
+            tag: 7,
+            bytes: 10,
+            arrival: 500,
+        });
         let h = cs.post_irecv(1, 0, 7, 600);
         // Message already arrived before the recv was posted.
         assert_eq!(cs.handle_completion(1, h), Some(600));
@@ -282,7 +295,13 @@ mod tests {
         let h = cs.post_irecv(1, 0, 7, 100);
         assert_eq!(cs.handle_completion(1, h), None);
         assert!(!cs.all_done(1, 10_000), "unmatched handle is never done");
-        cs.post_send(Message { from: 0, to: 1, tag: 7, bytes: 10, arrival: 900 });
+        cs.post_send(Message {
+            from: 0,
+            to: 1,
+            tag: 7,
+            bytes: 10,
+            arrival: 900,
+        });
         assert_eq!(cs.handle_completion(1, h), Some(900));
         assert!(!cs.all_done(1, 899));
         assert!(cs.all_done(1, 900));
@@ -293,22 +312,56 @@ mod tests {
         let mut cs = CommState::new(3);
         let h = cs.post_irecv(2, 0, 5, 0);
         // Wrong source and wrong tag must not match.
-        cs.post_send(Message { from: 1, to: 2, tag: 5, bytes: 1, arrival: 10 });
-        cs.post_send(Message { from: 0, to: 2, tag: 6, bytes: 1, arrival: 20 });
+        cs.post_send(Message {
+            from: 1,
+            to: 2,
+            tag: 5,
+            bytes: 1,
+            arrival: 10,
+        });
+        cs.post_send(Message {
+            from: 0,
+            to: 2,
+            tag: 6,
+            bytes: 1,
+            arrival: 20,
+        });
         assert_eq!(cs.handle_completion(2, h), None);
         assert_eq!(cs.unexpected_count(2), 2);
-        cs.post_send(Message { from: 0, to: 2, tag: 5, bytes: 1, arrival: 30 });
+        cs.post_send(Message {
+            from: 0,
+            to: 2,
+            tag: 5,
+            bytes: 1,
+            arrival: 30,
+        });
         assert_eq!(cs.handle_completion(2, h), Some(30));
     }
 
     #[test]
     fn fifo_ordering_within_pair_and_tag() {
         let mut cs = CommState::new(2);
-        cs.post_send(Message { from: 0, to: 1, tag: 1, bytes: 1, arrival: 100 });
-        cs.post_send(Message { from: 0, to: 1, tag: 1, bytes: 1, arrival: 200 });
+        cs.post_send(Message {
+            from: 0,
+            to: 1,
+            tag: 1,
+            bytes: 1,
+            arrival: 100,
+        });
+        cs.post_send(Message {
+            from: 0,
+            to: 1,
+            tag: 1,
+            bytes: 1,
+            arrival: 200,
+        });
         let h1 = cs.post_irecv(1, 0, 1, 0);
         let h2 = cs.post_irecv(1, 0, 1, 0);
-        assert_eq!(cs.handle_completion(1, h1), Some(100), "first recv gets first message");
+        assert_eq!(
+            cs.handle_completion(1, h1),
+            Some(100),
+            "first recv gets first message"
+        );
         assert_eq!(cs.handle_completion(1, h2), Some(200));
     }
 
@@ -319,7 +372,11 @@ mod tests {
         cs.post_isend_handle(0, 150);
         assert_eq!(cs.completion_horizon(0), Some(150));
         let _h = cs.post_irecv(0, 1, 1, 0);
-        assert_eq!(cs.completion_horizon(0), None, "unmatched handle blocks horizon");
+        assert_eq!(
+            cs.completion_horizon(0),
+            None,
+            "unmatched handle blocks horizon"
+        );
     }
 
     #[test]

@@ -30,8 +30,8 @@ use crate::program::{Program, Rank, TracePhase};
 use mtb_oskernel::{CtxAddr, KernelConfig, Machine, NoiseSource, Topology, WaitPolicy};
 use mtb_smtsim::chip::{build_cores_fidelity, Fidelity};
 use mtb_trace::paraver::CommEvent;
-use mtb_trace::{ProcState, RunMetrics, Timeline, TimelineBuilder};
 use mtb_trace::Cycles;
+use mtb_trace::{ProcState, RunMetrics, Timeline, TimelineBuilder};
 
 /// Per-rank compute/wait accounting over one synchronization window,
 /// handed to [`Observer::on_epoch`] — the measurements the paper's
@@ -139,7 +139,7 @@ enum RankState {
 }
 
 /// Result of a completed run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunResult {
     /// Per-rank activity timelines (rank order).
     pub timelines: Vec<Timeline>,
@@ -159,6 +159,27 @@ pub struct RunResult {
     pub comm_log: Vec<CommEvent>,
     /// Total execution time in cycles.
     pub total_cycles: Cycles,
+}
+
+impl RunResult {
+    /// Per-rank useful-compute cycles, read off the timelines (rank
+    /// order). This is the `Comp` column of the paper's tables in
+    /// absolute cycles.
+    pub fn compute_cycles(&self) -> Vec<Cycles> {
+        self.timelines
+            .iter()
+            .map(|t| t.time_where(ProcState::is_useful))
+            .collect()
+    }
+
+    /// Per-rank synchronization-wait cycles (rank order) — the absolute
+    /// form of the paper's imbalance metric numerator.
+    pub fn sync_cycles(&self) -> Vec<Cycles> {
+        self.timelines
+            .iter()
+            .map(|t| t.time_where(ProcState::is_waiting))
+            .collect()
+    }
 }
 
 /// The system simulator.
@@ -196,8 +217,7 @@ impl Engine {
     pub fn new(programs: &[Program], cfg: SimConfig) -> Engine {
         let n = programs.len();
         assert_eq!(cfg.placement.len(), n, "placement must cover every rank");
-        let mut machine =
-            Machine::new(build_cores_fidelity(cfg.cores, &cfg.fidelity), cfg.kernel);
+        let mut machine = Machine::new(build_cores_fidelity(cfg.cores, &cfg.fidelity), cfg.kernel);
         machine.set_wait_policy(cfg.wait_policy);
         for src in cfg.noise {
             machine.add_noise(src);
@@ -216,8 +236,10 @@ impl Engine {
             ops.push(flatten(prog, rank));
         }
         // Validate the collective sequences agree.
-        let sync_counts: Vec<usize> =
-            ops.iter().map(|o| crate::interp::count_sync_epochs(o)).collect();
+        let sync_counts: Vec<usize> = ops
+            .iter()
+            .map(|o| crate::interp::count_sync_epochs(o))
+            .collect();
         assert!(
             sync_counts.windows(2).all(|w| w[0] == w[1]),
             "ranks disagree on collective counts: {sync_counts:?}"
@@ -387,7 +409,13 @@ impl Engine {
                 FlatOp::Isend { to, tag, bytes } => {
                     let until = now + self.cfg_latency.sw_overhead;
                     let arrival = until + self.latency_between(rank, to, bytes);
-                    self.comm.post_send(Message { from: rank, to, tag, bytes, arrival });
+                    self.comm.post_send(Message {
+                        from: rank,
+                        to,
+                        tag,
+                        bytes,
+                        arrival,
+                    });
                     self.comm_log.push(CommEvent {
                         from: rank,
                         to,
@@ -403,7 +431,13 @@ impl Engine {
                 FlatOp::Send { to, tag, bytes } => {
                     let until = now + self.cfg_latency.sw_overhead;
                     let arrival = until + self.latency_between(rank, to, bytes);
-                    self.comm.post_send(Message { from: rank, to, tag, bytes, arrival });
+                    self.comm.post_send(Message {
+                        from: rank,
+                        to,
+                        tag,
+                        bytes,
+                        arrival,
+                    });
                     self.comm_log.push(CommEvent {
                         from: rank,
                         to,
@@ -424,7 +458,11 @@ impl Engine {
                 }
                 FlatOp::Recv { from, tag } => {
                     let hidx = self.comm.post_irecv(rank, from, tag, now);
-                    if self.comm.handle_completion(rank, hidx).is_some_and(|c| c <= now) {
+                    if self
+                        .comm
+                        .handle_completion(rank, hidx)
+                        .is_some_and(|c| c <= now)
+                    {
                         continue; // message already here
                     }
                     self.state[rank] = RankState::WaitRecv { hidx };
@@ -441,7 +479,12 @@ impl Engine {
                     return;
                 }
                 FlatOp::Barrier => {
-                    self.join_epoch(rank, self.cfg_latency.barrier_cost, EpochKind::AllToAll, observer);
+                    self.join_epoch(
+                        rank,
+                        self.cfg_latency.barrier_cost,
+                        EpochKind::AllToAll,
+                        observer,
+                    );
                     return;
                 }
                 FlatOp::AllReduce { bytes } => {
@@ -618,7 +661,9 @@ mod tests {
     }
 
     fn compute_prog(insts: u64) -> Program {
-        ProgramBuilder::new().compute(WorkSpec::new(wl(2.0), insts)).build()
+        ProgramBuilder::new()
+            .compute(WorkSpec::new(wl(2.0), insts))
+            .build()
     }
 
     #[test]
@@ -660,7 +705,11 @@ mod tests {
         cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
         let r = Engine::new(&[fast, slow], cfg).run();
         let m = &r.metrics;
-        assert!(m.procs[0].sync_pct > 50.0, "fast rank waits: {:?}", m.procs[0]);
+        assert!(
+            m.procs[0].sync_pct > 50.0,
+            "fast rank waits: {:?}",
+            m.procs[0]
+        );
         assert!(m.procs[1].sync_pct < 10.0, "slow rank barely waits");
         assert!(m.imbalance_pct > 50.0);
     }
@@ -695,10 +744,7 @@ mod tests {
             .send(1, 1, 100)
             .send(1, 1, 100)
             .build();
-        let receiver = ProgramBuilder::new()
-            .recv(0, 1)
-            .recv(0, 1)
-            .build();
+        let receiver = ProgramBuilder::new().recv(0, 1).recv(0, 1).build();
         let mut cfg = SimConfig::power5(2);
         cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
         let r = Engine::new(&[sender, receiver], cfg).run();
@@ -787,7 +833,8 @@ mod tests {
         let mk = |noisy: bool| {
             let mut cfg = SimConfig::power5(1);
             if noisy {
-                cfg.noise.push(NoiseSource::timer(CtxAddr::from_cpu(0), 10_000, 2_000));
+                cfg.noise
+                    .push(NoiseSource::timer(CtxAddr::from_cpu(0), 10_000, 2_000));
             }
             Engine::new(&[compute_prog(500_000)], cfg).run()
         };
@@ -808,13 +855,18 @@ mod tests {
             let prog = |n: u64| {
                 ProgramBuilder::new()
                     .repeat(4, move |b| {
-                        b.compute(WorkSpec::new(wl(1.7), n)).isend((n % 2) as usize, 1, 256).irecv((n % 2) as usize, 1).waitall().barrier()
+                        b.compute(WorkSpec::new(wl(1.7), n))
+                            .isend((n % 2) as usize, 1, 256)
+                            .irecv((n % 2) as usize, 1)
+                            .waitall()
+                            .barrier()
                     })
                     .build()
             };
             let mut cfg = SimConfig::power5(2);
             cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
-            cfg.noise.push(NoiseSource::timer(CtxAddr::from_cpu(0), 7777, 111));
+            cfg.noise
+                .push(NoiseSource::timer(CtxAddr::from_cpu(0), 7777, 111));
             Engine::new(&[prog(30_000), prog(60_001)], cfg).run()
         };
         let a = mk();
@@ -828,7 +880,9 @@ mod tests {
     #[should_panic(expected = "deadlock")]
     fn unmatched_recv_deadlocks_with_diagnostic() {
         let p0 = ProgramBuilder::new().recv(1, 99).build();
-        let p1 = ProgramBuilder::new().compute(WorkSpec::new(wl(2.0), 1_000)).build();
+        let p1 = ProgramBuilder::new()
+            .compute(WorkSpec::new(wl(2.0), 1_000))
+            .build();
         let mut cfg = SimConfig::power5(2);
         cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
         let _ = Engine::new(&[p0, p1], cfg).run();

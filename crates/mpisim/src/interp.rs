@@ -90,26 +90,41 @@ fn flatten_into(body: &[Stmt], rank: Rank, counters: &mut Vec<u32>, out: &mut Ve
         match stmt {
             Stmt::Compute(w) => out.push(FlatOp::Compute(w.clone())),
             Stmt::DynCompute(f) => {
-                let ctx = LoopCtx { rank, counters: counters.clone() };
+                let ctx = LoopCtx {
+                    rank,
+                    counters: counters.clone(),
+                };
                 out.push(FlatOp::Compute(f(&ctx)));
             }
-            Stmt::Send { to, tag, bytes } => {
-                out.push(FlatOp::Send { to: *to, tag: *tag, bytes: *bytes })
-            }
-            Stmt::Recv { from, tag } => out.push(FlatOp::Recv { from: *from, tag: *tag }),
-            Stmt::Isend { to, tag, bytes } => {
-                out.push(FlatOp::Isend { to: *to, tag: *tag, bytes: *bytes })
-            }
-            Stmt::Irecv { from, tag } => out.push(FlatOp::Irecv { from: *from, tag: *tag }),
+            Stmt::Send { to, tag, bytes } => out.push(FlatOp::Send {
+                to: *to,
+                tag: *tag,
+                bytes: *bytes,
+            }),
+            Stmt::Recv { from, tag } => out.push(FlatOp::Recv {
+                from: *from,
+                tag: *tag,
+            }),
+            Stmt::Isend { to, tag, bytes } => out.push(FlatOp::Isend {
+                to: *to,
+                tag: *tag,
+                bytes: *bytes,
+            }),
+            Stmt::Irecv { from, tag } => out.push(FlatOp::Irecv {
+                from: *from,
+                tag: *tag,
+            }),
             Stmt::WaitAll => out.push(FlatOp::WaitAll),
             Stmt::Barrier => out.push(FlatOp::Barrier),
             Stmt::AllReduce { bytes } => out.push(FlatOp::AllReduce { bytes: *bytes }),
-            Stmt::Bcast { root, bytes } => {
-                out.push(FlatOp::Bcast { root: *root, bytes: *bytes })
-            }
-            Stmt::Reduce { root, bytes } => {
-                out.push(FlatOp::Reduce { root: *root, bytes: *bytes })
-            }
+            Stmt::Bcast { root, bytes } => out.push(FlatOp::Bcast {
+                root: *root,
+                bytes: *bytes,
+            }),
+            Stmt::Reduce { root, bytes } => out.push(FlatOp::Reduce {
+                root: *root,
+                bytes: *bytes,
+            }),
             Stmt::Loop { count, body } => {
                 for i in 0..*count {
                     counters.push(i);
@@ -168,7 +183,10 @@ mod tests {
         let p = ProgramBuilder::new()
             .repeat(4, |b| {
                 b.dyn_compute(|ctx| {
-                    WorkSpec::new(w(), 1000 * (u64::from(ctx.iteration()) + 1) + ctx.rank as u64)
+                    WorkSpec::new(
+                        w(),
+                        1000 * (u64::from(ctx.iteration()) + 1) + ctx.rank as u64,
+                    )
                 })
             })
             .build();
@@ -232,8 +250,20 @@ mod tests {
             .build();
         let ops = flatten(&p, 2);
         assert_eq!(ops.len(), 3);
-        assert_eq!(ops[0], FlatOp::Bcast { root: 0, bytes: 256 });
-        assert_eq!(ops[2], FlatOp::Reduce { root: 0, bytes: 1024 });
+        assert_eq!(
+            ops[0],
+            FlatOp::Bcast {
+                root: 0,
+                bytes: 256
+            }
+        );
+        assert_eq!(
+            ops[2],
+            FlatOp::Reduce {
+                root: 0,
+                bytes: 1024
+            }
+        );
         assert_eq!(count_sync_epochs(&ops), 2);
     }
 

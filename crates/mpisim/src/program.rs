@@ -54,7 +54,10 @@ pub struct WorkSpec {
 impl WorkSpec {
     /// Convenience constructor.
     pub fn new(workload: Workload, instructions: u64) -> WorkSpec {
-        WorkSpec { workload, instructions }
+        WorkSpec {
+            workload,
+            instructions,
+        }
     }
 }
 
@@ -230,10 +233,7 @@ impl ProgramBuilder {
     }
 
     /// Append an iteration-dependent compute phase.
-    pub fn dyn_compute(
-        mut self,
-        f: impl Fn(&LoopCtx) -> WorkSpec + Send + Sync + 'static,
-    ) -> Self {
+    pub fn dyn_compute(mut self, f: impl Fn(&LoopCtx) -> WorkSpec + Send + Sync + 'static) -> Self {
         self.body.push(Stmt::DynCompute(Arc::new(f)));
         self
     }
@@ -295,7 +295,10 @@ impl ProgramBuilder {
     /// Append a loop around the statements built by `f`.
     pub fn repeat(mut self, count: u32, f: impl FnOnce(ProgramBuilder) -> ProgramBuilder) -> Self {
         let inner = f(ProgramBuilder::new());
-        self.body.push(Stmt::Loop { count, body: inner.body });
+        self.body.push(Stmt::Loop {
+            count,
+            body: inner.body,
+        });
         self
     }
 
@@ -340,9 +343,15 @@ mod tests {
 
     #[test]
     fn loop_ctx_iteration_is_innermost() {
-        let ctx = LoopCtx { rank: 2, counters: vec![7, 3] };
+        let ctx = LoopCtx {
+            rank: 2,
+            counters: vec![7, 3],
+        };
         assert_eq!(ctx.iteration(), 3);
-        let empty = LoopCtx { rank: 0, counters: vec![] };
+        let empty = LoopCtx {
+            rank: 0,
+            counters: vec![],
+        };
         assert_eq!(empty.iteration(), 0);
     }
 
@@ -355,10 +364,15 @@ mod tests {
 
     #[test]
     fn stmt_debug_is_informative() {
-        let s = Stmt::Isend { to: 3, tag: 9, bytes: 1024 };
+        let s = Stmt::Isend {
+            to: 3,
+            tag: 9,
+            bytes: 1024,
+        };
         assert_eq!(format!("{s:?}"), "Isend(to=3, tag=9, 1024B)");
-        let d = Stmt::DynCompute(Arc::new(|_| WorkSpec::new(
-            Workload::from_spec("x", StreamSpec::balanced(0)), 1)));
+        let d = Stmt::DynCompute(Arc::new(|_| {
+            WorkSpec::new(Workload::from_spec("x", StreamSpec::balanced(0)), 1)
+        }));
         assert_eq!(format!("{d:?}"), "DynCompute(<fn>)");
     }
 

@@ -24,11 +24,7 @@ enum OpKind {
 }
 
 fn arb_ops() -> impl Strategy<Value = Vec<(OpKind, u64)>> {
-    proptest::collection::vec(
-        (0usize..6, 1u64..60_000),
-        1..12,
-    )
-    .prop_map(|v| {
+    proptest::collection::vec((0usize..6, 1u64..60_000), 1..12).prop_map(|v| {
         v.into_iter()
             .map(|(k, size)| {
                 let kind = match k {
@@ -57,10 +53,7 @@ fn build_programs(ops: &[(OpKind, u64)], n_ranks: usize) -> Vec<Program> {
             for (i, (kind, size)) in ops.iter().enumerate() {
                 match kind {
                     OpKind::Compute => {
-                        b = b.compute(WorkSpec::new(
-                            load.clone(),
-                            size * (rank as u64 + 1),
-                        ));
+                        b = b.compute(WorkSpec::new(load.clone(), size * (rank as u64 + 1)));
                     }
                     OpKind::Exchange => {
                         // Symmetric shift permutation: rank -> rank+s.
@@ -88,6 +81,37 @@ fn run(ops: &[(OpKind, u64)], n_ranks: usize) -> mtb_mpisim::engine::RunResult {
     cfg.placement = (0..n_ranks).map(CtxAddr::from_cpu).collect();
     cfg.max_cycles = 50_000_000_000;
     Engine::new(&build_programs(ops, n_ranks), cfg).run()
+}
+
+/// Replays the checked-in `engine_fuzz.proptest-regressions` seed
+/// (`ops = [(Compute, 418)], n_ranks = 2`) as a deterministic test: a
+/// single tiny compute phase on two SMT-sharing ranks must conserve work
+/// within the per-phase overshoot bound and produce gap-free timelines.
+#[test]
+fn regression_single_small_compute_two_ranks() {
+    let ops = vec![(OpKind::Compute, 418u64)];
+    let n_ranks = 2;
+    let r = run(&ops, n_ranks);
+    for rank in 0..n_ranks {
+        let expected = 418 * (rank as u64 + 1);
+        assert!(
+            r.retired[rank] >= expected && r.retired[rank] <= expected + 5,
+            "rank {} work: {} vs expected {}",
+            rank,
+            r.retired[rank],
+            expected
+        );
+    }
+    for t in &r.timelines {
+        t.check_invariants().unwrap();
+    }
+    assert_eq!(
+        r.timelines.iter().map(|t| t.end()).max().unwrap_or(0),
+        r.total_cycles
+    );
+    let again = run(&ops, n_ranks);
+    assert_eq!(again.total_cycles, r.total_cycles);
+    assert_eq!(again.timelines, r.timelines);
 }
 
 proptest! {

@@ -98,10 +98,7 @@ mod tests {
             KernelConfig::vanilla().priority_after_interrupt(high),
             HwPriority::MEDIUM
         );
-        assert_eq!(
-            KernelConfig::patched().priority_after_interrupt(high),
-            high
-        );
+        assert_eq!(KernelConfig::patched().priority_after_interrupt(high), high);
     }
 
     #[test]

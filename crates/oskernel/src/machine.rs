@@ -92,7 +92,16 @@ pub fn spin_workload() -> Workload {
     use mtb_smtsim::model::WorkloadProfile;
     Workload::with_profile(
         "mpi-spin",
-        StreamSpec { fx: 4, fp: 0, ls: 3, br: 3, dep_dist: 4, working_set: 256, code_kb: 1, seed: 0x5049 },
+        StreamSpec {
+            fx: 4,
+            fp: 0,
+            ls: 3,
+            br: 3,
+            dep_dist: 4,
+            working_set: 256,
+            code_kb: 1,
+            seed: 0x5049,
+        },
         WorkloadProfile::new(2.0, 0.1, 0.0),
     )
 }
@@ -133,7 +142,9 @@ impl Machine {
             kernel,
             procs: BTreeMap::new(),
             ctx_owner: (0..n).map(|_| [None, None]).collect(),
-            ctx_state: (0..n).map(|_| [CtxState::default(), CtxState::default()]).collect(),
+            ctx_state: (0..n)
+                .map(|_| [CtxState::default(), CtxState::default()])
+                .collect(),
             noise: Vec::new(),
             wait_policy: WaitPolicy::default(),
             now: 0,
@@ -165,7 +176,10 @@ impl Machine {
 
     /// Register a noise source.
     pub fn add_noise(&mut self, src: NoiseSource) {
-        assert!(src.target.core < self.cores.len(), "noise target out of range");
+        assert!(
+            src.target.core < self.cores.len(),
+            "noise target out of range"
+        );
         self.noise.push(src);
     }
 
@@ -233,7 +247,10 @@ impl Machine {
     }
 
     fn apply_wish(&mut self, pid: usize, p: HwPriority) -> Result<(), PriorityError> {
-        let pcb = self.procs.get_mut(&pid).ok_or(PriorityError::NoSuchProcess)?;
+        let pcb = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(PriorityError::NoSuchProcess)?;
         pcb.hmt_priority = p;
         let addr = pcb.affinity;
         let running = pcb.state == ProcRunState::Running;
@@ -299,7 +316,10 @@ impl Machine {
     }
 
     fn install(&mut self, pid: usize, w: Workload, counting: bool) -> Result<(), MachineError> {
-        let pcb = self.procs.get_mut(&pid).ok_or(MachineError::NoSuchProcess)?;
+        let pcb = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(MachineError::NoSuchProcess)?;
         pcb.state = ProcRunState::Running;
         let addr = pcb.affinity;
         let wish = pcb.hmt_priority;
@@ -326,7 +346,10 @@ impl Machine {
     }
 
     fn stop(&mut self, pid: usize, state: ProcRunState) -> Result<(), MachineError> {
-        let pcb = self.procs.get_mut(&pid).ok_or(MachineError::NoSuchProcess)?;
+        let pcb = self
+            .procs
+            .get_mut(&pid)
+            .ok_or(MachineError::NoSuchProcess)?;
         pcb.state = state;
         let addr = pcb.affinity;
         let st = &mut self.ctx_state[addr.core][addr.thread.index()];
@@ -501,7 +524,10 @@ impl Machine {
     fn sync_handler_state(&mut self) {
         for core_idx in 0..self.cores.len() {
             for t in ThreadId::BOTH {
-                let addr = CtxAddr { core: core_idx, thread: t };
+                let addr = CtxAddr {
+                    core: core_idx,
+                    thread: t,
+                };
                 let active = self
                     .noise
                     .iter()
@@ -574,9 +600,18 @@ mod tests {
     fn spawn_enforces_context_exclusivity() {
         let mut m = meso_machine(KernelConfig::patched());
         m.spawn(1, "P1", CtxAddr::from_cpu(0)).unwrap();
-        assert_eq!(m.spawn(2, "P2", CtxAddr::from_cpu(0)), Err(MachineError::ContextBusy));
-        assert_eq!(m.spawn(1, "P1b", CtxAddr::from_cpu(1)), Err(MachineError::DuplicatePid));
-        assert_eq!(m.spawn(3, "P3", CtxAddr::from_cpu(9)), Err(MachineError::NoSuchContext));
+        assert_eq!(
+            m.spawn(2, "P2", CtxAddr::from_cpu(0)),
+            Err(MachineError::ContextBusy)
+        );
+        assert_eq!(
+            m.spawn(1, "P1b", CtxAddr::from_cpu(1)),
+            Err(MachineError::DuplicatePid)
+        );
+        assert_eq!(
+            m.spawn(3, "P3", CtxAddr::from_cpu(9)),
+            Err(MachineError::NoSuchContext)
+        );
         m.spawn(2, "P2", CtxAddr::from_cpu(1)).unwrap();
         assert_eq!(m.pids(), vec![1, 2]);
     }
@@ -662,7 +697,10 @@ mod tests {
         };
         let noisy = m.retired(1);
         let frac = noisy as f64 / clean as f64;
-        assert!((0.85..0.95).contains(&frac), "expected ~90% progress, got {frac}");
+        assert!(
+            (0.85..0.95).contains(&frac),
+            "expected ~90% progress, got {frac}"
+        );
     }
 
     #[test]
@@ -745,7 +783,10 @@ mod tests {
         // The old context idles at VERY LOW.
         assert_eq!(m.hw_priority(CtxAddr::from_cpu(0)), HwPriority::VERY_LOW);
         m.advance(10_000);
-        assert!(m.retired(1) > before, "progress continues on the new context");
+        assert!(
+            m.retired(1) > before,
+            "progress continues on the new context"
+        );
     }
 
     #[test]
@@ -753,9 +794,18 @@ mod tests {
         let mut m = meso_machine(KernelConfig::patched());
         m.spawn(1, "P1", CtxAddr::from_cpu(0)).unwrap();
         m.spawn(2, "P2", CtxAddr::from_cpu(1)).unwrap();
-        assert_eq!(m.migrate(1, CtxAddr::from_cpu(1)), Err(MachineError::ContextBusy));
-        assert_eq!(m.migrate(1, CtxAddr::from_cpu(99)), Err(MachineError::NoSuchContext));
-        assert_eq!(m.migrate(7, CtxAddr::from_cpu(2)), Err(MachineError::NoSuchProcess));
+        assert_eq!(
+            m.migrate(1, CtxAddr::from_cpu(1)),
+            Err(MachineError::ContextBusy)
+        );
+        assert_eq!(
+            m.migrate(1, CtxAddr::from_cpu(99)),
+            Err(MachineError::NoSuchContext)
+        );
+        assert_eq!(
+            m.migrate(7, CtxAddr::from_cpu(2)),
+            Err(MachineError::NoSuchProcess)
+        );
         // Self-migration is a no-op.
         m.migrate(1, CtxAddr::from_cpu(0)).unwrap();
         assert_eq!(m.pcb(1).unwrap().affinity, CtxAddr::from_cpu(0));
@@ -894,7 +944,8 @@ mod tests {
     fn works_with_cycle_accurate_cores_too() {
         let mut m = Machine::new(build_cores(2, true), KernelConfig::patched());
         m.spawn(1, "P1", CtxAddr::from_cpu(0)).unwrap();
-        m.run_workload(1, Workload::from_spec("w", StreamSpec::balanced(5))).unwrap();
+        m.run_workload(1, Workload::from_spec("w", StreamSpec::balanced(5)))
+            .unwrap();
         m.advance(5_000);
         assert!(m.retired(1) > 0);
     }

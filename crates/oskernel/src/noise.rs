@@ -41,15 +41,38 @@ impl NoiseSource {
 
     /// A device-interrupt source. On Intel-like IRQ routing all of these
     /// land on CPU0 — the paper's "interrupt annoyance problem".
-    pub fn device(name: impl Into<String>, target: CtxAddr, period: Cycles, cost: Cycles, phase: Cycles) -> NoiseSource {
+    pub fn device(
+        name: impl Into<String>,
+        target: CtxAddr,
+        period: Cycles,
+        cost: Cycles,
+        phase: Cycles,
+    ) -> NoiseSource {
         assert!(period > 0 && cost < period, "cost must fit in the period");
-        NoiseSource { name: name.into(), target, period, cost, phase }
+        NoiseSource {
+            name: name.into(),
+            target,
+            period,
+            cost,
+            phase,
+        }
     }
 
     /// A user daemon with a duty cycle: runs `cost` cycles every `period`.
-    pub fn daemon(name: impl Into<String>, target: CtxAddr, period: Cycles, cost: Cycles) -> NoiseSource {
+    pub fn daemon(
+        name: impl Into<String>,
+        target: CtxAddr,
+        period: Cycles,
+        cost: Cycles,
+    ) -> NoiseSource {
         assert!(period > 0 && cost < period, "cost must fit in the period");
-        NoiseSource { name: name.into(), target, period, cost, phase: period / 2 }
+        NoiseSource {
+            name: name.into(),
+            target,
+            period,
+            cost,
+            phase: period / 2,
+        }
     }
 
     /// Is the source active (handler running) at time `t`?
@@ -104,7 +127,11 @@ pub fn interrupt_annoyance(
 ) -> Vec<NoiseSource> {
     let mut v = Vec::new();
     for cpu in 0..n_cores * 2 {
-        v.push(NoiseSource::timer(CtxAddr::from_cpu(cpu), tick_period, tick_cost));
+        v.push(NoiseSource::timer(
+            CtxAddr::from_cpu(cpu),
+            tick_period,
+            tick_cost,
+        ));
     }
     v.push(NoiseSource::device(
         "devices",
@@ -122,7 +149,13 @@ mod tests {
     use proptest::prelude::*;
 
     fn src(period: Cycles, cost: Cycles, phase: Cycles) -> NoiseSource {
-        NoiseSource { name: "t".into(), target: CtxAddr::from_cpu(0), period, cost, phase }
+        NoiseSource {
+            name: "t".into(),
+            target: CtxAddr::from_cpu(0),
+            period,
+            cost,
+            phase,
+        }
     }
 
     #[test]
@@ -174,8 +207,16 @@ mod tests {
         let dev = v.last().unwrap();
         assert_eq!(dev.target, CtxAddr::from_cpu(0));
         // CPU0 suffers more than CPU1 over a long horizon.
-        let cpu0: Cycles = v.iter().filter(|s| s.target.cpu() == 0).map(|s| s.stolen_in(0, 100_000)).sum();
-        let cpu1: Cycles = v.iter().filter(|s| s.target.cpu() == 1).map(|s| s.stolen_in(0, 100_000)).sum();
+        let cpu0: Cycles = v
+            .iter()
+            .filter(|s| s.target.cpu() == 0)
+            .map(|s| s.stolen_in(0, 100_000))
+            .sum();
+        let cpu1: Cycles = v
+            .iter()
+            .filter(|s| s.target.cpu() == 1)
+            .map(|s| s.stolen_in(0, 100_000))
+            .sum();
         assert!(cpu0 > cpu1 * 2, "annoyance skew: {cpu0} vs {cpu1}");
     }
 

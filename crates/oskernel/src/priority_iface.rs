@@ -97,10 +97,16 @@ mod tests {
     fn user_ornop_limited_to_2_through_4() {
         let via = SetVia::OrNop(PrivilegeLevel::User);
         for v in [2u8, 3, 4] {
-            assert!(validate(KernelFlavour::Vanilla, v, via).is_ok(), "user sets {v}");
+            assert!(
+                validate(KernelFlavour::Vanilla, v, via).is_ok(),
+                "user sets {v}"
+            );
         }
         for v in [0u8, 1, 5, 6, 7] {
-            assert!(validate(KernelFlavour::Vanilla, v, via).is_err(), "user must not set {v}");
+            assert!(
+                validate(KernelFlavour::Vanilla, v, via).is_err(),
+                "user must not set {v}"
+            );
         }
     }
 
@@ -121,7 +127,10 @@ mod tests {
     fn hypervisor_ornop_reaches_7_but_not_0() {
         let via = SetVia::OrNop(PrivilegeLevel::Hypervisor);
         assert!(validate(KernelFlavour::Vanilla, 7, via).is_ok());
-        assert!(validate(KernelFlavour::Vanilla, 0, via).is_err(), "no encoding for 0");
+        assert!(
+            validate(KernelFlavour::Vanilla, 0, via).is_err(),
+            "no encoding for 0"
+        );
     }
 
     #[test]
@@ -136,7 +145,10 @@ mod tests {
     #[test]
     fn procfs_spans_1_to_6_only() {
         for v in 1u8..=6 {
-            assert!(validate(KernelFlavour::Patched, v, SetVia::ProcFs).is_ok(), "procfs sets {v}");
+            assert!(
+                validate(KernelFlavour::Patched, v, SetVia::ProcFs).is_ok(),
+                "procfs sets {v}"
+            );
         }
         for v in [0u8, 7] {
             assert_eq!(

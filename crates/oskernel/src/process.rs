@@ -18,7 +18,10 @@ impl CtxAddr {
     /// Build from a flat CPU number (Linux-style): cpu 0 = core 0 thread A,
     /// cpu 1 = core 0 thread B, cpu 2 = core 1 thread A, ...
     pub fn from_cpu(cpu: usize) -> CtxAddr {
-        CtxAddr { core: cpu / 2, thread: ThreadId::from_index(cpu % 2) }
+        CtxAddr {
+            core: cpu / 2,
+            thread: ThreadId::from_index(cpu % 2),
+        }
     }
 
     /// The flat CPU number.
@@ -28,7 +31,10 @@ impl CtxAddr {
 
     /// The sibling context on the same core.
     pub fn sibling(&self) -> CtxAddr {
-        CtxAddr { core: self.core, thread: self.thread.other() }
+        CtxAddr {
+            core: self.core,
+            thread: self.thread.other(),
+        }
     }
 }
 
@@ -96,8 +102,20 @@ mod tests {
         for cpu in 0..8 {
             assert_eq!(CtxAddr::from_cpu(cpu).cpu(), cpu);
         }
-        assert_eq!(CtxAddr::from_cpu(0), CtxAddr { core: 0, thread: ThreadId::A });
-        assert_eq!(CtxAddr::from_cpu(3), CtxAddr { core: 1, thread: ThreadId::B });
+        assert_eq!(
+            CtxAddr::from_cpu(0),
+            CtxAddr {
+                core: 0,
+                thread: ThreadId::A
+            }
+        );
+        assert_eq!(
+            CtxAddr::from_cpu(3),
+            CtxAddr {
+                core: 1,
+                thread: ThreadId::B
+            }
+        );
     }
 
     #[test]

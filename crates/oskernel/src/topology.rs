@@ -22,7 +22,9 @@ impl Topology {
     /// Everything on one node (the paper's OpenPower 710): any core count
     /// belongs to node 0.
     pub fn single_node() -> Topology {
-        Topology { cores_per_node: usize::MAX }
+        Topology {
+            cores_per_node: usize::MAX,
+        }
     }
 
     /// A cluster of nodes with `cores_per_node` cores each.

@@ -1,0 +1,180 @@
+//! A minimal, dependency-free subset of the `proptest` crate API.
+//!
+//! The workspace pins no network access at build time, so the real
+//! `proptest` cannot be vendored; this crate provides the slice of its
+//! surface the test suite actually uses:
+//!
+//! * integer range strategies (`0u64..1_000_000`, `2usize..=4`, ...);
+//! * tuple strategies (pairs/triples of strategies);
+//! * [`collection::vec`] with a `Range`/`RangeInclusive`/exact size;
+//! * [`strategy::Strategy::prop_map`] and [`strategy::Just`];
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]` header) and the
+//!   `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!` macros.
+//!
+//! Semantics differ from the real crate in two deliberate ways: case
+//! generation is **deterministic** (seeded from the test's module path and
+//! name, so every run replays the same inputs — no
+//! `proptest-regressions` files are read or written), and there is **no
+//! shrinking** (the failing inputs are printed verbatim instead).
+
+pub mod collection;
+pub mod prelude;
+pub mod strategy;
+pub mod test_runner;
+
+pub use strategy::{Just, Strategy};
+pub use test_runner::{ProptestConfig, TestCaseError, TestRng};
+
+/// Define property tests.
+///
+/// ```text
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = ($cfg:expr);
+     $( $(#[$attr:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng = $crate::test_runner::TestRng::for_test(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                let mut __passed: u32 = 0;
+                let mut __rejected: u32 = 0;
+                while __passed < __config.cases {
+                    assert!(
+                        __rejected <= __config.cases.saturating_mul(16),
+                        "proptest: too many rejected cases ({__rejected}) in {}",
+                        stringify!($name),
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat), &mut __rng);
+                    )+
+                    let __inputs = {
+                        let mut __s = ::std::string::String::new();
+                        $(
+                            __s.push_str(&format!(
+                                "{} = {:?}, ", stringify!($arg), &$arg));
+                        )+
+                        __s.truncate(__s.len().saturating_sub(2));
+                        __s
+                    };
+                    let mut __guard =
+                        $crate::test_runner::PanicGuard::new(&__inputs);
+                    let __outcome: ::std::result::Result<
+                        (), $crate::test_runner::TestCaseError,
+                    > = (|| { $body ::std::result::Result::Ok(()) })();
+                    __guard.disarm();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __passed += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject(_),
+                        ) => __rejected += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => panic!(
+                            "proptest case failed: {__msg}\n  inputs: {__inputs}"
+                        ),
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fail the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current property case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l == *__r,
+                    "assertion failed: `{:?}` == `{:?}`", __l, __r);
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(*__l == *__r, $($fmt)+);
+            }
+        }
+    };
+}
+
+/// Fail the current property case if the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(
+                    *__l != *__r,
+                    "assertion failed: `{:?}` != `{:?}`", __l, __r);
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        match (&$left, &$right) {
+            (__l, __r) => {
+                $crate::prop_assert!(*__l != *__r, $($fmt)+);
+            }
+        }
+    };
+}
+
+/// Discard the current case (it does not count toward the case budget)
+/// unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}

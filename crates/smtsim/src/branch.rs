@@ -88,7 +88,11 @@ mod tests {
         for _ in 0..1000 {
             p.predict_and_update(true);
         }
-        assert!(p.miss_ratio() < 0.01, "always-taken is trivial: {}", p.miss_ratio());
+        assert!(
+            p.miss_ratio() < 0.01,
+            "always-taken is trivial: {}",
+            p.miss_ratio()
+        );
     }
 
     #[test]
@@ -100,7 +104,10 @@ mod tests {
         // History-based prediction captures the period-2 pattern after
         // warmup.
         let (n, m) = p.stats();
-        assert!(n == 4000 && (m as f64 / n as f64) < 0.1, "alternation learnable: {m}/{n}");
+        assert!(
+            n == 4000 && (m as f64 / n as f64) < 0.1,
+            "alternation learnable: {m}/{n}"
+        );
     }
 
     #[test]

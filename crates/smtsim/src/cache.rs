@@ -25,18 +25,33 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// POWER5-like 32 KiB, 4-way, 128 B lines, 2-cycle L1 data cache.
     pub fn l1d() -> CacheConfig {
-        CacheConfig { bytes: 32 << 10, line_size: 128, assoc: 4, hit_latency: 2 }
+        CacheConfig {
+            bytes: 32 << 10,
+            line_size: 128,
+            assoc: 4,
+            hit_latency: 2,
+        }
     }
 
     /// POWER5-like 64 KiB, 2-way, 128 B lines, 1-cycle L1 instruction
     /// cache.
     pub fn l1i() -> CacheConfig {
-        CacheConfig { bytes: 64 << 10, line_size: 128, assoc: 2, hit_latency: 1 }
+        CacheConfig {
+            bytes: 64 << 10,
+            line_size: 128,
+            assoc: 2,
+            hit_latency: 1,
+        }
     }
 
     /// POWER5-like 1.875 MiB, 10-way, 128 B lines, 13-cycle shared L2.
     pub fn l2() -> CacheConfig {
-        CacheConfig { bytes: 1920 << 10, line_size: 128, assoc: 10, hit_latency: 13 }
+        CacheConfig {
+            bytes: 1920 << 10,
+            line_size: 128,
+            assoc: 10,
+            hit_latency: 13,
+        }
     }
 
     /// Number of sets implied by the geometry.
@@ -68,7 +83,10 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Cache {
         let n = cfg.sets() * cfg.assoc;
         assert!(n > 0, "cache must have at least one way");
-        assert!(cfg.line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            cfg.line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         Cache {
             cfg,
             ways: vec![None; n],
@@ -173,7 +191,12 @@ mod tests {
 
     fn tiny() -> Cache {
         // 4 sets x 2 ways x 64B lines = 512B
-        Cache::new(CacheConfig { bytes: 512, line_size: 64, assoc: 2, hit_latency: 1 })
+        Cache::new(CacheConfig {
+            bytes: 512,
+            line_size: 64,
+            assoc: 2,
+            hit_latency: 1,
+        })
     }
 
     #[test]
@@ -221,7 +244,12 @@ mod tests {
 
     #[test]
     fn working_set_within_capacity_converges_to_hits() {
-        let mut c = Cache::new(CacheConfig { bytes: 4096, line_size: 64, assoc: 4, hit_latency: 1 });
+        let mut c = Cache::new(CacheConfig {
+            bytes: 4096,
+            line_size: 64,
+            assoc: 4,
+            hit_latency: 1,
+        });
         // 2 KiB working set in a 4 KiB cache: after warmup, all hits.
         for round in 0..4 {
             for addr in (0..2048).step_by(8) {

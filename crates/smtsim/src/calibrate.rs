@@ -71,7 +71,12 @@ mod tests {
         let fe = calibrated_profile(&StreamSpec::frontend_bound(1));
         let fpu = calibrated_profile(&StreamSpec::fpu_bound(1));
         let mem = calibrated_profile(&StreamSpec::mem_bound(1));
-        assert!(fe.ipc_st > fpu.ipc_st, "frontend {} vs fpu {}", fe.ipc_st, fpu.ipc_st);
+        assert!(
+            fe.ipc_st > fpu.ipc_st,
+            "frontend {} vs fpu {}",
+            fe.ipc_st,
+            fpu.ipc_st
+        );
         assert!(fpu.ipc_st > mem.ipc_st * 0.5, "mem loads are slowest-ish");
         assert!(mem.mem_intensity > fe.mem_intensity);
     }

@@ -24,7 +24,10 @@ pub struct ChipConfig {
 
 impl Default for ChipConfig {
     fn default() -> Self {
-        ChipConfig { cores: 2, core: CoreConfig::default() }
+        ChipConfig {
+            cores: 2,
+            core: CoreConfig::default(),
+        }
     }
 }
 
@@ -145,8 +148,10 @@ mod tests {
     #[test]
     fn cores_progress_independently() {
         let mut chip = Chip::new(ChipConfig::default());
-        chip.core_mut(0)
-            .assign(ThreadId::A, Workload::from_spec("w", StreamSpec::balanced(1)));
+        chip.core_mut(0).assign(
+            ThreadId::A,
+            Workload::from_spec("w", StreamSpec::balanced(1)),
+        );
         let out = chip.advance_all(5_000);
         assert!(out[0][0] > 0, "core 0 ctx A retires");
         assert_eq!(out[0][1], 0);
@@ -157,10 +162,14 @@ mod tests {
     fn l2_is_shared_between_cores() {
         let mut chip = Chip::new(ChipConfig::default());
         // Two L2-resident streams on different cores.
-        chip.core_mut(0)
-            .assign(ThreadId::A, Workload::from_spec("w0", StreamSpec::l2_bound(1)));
-        chip.core_mut(1)
-            .assign(ThreadId::A, Workload::from_spec("w1", StreamSpec::l2_bound(2)));
+        chip.core_mut(0).assign(
+            ThreadId::A,
+            Workload::from_spec("w0", StreamSpec::l2_bound(1)),
+        );
+        chip.core_mut(1).assign(
+            ThreadId::A,
+            Workload::from_spec("w1", StreamSpec::l2_bound(2)),
+        );
         chip.advance_all(20_000);
         let (h, m) = chip.l2_stats();
         assert!(h + m > 0, "both cores must reach the shared L2");
@@ -172,14 +181,31 @@ mod tests {
         // evict each other's lines. The small L2 keeps the test fast; the
         // default 1.875 MiB L2 shows the same effect over ~10^8 cycles.
         let mut cfg = ChipConfig::default();
-        cfg.core.l2 = crate::cache::CacheConfig { bytes: 64 << 10, line_size: 128, assoc: 8, hit_latency: 13 };
+        cfg.core.l2 = crate::cache::CacheConfig {
+            bytes: 64 << 10,
+            line_size: 128,
+            assoc: 8,
+            hit_latency: 13,
+        };
         let mut chip = Chip::new(cfg);
         let ws = 256 << 10;
-        let spec = |seed| StreamSpec { fx: 2, fp: 0, ls: 7, br: 1, dep_dist: 8, working_set: ws, code_kb: 8, seed };
-        chip.core_mut(0).assign(ThreadId::A, Workload::from_spec("w0", spec(1)));
-        chip.core_mut(1).assign(ThreadId::A, Workload::from_spec("w1", spec(2)));
+        let spec = |seed| StreamSpec {
+            fx: 2,
+            fp: 0,
+            ls: 7,
+            br: 1,
+            dep_dist: 8,
+            working_set: ws,
+            code_kb: 8,
+            seed,
+        };
+        chip.core_mut(0)
+            .assign(ThreadId::A, Workload::from_spec("w0", spec(1)));
+        chip.core_mut(1)
+            .assign(ThreadId::A, Workload::from_spec("w1", spec(2)));
         for c in 0..2 {
-            chip.core_mut(c).set_priority(ThreadId::B, HwPriority::VERY_LOW);
+            chip.core_mut(c)
+                .set_priority(ThreadId::B, HwPriority::VERY_LOW);
         }
         chip.advance_all(60_000);
         assert!(
@@ -195,7 +221,10 @@ mod tests {
         let slow = build_cores(2, true);
         assert_eq!(slow.len(), 2);
         for mut core in fast.into_iter().chain(slow) {
-            core.assign(ThreadId::A, Workload::from_spec("w", StreamSpec::balanced(3)));
+            core.assign(
+                ThreadId::A,
+                Workload::from_spec("w", StreamSpec::balanced(3)),
+            );
             let [a, _] = core.advance(2_000);
             assert!(a > 0, "every fidelity must make progress");
         }

@@ -313,7 +313,8 @@ impl SmtCore {
                 let dep_dist = u64::from(inst.dep);
                 if dep_dist > 0 && dep_dist <= seq && dep_dist <= self.cfg.window as u64 {
                     let dep_seq = seq - dep_dist;
-                    let done_at = self.ctx[i].completion[(dep_seq % self.cfg.window as u64) as usize];
+                    let done_at =
+                        self.ctx[i].completion[(dep_seq % self.cfg.window as u64) as usize];
                     if done_at > now {
                         self.ctx[i].stats.stall_dep += 1;
                         slot += 1;
@@ -334,9 +335,7 @@ impl SmtCore {
                 c.pending.push(Reverse(done));
                 c.dispatch.remove(slot);
                 issued += 1;
-                if inst.class == InstClass::Br
-                    && !c.predictor.predict_and_update(inst.taken)
-                {
+                if inst.class == InstClass::Br && !c.predictor.predict_and_update(inst.taken) {
                     // Mispredict: everything decoded after the branch is
                     // wrong-path; flush it and stall the front end for the
                     // redirect. (Program order = buffer order, so the
@@ -377,7 +376,9 @@ impl SmtCore {
             InstClass::Fp => self.cfg.fp_lat,
             InstClass::Br => self.cfg.br_lat,
             InstClass::Ls => {
-                let Some(addr) = inst.addr else { return self.cfg.fx_lat };
+                let Some(addr) = inst.addr else {
+                    return self.cfg.fx_lat;
+                };
                 let owner = self.core_id * 2 + ctx_idx as u8;
                 // Address-space isolation between contexts: each context
                 // walks its own working set, so tag the address with the
@@ -455,7 +456,8 @@ impl CoreModel for SmtCore {
             // Not enough observation yet: a crude prior (half the decode
             // width, scaled by nominal share) keeps the engine's step
             // heuristics sane until real data accumulates.
-            let (sa, sb) = crate::decode::decode_share(self.ctx[0].tsr.read(), self.ctx[1].tsr.read());
+            let (sa, sb) =
+                crate::decode::decode_share(self.ctx[0].tsr.read(), self.ctx[1].tsr.read());
             let share = match t {
                 ThreadId::A => sa,
                 ThreadId::B => sb,
@@ -503,10 +505,7 @@ mod tests {
         assert_eq!(cfg.mem_lat as f64, crate::inst::MEM_LAT);
         assert_eq!(cfg.l1d.bytes, crate::inst::L1_BYTES);
         assert_eq!(cfg.l2.bytes, crate::inst::L2_BYTES);
-        assert_eq!(
-            cfg.units.counts.map(f64::from),
-            crate::inst::UNITS
-        );
+        assert_eq!(cfg.units.counts.map(f64::from), crate::inst::UNITS);
     }
 
     #[test]
@@ -539,7 +538,10 @@ mod tests {
         assert!(d2 < d1, "losing 2 levels hurts more");
         assert!(d4 < d2 * 0.8, "diff 4 collapses: {d4} vs {d2}");
         // Exponential, not linear: diff-4 should be far below half of base.
-        assert!(d4 < base / 4.0, "superlinear collapse expected: {d4} vs {base}");
+        assert!(
+            d4 < base / 4.0,
+            "superlinear collapse expected: {d4} vs {base}"
+        );
     }
 
     #[test]
@@ -601,7 +603,10 @@ mod tests {
         nosteal.advance(warmup);
         let [a_nosteal, _] = nosteal.advance(n);
 
-        let cfg = CoreConfig { slot_stealing: true, ..CoreConfig::default() };
+        let cfg = CoreConfig {
+            slot_stealing: true,
+            ..CoreConfig::default()
+        };
         let mut steal = SmtCore::new(cfg);
         steal.assign(ThreadId::A, wl(StreamSpec::frontend_bound(1)));
         steal.advance(warmup);
@@ -615,7 +620,10 @@ mod tests {
     #[test]
     fn leftover_mode_lets_priority1_progress() {
         let n = 40_000;
-        let cfg = CoreConfig { slot_stealing: false, ..CoreConfig::default() };
+        let cfg = CoreConfig {
+            slot_stealing: false,
+            ..CoreConfig::default()
+        };
         let mut core = SmtCore::new(cfg);
         core.assign(ThreadId::A, wl(StreamSpec::fpu_bound(1)));
         core.assign(ThreadId::B, wl(StreamSpec::fpu_bound(2)));
@@ -628,7 +636,10 @@ mod tests {
         // streams are dependency-bound, so the thief can approach the
         // owner's pace — what it must NOT do is exceed it.
         assert!(a > 0, "leftover mode must allow some progress");
-        assert!(a <= b + b / 10, "the owner is never materially outrun: {a} vs {b}");
+        assert!(
+            a <= b + b / 10,
+            "the owner is never materially outrun: {a} vs {b}"
+        );
     }
 
     #[test]
@@ -661,7 +672,10 @@ mod tests {
         // frontend_bound decodes every owned slot, so the slots_owned split
         // must match Table II exactly; with the dispatch buffer draining
         // fast, used ≈ owned as well.
-        let mut core = SmtCore::new(CoreConfig { slot_stealing: false, ..Default::default() });
+        let mut core = SmtCore::new(CoreConfig {
+            slot_stealing: false,
+            ..Default::default()
+        });
         core.assign(ThreadId::A, wl(StreamSpec::frontend_bound(1)));
         core.assign(ThreadId::B, wl(StreamSpec::frontend_bound(2)));
         core.set_priority(ThreadId::A, p(6));
@@ -737,10 +751,16 @@ mod tests {
             (retired, core.stats(ThreadId::A).l1i_misses)
         };
         // Same mix, different code footprints.
-        let small = StreamSpec { code_kb: 16, ..StreamSpec::icache_thrash(1) };
+        let small = StreamSpec {
+            code_kb: 16,
+            ..StreamSpec::icache_thrash(1)
+        };
         let (r_small, m_small) = run(small);
         let (r_big, m_big) = run(StreamSpec::icache_thrash(1)); // 512 KiB
-        assert!(m_big > 10 * m_small.max(1), "big code must miss: {m_big} vs {m_small}");
+        assert!(
+            m_big > 10 * m_small.max(1),
+            "big code must miss: {m_big} vs {m_small}"
+        );
         assert!(
             (r_big as f64) < r_small as f64 * 0.9,
             "icache misses must cost throughput: {r_big} vs {r_small}"
@@ -755,7 +775,11 @@ mod tests {
             core.set_priority(ThreadId::A, p(7));
             core.set_priority(ThreadId::B, p(0));
             let [a, _] = core.advance(50_000);
-            (a, core.stats(ThreadId::A).br_mispredicts, core.branch_stats(ThreadId::A))
+            (
+                a,
+                core.stats(ThreadId::A).br_mispredicts,
+                core.branch_stats(ThreadId::A),
+            )
         };
         let (_, misp_br, (preds, misses)) = st(StreamSpec::branch_bound(1));
         assert!(misp_br > 0, "branch-dense code must mispredict");
@@ -773,7 +797,10 @@ mod tests {
     #[test]
     fn out_of_order_issue_beats_in_order() {
         let run = |lookahead: usize| {
-            let cfg = CoreConfig { lookahead, ..CoreConfig::default() };
+            let cfg = CoreConfig {
+                lookahead,
+                ..CoreConfig::default()
+            };
             let mut core = SmtCore::new(cfg);
             core.assign(ThreadId::A, wl(StreamSpec::frontend_bound(1)));
             core.set_priority(ThreadId::A, p(7));

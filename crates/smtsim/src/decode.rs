@@ -38,7 +38,10 @@ pub struct SlotGrant {
 
 impl SlotGrant {
     /// A grant with no owner (nobody decodes this cycle).
-    pub const NONE: SlotGrant = SlotGrant { owner: None, leftover_allowed: false };
+    pub const NONE: SlotGrant = SlotGrant {
+        owner: None,
+        leftover_allowed: false,
+    };
 }
 
 /// Length `R` of the decode slice for two normal-mode priorities
@@ -80,8 +83,14 @@ pub fn slot_grant(a: HwPriority, b: HwPriority, cycle: Cycles) -> SlotGrant {
         // Both shut off: processor stopped.
         (0, 0) => SlotGrant::NONE,
         // ST mode: the live context receives all the resources.
-        (0, _) if pb > 1 => SlotGrant { owner: Some(ThreadId::B), leftover_allowed: false },
-        (_, 0) if pa > 1 => SlotGrant { owner: Some(ThreadId::A), leftover_allowed: false },
+        (0, _) if pb > 1 => SlotGrant {
+            owner: Some(ThreadId::B),
+            leftover_allowed: false,
+        },
+        (_, 0) if pa > 1 => SlotGrant {
+            owner: Some(ThreadId::A),
+            leftover_allowed: false,
+        },
         // 0 vs 1: the live context gets 1 of 32 cycles.
         (0, 1) => SlotGrant {
             owner: cycle.is_multiple_of(32).then_some(ThreadId::B),
@@ -98,12 +107,21 @@ pub fn slot_grant(a: HwPriority, b: HwPriority, cycle: Cycles) -> SlotGrant {
                 32 => Some(ThreadId::B),
                 _ => None,
             };
-            SlotGrant { owner, leftover_allowed: false }
+            SlotGrant {
+                owner,
+                leftover_allowed: false,
+            }
         }
         // Priority 1 vs normal: the normal context gets all the execution
         // resources; the priority-1 context takes what is left over.
-        (1, _) => SlotGrant { owner: Some(ThreadId::B), leftover_allowed: true },
-        (_, 1) => SlotGrant { owner: Some(ThreadId::A), leftover_allowed: true },
+        (1, _) => SlotGrant {
+            owner: Some(ThreadId::B),
+            leftover_allowed: true,
+        },
+        (_, 1) => SlotGrant {
+            owner: Some(ThreadId::A),
+            leftover_allowed: true,
+        },
         // Normal mode (Table II).
         _ => {
             let r = Cycles::from(slice_len(a, b));
@@ -118,7 +136,10 @@ pub fn slot_grant(a: HwPriority, b: HwPriority, cycle: Cycles) -> SlotGrant {
                 ThreadId::B // ties: B takes the "low" slot, A the rest
             };
             let owner = if pos == 0 { low } else { low.other() };
-            SlotGrant { owner: Some(owner), leftover_allowed: false }
+            SlotGrant {
+                owner: Some(owner),
+                leftover_allowed: false,
+            }
         }
     }
 }
@@ -300,22 +321,31 @@ mod tests {
         assert_eq!(slot_grant(p(0), p(0), 5), SlotGrant::NONE);
     }
 
+    /// The closed form is *exact* against the cycle-by-cycle census for
+    /// every one of the 64 priority pairs — including leftover mode,
+    /// where the priority-1 context owns no slot (its share is 0: it only
+    /// steals cycles the owner cannot use, which the census of *owned*
+    /// slots rightly never counts).
     #[test]
     fn closed_form_share_matches_census() {
-        for &(a, b) in &[(4u8, 4u8), (5, 4), (6, 2), (6, 3), (2, 6), (1, 4), (0, 4), (1, 1), (0, 1), (0, 0), (7, 2)] {
-            let (sa, sb) = decode_share(p(a), p(b));
-            let n = 64 * 32 * 10; // multiple of every slice length
-            let (ca, cb) = grant_census(p(a), p(b), n);
-            // Leftover mode nominally grants everything to the owner.
-            assert!(
-                (sa - ca as f64 / n as f64).abs() < 1e-9 || (a == 1 && b > 1),
-                "share A mismatch for ({a},{b}): {sa} vs census {}",
-                ca as f64 / n as f64
-            );
-            assert!(
-                (sb - cb as f64 / n as f64).abs() < 1e-9 || (b == 1 && a > 1),
-                "share B mismatch for ({a},{b})"
-            );
+        // A common multiple of every arbitration period: slices are
+        // `2^(diff+1) <= 64` cycles, special modes cycle every 32 or 64.
+        let n = 64 * 32 * 10;
+        for a in 0u8..=7 {
+            for b in 0u8..=7 {
+                let (sa, sb) = decode_share(p(a), p(b));
+                let (ca, cb) = grant_census(p(a), p(b), n);
+                assert!(
+                    (sa - ca as f64 / n as f64).abs() < 1e-12,
+                    "share A mismatch for ({a},{b}): {sa} vs census {}",
+                    ca as f64 / n as f64
+                );
+                assert!(
+                    (sb - cb as f64 / n as f64).abs() < 1e-12,
+                    "share B mismatch for ({a},{b}): {sb} vs census {}",
+                    cb as f64 / n as f64
+                );
+            }
         }
     }
 

@@ -89,27 +89,72 @@ pub struct StreamSpec {
 impl StreamSpec {
     /// A balanced integer-heavy mix, the generic "compute" workload.
     pub fn balanced(seed: u64) -> StreamSpec {
-        StreamSpec { fx: 5, fp: 2, ls: 3, br: 1, dep_dist: 4, working_set: 16 << 10, code_kb: 16, seed }
+        StreamSpec {
+            fx: 5,
+            fp: 2,
+            ls: 3,
+            br: 1,
+            dep_dist: 4,
+            working_set: 16 << 10,
+            code_kb: 16,
+            seed,
+        }
     }
 
     /// MetBench `fpu` load: long floating-point dependency chains.
     pub fn fpu_bound(seed: u64) -> StreamSpec {
-        StreamSpec { fx: 1, fp: 8, ls: 1, br: 0, dep_dist: 2, working_set: 8 << 10, code_kb: 4, seed }
+        StreamSpec {
+            fx: 1,
+            fp: 8,
+            ls: 1,
+            br: 0,
+            dep_dist: 2,
+            working_set: 8 << 10,
+            code_kb: 4,
+            seed,
+        }
     }
 
     /// MetBench `l2` load: working set larger than L1, resident in L2.
     pub fn l2_bound(seed: u64) -> StreamSpec {
-        StreamSpec { fx: 2, fp: 1, ls: 6, br: 1, dep_dist: 4, working_set: 512 << 10, code_kb: 8, seed }
+        StreamSpec {
+            fx: 2,
+            fp: 1,
+            ls: 6,
+            br: 1,
+            dep_dist: 4,
+            working_set: 512 << 10,
+            code_kb: 8,
+            seed,
+        }
     }
 
     /// MetBench `mem` load: streaming through memory, misses everywhere.
     pub fn mem_bound(seed: u64) -> StreamSpec {
-        StreamSpec { fx: 2, fp: 1, ls: 6, br: 1, dep_dist: 6, working_set: 64 << 20, code_kb: 8, seed }
+        StreamSpec {
+            fx: 2,
+            fp: 1,
+            ls: 6,
+            br: 1,
+            dep_dist: 6,
+            working_set: 64 << 20,
+            code_kb: 8,
+            seed,
+        }
     }
 
     /// MetBench `branch` load: branch-dense integer code.
     pub fn branch_bound(seed: u64) -> StreamSpec {
-        StreamSpec { fx: 5, fp: 0, ls: 2, br: 4, dep_dist: 3, working_set: 8 << 10, code_kb: 16, seed }
+        StreamSpec {
+            fx: 5,
+            fp: 0,
+            ls: 2,
+            br: 4,
+            dep_dist: 3,
+            working_set: 8 << 10,
+            code_kb: 16,
+            seed,
+        }
     }
 
     /// High-ILP integer code that is limited by the front end: plenty of
@@ -117,13 +162,31 @@ impl StreamSpec {
     /// free on purpose — it is the synthetic probe for decode-share
     /// effects, so mispredict noise is excluded.
     pub fn frontend_bound(seed: u64) -> StreamSpec {
-        StreamSpec { fx: 5, fp: 0, ls: 4, br: 0, dep_dist: 16, working_set: 4 << 10, code_kb: 4, seed }
+        StreamSpec {
+            fx: 5,
+            fp: 0,
+            ls: 4,
+            br: 0,
+            dep_dist: 16,
+            working_set: 4 << 10,
+            code_kb: 4,
+            seed,
+        }
     }
 
     /// A code-footprint stress load: branchy code spanning far more
     /// instruction memory than the L1I holds (Fortran-package-like).
     pub fn icache_thrash(seed: u64) -> StreamSpec {
-        StreamSpec { fx: 5, fp: 1, ls: 2, br: 2, dep_dist: 6, working_set: 16 << 10, code_kb: 512, seed }
+        StreamSpec {
+            fx: 5,
+            fp: 1,
+            ls: 2,
+            br: 2,
+            dep_dist: 6,
+            working_set: 16 << 10,
+            code_kb: 512,
+            seed,
+        }
     }
 
     /// Total mix weight.
@@ -164,8 +227,7 @@ impl StreamSpec {
     pub fn profile(&self) -> WorkloadProfile {
         let f = self.fractions();
         let miss = self.miss_profile();
-        let avg_ls_lat = L1_LAT
-            + miss.l1_miss * (L2_LAT + miss.l2_miss * MEM_LAT);
+        let avg_ls_lat = L1_LAT + miss.l1_miss * (L2_LAT + miss.l2_miss * MEM_LAT);
         let avg_br_lat = BR_LAT + BR_MISS_RATE * BR_MISS_PENALTY;
         let lats = [FX_LAT, FP_LAT, avg_ls_lat, avg_br_lat];
         let avg_lat: f64 = f.iter().zip(lats).map(|(fr, l)| fr * l).sum();
@@ -184,11 +246,19 @@ impl StreamSpec {
             .fold(f64::INFINITY, f64::min);
         let ipc_st = DECODE_WIDTH.min(dep_bound).min(unit_bound).max(0.05);
 
-        let unit_pressure = if unit_bound.is_finite() { (ipc_st / unit_bound).clamp(0.0, 1.0) } else { 0.0 };
+        let unit_pressure = if unit_bound.is_finite() {
+            (ipc_st / unit_bound).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
         let mem_intensity = (f[InstClass::Ls.index()]
             * (miss.l1_miss * 2.0 + miss.l1_miss * miss.l2_miss * 6.0))
             .clamp(0.0, 1.0);
-        WorkloadProfile { ipc_st, unit_pressure, mem_intensity }
+        WorkloadProfile {
+            ipc_st,
+            unit_pressure,
+            mem_intensity,
+        }
     }
 
     /// Estimated miss rates from the working-set size (simple three-regime
@@ -280,8 +350,18 @@ pub struct StreamGen {
 impl StreamGen {
     fn new(spec: StreamSpec) -> StreamGen {
         let mut rng = SplitMix64::new(spec.seed ^ 0xA5A5_5A5A_DEAD_BEEF);
-        let cursor = if spec.working_set > 0 { rng.below(spec.working_set) } else { 0 };
-        StreamGen { spec, rng, cursor, pc: 0, produced: 0 }
+        let cursor = if spec.working_set > 0 {
+            rng.below(spec.working_set)
+        } else {
+            0
+        };
+        StreamGen {
+            spec,
+            rng,
+            cursor,
+            pc: 0,
+            produced: 0,
+        }
     }
 
     /// Number of instructions generated so far.
@@ -338,7 +418,13 @@ impl StreamGen {
         }
 
         self.produced += 1;
-        Inst { class, addr, dep, taken, pc }
+        Inst {
+            class,
+            addr,
+            dep,
+            taken,
+            pc,
+        }
     }
 }
 
@@ -360,7 +446,16 @@ mod tests {
 
     #[test]
     fn mix_fractions_match_weights() {
-        let spec = StreamSpec { fx: 1, fp: 1, ls: 1, br: 1, dep_dist: 4, working_set: 1024, code_kb: 8, seed: 3 };
+        let spec = StreamSpec {
+            fx: 1,
+            fp: 1,
+            ls: 1,
+            br: 1,
+            dep_dist: 4,
+            working_set: 1024,
+            code_kb: 8,
+            seed: 3,
+        };
         let mut g = spec.generator();
         let mut counts = [0u32; 4];
         let n = 40_000;
@@ -369,13 +464,25 @@ mod tests {
         }
         for c in counts {
             let frac = f64::from(c) / f64::from(n);
-            assert!((frac - 0.25).abs() < 0.02, "class fraction {frac} far from 0.25");
+            assert!(
+                (frac - 0.25).abs() < 0.02,
+                "class fraction {frac} far from 0.25"
+            );
         }
     }
 
     #[test]
     fn zero_weight_classes_never_generated() {
-        let spec = StreamSpec { fx: 0, fp: 5, ls: 0, br: 0, dep_dist: 2, working_set: 0, code_kb: 4, seed: 9 };
+        let spec = StreamSpec {
+            fx: 0,
+            fp: 5,
+            ls: 0,
+            br: 0,
+            dep_dist: 2,
+            working_set: 0,
+            code_kb: 4,
+            seed: 9,
+        };
         let mut g = spec.generator();
         for _ in 0..1000 {
             assert_eq!(g.next_inst().class, InstClass::Fp);
@@ -401,7 +508,16 @@ mod tests {
 
     #[test]
     fn dep_dist_mean_roughly_matches_spec() {
-        let spec = StreamSpec { fx: 1, fp: 0, ls: 0, br: 0, dep_dist: 6, working_set: 0, code_kb: 4, seed: 10 };
+        let spec = StreamSpec {
+            fx: 1,
+            fp: 0,
+            ls: 0,
+            br: 0,
+            dep_dist: 6,
+            working_set: 0,
+            code_kb: 4,
+            seed: 10,
+        };
         let mut g = spec.generator();
         let n = 20_000;
         let sum: u64 = (0..n).map(|_| u64::from(g.next_inst().dep)).sum();
@@ -434,9 +550,21 @@ mod tests {
 
     #[test]
     fn miss_regimes_ordered_by_working_set() {
-        let small = StreamSpec { working_set: 8 << 10, ..StreamSpec::balanced(0) }.miss_profile();
-        let mid = StreamSpec { working_set: 512 << 10, ..StreamSpec::balanced(0) }.miss_profile();
-        let big = StreamSpec { working_set: 64 << 20, ..StreamSpec::balanced(0) }.miss_profile();
+        let small = StreamSpec {
+            working_set: 8 << 10,
+            ..StreamSpec::balanced(0)
+        }
+        .miss_profile();
+        let mid = StreamSpec {
+            working_set: 512 << 10,
+            ..StreamSpec::balanced(0)
+        }
+        .miss_profile();
+        let big = StreamSpec {
+            working_set: 64 << 20,
+            ..StreamSpec::balanced(0)
+        }
+        .miss_profile();
         assert!(small.l1_miss <= mid.l1_miss);
         assert!(mid.l1_miss <= big.l1_miss);
         assert!(small.l2_miss <= 0.05);

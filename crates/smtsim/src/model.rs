@@ -101,7 +101,11 @@ impl Workload {
     /// analytically.
     pub fn from_spec(name: impl Into<String>, stream: StreamSpec) -> Workload {
         let profile = stream.profile();
-        Workload { name: name.into(), stream, profile }
+        Workload {
+            name: name.into(),
+            stream,
+            profile,
+        }
     }
 
     /// Build a workload with an explicitly provided profile (e.g. one
@@ -111,7 +115,11 @@ impl Workload {
         stream: StreamSpec,
         profile: WorkloadProfile,
     ) -> Workload {
-        Workload { name: name.into(), stream, profile }
+        Workload {
+            name: name.into(),
+            stream,
+            profile,
+        }
     }
 }
 

@@ -199,10 +199,7 @@ impl MesoCore {
         }
 
         // Base consumption under hard shares.
-        let base = [
-            caps[0].min(w * shares[0]),
-            caps[1].min(w * shares[1]),
-        ];
+        let base = [caps[0].min(w * shares[0]), caps[1].min(w * shares[1])];
 
         let mut rates = [0.0f64; 2];
         for i in 0..2 {
@@ -423,7 +420,11 @@ mod tests {
         core.assign(ThreadId::A, metload(2.5));
         core.assign(
             ThreadId::B,
-            Workload::with_profile("slowpoke", StreamSpec::fpu_bound(1), WorkloadProfile::new(0.5, 0.1, 0.0)),
+            Workload::with_profile(
+                "slowpoke",
+                StreamSpec::fpu_bound(1),
+                WorkloadProfile::new(0.5, 0.1, 0.0),
+            ),
         );
         core.set_priority(ThreadId::A, p(1));
         core.set_priority(ThreadId::B, p(4));
@@ -502,13 +503,41 @@ mod tests {
     fn contention_reduces_capacity() {
         // A memory-hog co-runner reduces the partner's capacity.
         let mut quiet = MesoCore::default();
-        quiet.assign(ThreadId::A, Workload::with_profile("a", StreamSpec::balanced(1), WorkloadProfile::new(1.5, 0.1, 0.0)));
-        quiet.assign(ThreadId::B, Workload::with_profile("b", StreamSpec::balanced(2), WorkloadProfile::new(1.5, 0.1, 0.0)));
+        quiet.assign(
+            ThreadId::A,
+            Workload::with_profile(
+                "a",
+                StreamSpec::balanced(1),
+                WorkloadProfile::new(1.5, 0.1, 0.0),
+            ),
+        );
+        quiet.assign(
+            ThreadId::B,
+            Workload::with_profile(
+                "b",
+                StreamSpec::balanced(2),
+                WorkloadProfile::new(1.5, 0.1, 0.0),
+            ),
+        );
         let ra_quiet = quiet.throughputs()[0];
 
         let mut noisy = MesoCore::default();
-        noisy.assign(ThreadId::A, Workload::with_profile("a", StreamSpec::balanced(1), WorkloadProfile::new(1.5, 0.1, 0.0)));
-        noisy.assign(ThreadId::B, Workload::with_profile("hog", StreamSpec::mem_bound(2), WorkloadProfile::new(1.5, 0.9, 0.9)));
+        noisy.assign(
+            ThreadId::A,
+            Workload::with_profile(
+                "a",
+                StreamSpec::balanced(1),
+                WorkloadProfile::new(1.5, 0.1, 0.0),
+            ),
+        );
+        noisy.assign(
+            ThreadId::B,
+            Workload::with_profile(
+                "hog",
+                StreamSpec::mem_bound(2),
+                WorkloadProfile::new(1.5, 0.9, 0.9),
+            ),
+        );
         let ra_noisy = noisy.throughputs()[0];
         assert!(
             ra_noisy < ra_quiet * 0.8,

@@ -194,7 +194,9 @@ pub struct Tsr {
 impl Tsr {
     /// A TSR with default (MEDIUM) priority.
     pub fn new() -> Tsr {
-        Tsr { priority: HwPriority::MEDIUM }
+        Tsr {
+            priority: HwPriority::MEDIUM,
+        }
     }
 
     /// `mfspr` — read the current priority.

@@ -63,14 +63,22 @@ mod tests {
 
     #[test]
     fn ipc_is_zero_without_time() {
-        let s = CtxStats { retired: 100, ..Default::default() };
+        let s = CtxStats {
+            retired: 100,
+            ..Default::default()
+        };
         assert_eq!(s.ipc(0), 0.0);
         assert_eq!(s.ipc(50), 2.0);
     }
 
     #[test]
     fn slot_utilization_bounds() {
-        let s = CtxStats { slots_owned: 10, slots_used: 8, slots_stolen: 0, ..Default::default() };
+        let s = CtxStats {
+            slots_owned: 10,
+            slots_used: 8,
+            slots_stolen: 0,
+            ..Default::default()
+        };
         assert!((s.slot_utilization() - 0.8).abs() < 1e-12);
         let none = CtxStats::default();
         assert_eq!(none.slot_utilization(), 0.0);
@@ -78,7 +86,11 @@ mod tests {
 
     #[test]
     fn reset_zeroes_everything() {
-        let mut s = CtxStats { retired: 5, decoded: 9, ..Default::default() };
+        let mut s = CtxStats {
+            retired: 5,
+            decoded: 9,
+            ..Default::default()
+        };
         s.reset();
         assert_eq!(s, CtxStats::default());
     }

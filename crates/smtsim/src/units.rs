@@ -20,7 +20,9 @@ pub struct UnitConfig {
 impl Default for UnitConfig {
     /// POWER5-like: 2 FXU, 2 FPU, 2 LSU, 2 BR/CR units.
     fn default() -> Self {
-        UnitConfig { counts: [2, 2, 2, 2] }
+        UnitConfig {
+            counts: [2, 2, 2, 2],
+        }
     }
 }
 
@@ -133,7 +135,9 @@ mod tests {
 
     #[test]
     fn custom_config_respected() {
-        let mut p = UnitPool::new(UnitConfig { counts: [1, 0, 1, 1] });
+        let mut p = UnitPool::new(UnitConfig {
+            counts: [1, 0, 1, 1],
+        });
         p.begin_cycle(1);
         assert!(!p.try_issue(InstClass::Fp), "zero FPUs configured");
         assert!(p.try_issue(InstClass::Fx));

@@ -26,7 +26,12 @@ pub struct GanttConfig {
 
 impl Default for GanttConfig {
     fn default() -> Self {
-        GanttConfig { width: 100, legend: true, title: None, window: None }
+        GanttConfig {
+            width: 100,
+            legend: true,
+            title: None,
+            window: None,
+        }
     }
 }
 
@@ -73,8 +78,8 @@ pub fn render_gantt(timelines: &[Timeline], cfg: &GanttConfig) -> String {
         out.push_str(&format!("{:>w$} |", tl.label, w = label_w));
         for col in 0..cfg.width {
             // Midpoint of the column in simulated time.
-            let t = t_min
-                + ((2 * col as u128 + 1) * span as u128 / (2 * cfg.width as u128)) as Cycles;
+            let t =
+                t_min + ((2 * col as u128 + 1) * span as u128 / (2 * cfg.width as u128)) as Cycles;
             let glyph = tl.state_at(t).map_or(' ', ProcState::glyph);
             out.push(glyph);
         }
@@ -124,7 +129,15 @@ mod tests {
 
     #[test]
     fn renders_one_row_per_process() {
-        let s = render_gantt(&two_procs(), &GanttConfig { width: 20, legend: false, title: None, window: None });
+        let s = render_gantt(
+            &two_procs(),
+            &GanttConfig {
+                width: 20,
+                legend: false,
+                title: None,
+                window: None,
+            },
+        );
         let rows: Vec<&str> = s.lines().collect();
         assert!(rows[0].starts_with("P1 |"));
         assert!(rows[1].starts_with("P2 |"));
@@ -136,7 +149,15 @@ mod tests {
 
     #[test]
     fn full_compute_row_is_all_hash() {
-        let s = render_gantt(&two_procs(), &GanttConfig { width: 16, legend: false, title: None, window: None });
+        let s = render_gantt(
+            &two_procs(),
+            &GanttConfig {
+                width: 16,
+                legend: false,
+                title: None,
+                window: None,
+            },
+        );
         let p2 = s.lines().nth(1).unwrap();
         let body: String = p2.chars().skip(4).take(16).collect();
         assert_eq!(body, "#".repeat(16));
@@ -144,7 +165,12 @@ mod tests {
 
     #[test]
     fn legend_and_title_render_when_requested() {
-        let cfg = GanttConfig { width: 10, legend: true, title: Some("Figure 1".into()), window: None };
+        let cfg = GanttConfig {
+            width: 10,
+            legend: true,
+            title: Some("Figure 1".into()),
+            window: None,
+        };
         let s = render_gantt(&two_procs(), &cfg);
         assert!(s.starts_with("Figure 1\n"));
         assert!(s.contains("legend:"));
@@ -159,7 +185,15 @@ mod tests {
 
     #[test]
     fn rows_have_uniform_width() {
-        let s = render_gantt(&two_procs(), &GanttConfig { width: 33, legend: false, title: None, window: None });
+        let s = render_gantt(
+            &two_procs(),
+            &GanttConfig {
+                width: 33,
+                legend: false,
+                title: None,
+                window: None,
+            },
+        );
         let lens: Vec<usize> = s.lines().take(3).map(|l| l.chars().count()).collect();
         assert_eq!(lens[0], lens[1]);
         assert_eq!(lens[1], lens[2]);
@@ -168,7 +202,12 @@ mod tests {
     #[test]
     fn window_zooms_into_a_region() {
         // P1 computes 0..50, syncs 50..100. Zoom into the sync half.
-        let cfg = GanttConfig { width: 10, legend: false, title: None, window: Some((50, 100)) };
+        let cfg = GanttConfig {
+            width: 10,
+            legend: false,
+            title: None,
+            window: Some((50, 100)),
+        };
         let s = render_gantt(&two_procs(), &cfg);
         let p1 = s.lines().next().unwrap();
         let body: String = p1.chars().skip(4).take(10).collect();
@@ -178,7 +217,15 @@ mod tests {
 
     #[test]
     fn zero_width_is_handled() {
-        let s = render_gantt(&two_procs(), &GanttConfig { width: 0, legend: false, title: None, window: None });
+        let s = render_gantt(
+            &two_procs(),
+            &GanttConfig {
+                width: 0,
+                legend: false,
+                title: None,
+                window: None,
+            },
+        );
         assert!(s.contains("(no timelines)"));
     }
 }

@@ -85,10 +85,7 @@ impl RunMetrics {
             .collect();
         procs.sort_by_key(|p| p.pid);
 
-        let imbalance_pct = procs
-            .iter()
-            .map(|p| p.sync_pct)
-            .fold(0.0_f64, f64::max);
+        let imbalance_pct = procs.iter().map(|p| p.sync_pct).fold(0.0_f64, f64::max);
 
         let start = timelines.iter().map(Timeline::start).min().unwrap_or(0);
         let end = timelines.iter().map(Timeline::end).max().unwrap_or(0);
@@ -224,8 +221,16 @@ mod tests {
 
     #[test]
     fn improvement_and_speedup_match_paper_convention() {
-        let fast = RunMetrics { procs: vec![], imbalance_pct: 0.0, exec_cycles: 80 };
-        let slow = RunMetrics { procs: vec![], imbalance_pct: 0.0, exec_cycles: 100 };
+        let fast = RunMetrics {
+            procs: vec![],
+            imbalance_pct: 0.0,
+            exec_cycles: 80,
+        };
+        let slow = RunMetrics {
+            procs: vec![],
+            imbalance_pct: 0.0,
+            exec_cycles: 100,
+        };
         assert!((fast.improvement_over(&slow) - 20.0).abs() < 1e-9);
         assert!((fast.speedup_over(&slow) - 1.25).abs() < 1e-9);
         assert!((slow.improvement_over(&fast) + 25.0).abs() < 1e-9);

@@ -90,12 +90,18 @@ STATES
 ",
     );
     for s in ProcState::ALL {
-        out.push_str(&format!("{}	{}
-", state_code(s), s.name()));
+        out.push_str(&format!(
+            "{}	{}
+",
+            state_code(s),
+            s.name()
+        ));
     }
-    out.push_str("
+    out.push_str(
+        "
 STATES_COLOR
-");
+",
+    );
     for s in ProcState::ALL {
         // Grey-scale matching the paper's figures: compute dark, sync light.
         let rgb = match s {
@@ -106,8 +112,12 @@ STATES_COLOR
             ProcState::Init | ProcState::Final => "(255,255,255)",
             ProcState::Idle => "(230,230,230)",
         };
-        out.push_str(&format!("{}	{}
-", state_code(s), rgb));
+        out.push_str(&format!(
+            "{}	{}
+",
+            state_code(s),
+            rgb
+        ));
     }
     out
 }
@@ -146,7 +156,8 @@ pub fn import(text: &str) -> Result<Vec<Timeline>, String> {
             continue;
         }
         let parse = |s: &str| -> Result<u64, String> {
-            s.parse().map_err(|_| format!("line {}: bad number {s:?}", lineno + 1))
+            s.parse()
+                .map_err(|_| format!("line {}: bad number {s:?}", lineno + 1))
         };
         let pid = parse(parts[1])? as usize;
         let start = parse(parts[2])?;
@@ -228,7 +239,13 @@ mod tests {
 
     #[test]
     fn comm_records_append_after_states() {
-        let comms = vec![CommEvent { from: 0, to: 1, bytes: 4096, send_time: 10, recv_time: 900 }];
+        let comms = vec![CommEvent {
+            from: 0,
+            to: 1,
+            bytes: 4096,
+            send_time: 10,
+            recv_time: 900,
+        }];
         let text = export_with_comm(&sample(), &comms);
         assert!(text.contains("3:0:10:1:900:4096"));
         // State records still importable (type-3 lines are skipped).

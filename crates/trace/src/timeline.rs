@@ -86,9 +86,7 @@ impl Timeline {
     /// The state of the process at cycle `t`, if `t` is within the recorded
     /// range. Binary search; O(log n).
     pub fn state_at(&self, t: Cycles) -> Option<ProcState> {
-        let idx = self
-            .intervals
-            .partition_point(|i| i.end <= t);
+        let idx = self.intervals.partition_point(|i| i.end <= t);
         let iv = self.intervals.get(idx)?;
         (iv.start <= t && t < iv.end).then_some(iv.state)
     }
@@ -161,7 +159,11 @@ impl TimelineBuilder {
             return; // redundant transition; keep the open interval
         }
         if t > start {
-            self.push_merged(Interval { start, end: t, state: cur });
+            self.push_merged(Interval {
+                start,
+                end: t,
+                state: cur,
+            });
         }
         self.current = Some((t, state));
     }
@@ -177,7 +179,11 @@ impl TimelineBuilder {
             .expect("finish() called twice on a TimelineBuilder");
         assert!(t >= start, "finish() before last transition");
         if t > start {
-            self.push_merged(Interval { start, end: t, state: cur });
+            self.push_merged(Interval {
+                start,
+                end: t,
+                state: cur,
+            });
         }
         Timeline {
             pid: self.pid,

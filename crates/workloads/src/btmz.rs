@@ -56,7 +56,9 @@ pub fn zone_sizes() -> Vec<u64> {
 pub fn contiguous_partition(n_ranks: usize) -> Vec<Vec<usize>> {
     let zones = zone_sizes().len();
     let per = zones / n_ranks;
-    (0..n_ranks).map(|r| (r * per..(r + 1) * per).collect()).collect()
+    (0..n_ranks)
+        .map(|r| (r * per..(r + 1) * per).collect())
+        .collect()
 }
 
 /// BT-MZ generator configuration.
@@ -94,12 +96,19 @@ impl Default for BtMzConfig {
 impl BtMzConfig {
     /// A cheap configuration for unit tests.
     pub fn tiny() -> BtMzConfig {
-        BtMzConfig { iterations: 10, scale: 1e-3, ..Default::default() }
+        BtMzConfig {
+            iterations: 10,
+            scale: 1e-3,
+            ..Default::default()
+        }
     }
 
     /// The 2-rank partition used for the ST-mode comparison row.
     pub fn st_mode() -> BtMzConfig {
-        BtMzConfig { ranks: 2, ..Default::default() }
+        BtMzConfig {
+            ranks: 2,
+            ..Default::default()
+        }
     }
 
     /// Total instructions assigned to `rank` (from the zone partition if
@@ -119,7 +128,11 @@ impl BtMzConfig {
 
     /// Use an explicit zone partition (e.g. an LPT-rebalanced one).
     pub fn with_partition(mut self, partition: Vec<Vec<usize>>) -> BtMzConfig {
-        assert_eq!(partition.len(), self.ranks, "partition must cover every rank");
+        assert_eq!(
+            partition.len(),
+            self.ranks,
+            "partition must cover every rank"
+        );
         self.partition = Some(partition);
         self
     }

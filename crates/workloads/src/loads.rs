@@ -28,7 +28,16 @@ use mtb_smtsim::model::{Workload, WorkloadProfile};
 pub fn metbench_load(seed: u64) -> Workload {
     Workload::with_profile(
         "metbench",
-        StreamSpec { fx: 4, fp: 2, ls: 3, br: 1, dep_dist: 12, working_set: 16 << 10, code_kb: 16, seed },
+        StreamSpec {
+            fx: 4,
+            fp: 2,
+            ls: 3,
+            br: 1,
+            dep_dist: 12,
+            working_set: 16 << 10,
+            code_kb: 16,
+            seed,
+        },
         WorkloadProfile::new(2.85, 0.05, 0.02),
     )
 }
@@ -57,7 +66,16 @@ pub fn branch_load(seed: u64) -> Workload {
 pub fn btmz_load(seed: u64) -> Workload {
     Workload::with_profile(
         "bt-mz",
-        StreamSpec { fx: 3, fp: 3, ls: 3, br: 1, dep_dist: 16, working_set: 24 << 10, code_kb: 32, seed },
+        StreamSpec {
+            fx: 3,
+            fp: 3,
+            ls: 3,
+            br: 1,
+            dep_dist: 16,
+            working_set: 24 << 10,
+            code_kb: 32,
+            seed,
+        },
         WorkloadProfile::new(3.2, 0.05, 0.05),
     )
 }
@@ -66,7 +84,16 @@ pub fn btmz_load(seed: u64) -> Workload {
 pub fn siesta_load(seed: u64) -> Workload {
     Workload::with_profile(
         "siesta",
-        StreamSpec { fx: 2, fp: 3, ls: 4, br: 1, dep_dist: 5, working_set: 8 << 20, code_kb: 256, seed },
+        StreamSpec {
+            fx: 2,
+            fp: 3,
+            ls: 4,
+            br: 1,
+            dep_dist: 5,
+            working_set: 8 << 20,
+            code_kb: 256,
+            seed,
+        },
         WorkloadProfile::new(1.8, 0.2, 0.7),
     )
 }

@@ -53,7 +53,11 @@ impl Default for MetBenchConfig {
 impl MetBenchConfig {
     /// A cheap configuration for unit tests (~10⁻³ of paper scale).
     pub fn tiny() -> MetBenchConfig {
-        MetBenchConfig { iterations: 10, scale: 1e-3, ..Default::default() }
+        MetBenchConfig {
+            iterations: 10,
+            scale: 1e-3,
+            ..Default::default()
+        }
     }
 
     /// Per-iteration instructions for `rank`.
@@ -145,7 +149,10 @@ mod tests {
         let cfg = MetBenchConfig::default();
         let per_iter = cfg.work_of(1);
         assert_eq!(per_iter * u64::from(cfg.iterations), 304_000_000_000);
-        let half = MetBenchConfig { scale: 0.5, ..Default::default() };
+        let half = MetBenchConfig {
+            scale: 0.5,
+            ..Default::default()
+        };
         assert_eq!(half.work_of(1) * 100, 152_000_000_000);
     }
 

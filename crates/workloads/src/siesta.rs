@@ -68,12 +68,19 @@ impl Default for SiestaConfig {
 impl SiestaConfig {
     /// A cheap configuration for unit tests.
     pub fn tiny() -> SiestaConfig {
-        SiestaConfig { iterations: 6, scale: 1e-4, ..Default::default() }
+        SiestaConfig {
+            iterations: 6,
+            scale: 1e-4,
+            ..Default::default()
+        }
     }
 
     /// The 2-rank partition of the ST row.
     pub fn st_mode() -> SiestaConfig {
-        SiestaConfig { ranks: 2, ..Default::default() }
+        SiestaConfig {
+            ranks: 2,
+            ..Default::default()
+        }
     }
 
     /// Mean total instructions of `rank`.
@@ -89,7 +96,8 @@ impl SiestaConfig {
     /// mean ≈ 1, in `[1-variation, 1+variation]`.
     pub fn iter_factor(&self, rank: usize, iteration: u32) -> f64 {
         let mut rng = SplitMix64::new(
-            self.seed ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            self.seed
+                ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
                 ^ u64::from(iteration).wrapping_mul(0xD1B5_4A32_D192_ED03),
         );
         1.0 + self.variation * (2.0 * rng.unit_f64() - 1.0)
@@ -226,9 +234,11 @@ mod tests {
                 .unwrap()
                 .0
         };
-        let bottlenecks: std::collections::HashSet<usize> =
-            (0..40).map(bottleneck_of).collect();
-        assert!(bottlenecks.len() >= 2, "bottleneck must rotate: {bottlenecks:?}");
+        let bottlenecks: std::collections::HashSet<usize> = (0..40).map(bottleneck_of).collect();
+        assert!(
+            bottlenecks.len() >= 2,
+            "bottleneck must rotate: {bottlenecks:?}"
+        );
     }
 
     #[test]

@@ -99,7 +99,12 @@ impl SpMzConfig {
     /// Build the rank programs.
     pub fn programs(&self) -> Vec<Program> {
         let works: Vec<u64> = (0..self.ranks).map(|r| self.work_of(r)).collect();
-        ring_programs(&works, self.iterations, |r| self.load(r), self.exchange_bytes)
+        ring_programs(
+            &works,
+            self.iterations,
+            |r| self.load(r),
+            self.exchange_bytes,
+        )
     }
 
     /// Identity placement.

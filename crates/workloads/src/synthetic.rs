@@ -25,14 +25,23 @@ pub struct SyntheticConfig {
 
 impl Default for SyntheticConfig {
     fn default() -> Self {
-        SyntheticConfig { base_work: 30_000_000_000, skew: 3.0, iterations: 4, seed: 0xF16 }
+        SyntheticConfig {
+            base_work: 30_000_000_000,
+            skew: 3.0,
+            iterations: 4,
+            seed: 0xF16,
+        }
     }
 }
 
 impl SyntheticConfig {
     /// A cheap configuration for unit tests.
     pub fn tiny() -> SyntheticConfig {
-        SyntheticConfig { base_work: 100_000, iterations: 2, ..Default::default() }
+        SyntheticConfig {
+            base_work: 100_000,
+            iterations: 2,
+            ..Default::default()
+        }
     }
 
     /// Instructions per iteration for `rank`.

@@ -32,7 +32,10 @@ fn main() {
     // paper pairs P1 with P4 and P2 with P3; `pair_by_load` derives the
     // same pairing from the work vector).
     let placement = pair_by_load(&work, 2);
-    println!("derived placement: {:?}", placement.iter().map(CtxAddr::cpu).collect::<Vec<_>>());
+    println!(
+        "derived placement: {:?}",
+        placement.iter().map(CtxAddr::cpu).collect::<Vec<_>>()
+    );
 
     // Step 2 — priorities: ask the what-if predictor for the best pair
     // per core instead of running the paper's four manual cases.
@@ -41,8 +44,7 @@ fn main() {
     for core in 0..2 {
         let ranks: Vec<usize> = (0..4).filter(|&r| placement[r].core == core).collect();
         let (a, b) = (ranks[0], ranks[1]);
-        let (pa, pb, predicted) =
-            best_priority_pair(&profile, &profile, work[a], work[b], 2);
+        let (pa, pb, predicted) = best_priority_pair(&profile, &profile, work[a], work[b], 2);
         println!(
             "core {core}: ranks {a}/{b} -> priorities {pa}/{pb} (predicted {:.2}s)",
             predicted / mtbalance::trace::NOMINAL_CLOCK_HZ
@@ -52,10 +54,7 @@ fn main() {
     }
 
     // Step 3 — run it.
-    let balanced = execute(
-        StaticRun::new(&progs, placement).with_priorities(priorities),
-    )
-    .unwrap();
+    let balanced = execute(StaticRun::new(&progs, placement).with_priorities(priorities)).unwrap();
 
     println!(
         "\nreference: {:.2}s (imbalance {:.1}%)",

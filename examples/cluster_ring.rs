@@ -46,7 +46,11 @@ fn main() {
         striped_placement(8, 2, 2),
         vec![],
     );
-    run("block placement (edges stay on-node)", block_placement(8), vec![]);
+    run(
+        "block placement (edges stay on-node)",
+        block_placement(8),
+        vec![],
+    );
 
     // Priorities per SMT pair, chosen by the what-if predictor.
     let profile = mtbalance::workloads::loads::btmz_load(0).profile;

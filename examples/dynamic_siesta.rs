@@ -40,7 +40,10 @@ fn main() {
     let progs = cfg.programs();
     let placement = cfg.placement_paired();
 
-    println!("SIESTA-like run: 4 ranks, {} iterations, moving bottleneck\n", cfg.iterations);
+    println!(
+        "SIESTA-like run: 4 ranks, {} iterations, moving bottleneck\n",
+        cfg.iterations
+    );
 
     let reference = execute(StaticRun::new(&progs, placement.clone())).unwrap();
 
@@ -89,8 +92,10 @@ bottleneck identity changed {} times across {} epochs",
             .iter()
             .flat_map(|w| w.iter().filter(|x| x.rank == 3).map(|x| x.compute))
             .collect();
-        println!("
-P4 per-epoch compute-time distribution:");
+        println!(
+            "
+P4 per-epoch compute-time distribution:"
+        );
         print!("{}", histogram(&samples, 6, 40));
     }
 }

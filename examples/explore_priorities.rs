@@ -7,11 +7,11 @@
 //! cargo run --release --example explore_priorities
 //! ```
 
+use mtbalance::workloads::loads::metbench_load;
 use mtbalance::{
     cycles_to_seconds, execute, predict_makespan, CtxAddr, PrioritySetting, ProgramBuilder,
     StaticRun, Table, WorkSpec,
 };
-use mtbalance::workloads::loads::metbench_load;
 
 fn main() {
     // Rank 0 carries 4x the work of rank 1 (MetBench-like), both on one
@@ -28,7 +28,11 @@ fn main() {
     let placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(1)];
 
     let mut t = Table::new(&[
-        "P(heavy)", "P(light)", "simulated (s)", "predicted (s)", "note",
+        "P(heavy)",
+        "P(light)",
+        "simulated (s)",
+        "predicted (s)",
+        "note",
     ])
     .with_title("priority sweep: heavy rank with 4x the work of its core-mate");
 
@@ -46,8 +50,9 @@ fn main() {
             )
             .unwrap();
             let sim = cycles_to_seconds(run.total_cycles);
-            let pred = predict_makespan(&load.profile, &load.profile, work_heavy, work_light, ph, pl)
-                / mtbalance::trace::NOMINAL_CLOCK_HZ;
+            let pred =
+                predict_makespan(&load.profile, &load.profile, work_heavy, work_light, ph, pl)
+                    / mtbalance::trace::NOMINAL_CLOCK_HZ;
             if sim < best.2 {
                 best = (ph, pl, sim);
             }

@@ -21,7 +21,11 @@ use mtbalance::{
 
 fn main() {
     // P1 carries 3x the work of P2-P4; P1+P2 share core 0.
-    let cfg = SyntheticConfig { skew: 3.0, iterations: 8, ..Default::default() };
+    let cfg = SyntheticConfig {
+        skew: 3.0,
+        iterations: 8,
+        ..Default::default()
+    };
     let progs = cfg.programs();
     let placement = cfg.placement();
 
@@ -29,15 +33,20 @@ fn main() {
     // (where the bottleneck lives — the interrupt annoyance problem),
     // and a statistics daemon on CPU2.
     let mut noise = interrupt_annoyance(2, 1_500_000, 7_500, 500_000, 25_000);
-    noise.push(NoiseSource::daemon("statsd", CtxAddr::from_cpu(2), 30_000_000, 1_500_000));
+    noise.push(NoiseSource::daemon(
+        "statsd",
+        CtxAddr::from_cpu(2),
+        30_000_000,
+        1_500_000,
+    ));
 
     // User-space balancing reachable on ANY kernel: drop the light
     // core-mate of the bottleneck one level via the or-nop (users may set
     // 2..=4; a single level is enough — the paper's case D shows why a
     // bigger difference would invert the imbalance).
     let user_balancing = vec![
-        PrioritySetting::Default,                          // P1: the bottleneck
-        PrioritySetting::OrNop(3, PrivilegeLevel::User),   // P2 donates decode slots
+        PrioritySetting::Default,                        // P1: the bottleneck
+        PrioritySetting::OrNop(3, PrivilegeLevel::User), // P2 donates decode slots
         PrioritySetting::Default,
         PrioritySetting::Default,
     ];
@@ -49,8 +58,7 @@ fn main() {
         ),
         (
             "noisy machine, no balancing",
-            execute(StaticRun::new(&progs, placement.clone()).with_noise(noise.clone()))
-                .unwrap(),
+            execute(StaticRun::new(&progs, placement.clone()).with_noise(noise.clone())).unwrap(),
         ),
         (
             "noisy, balanced, patched kernel",

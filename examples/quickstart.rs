@@ -20,11 +20,17 @@ fn main() {
     );
     let prog = |work: u64| {
         ProgramBuilder::new()
-            .repeat(4, |b| b.compute(WorkSpec::new(load.clone(), work)).barrier())
+            .repeat(4, |b| {
+                b.compute(WorkSpec::new(load.clone(), work)).barrier()
+            })
             .build()
     };
-    let programs =
-        vec![prog(300_000_000), prog(100_000_000), prog(100_000_000), prog(100_000_000)];
+    let programs = vec![
+        prog(300_000_000),
+        prog(100_000_000),
+        prog(100_000_000),
+        prog(100_000_000),
+    ];
 
     // 2. Pin ranks to the POWER5's four hardware contexts:
     //    rank 0 + rank 1 share core 0, rank 2 + rank 3 share core 1.
@@ -35,14 +41,12 @@ fn main() {
 
     // 4. Balanced run: give the bottleneck rank more decode slots via the
     //    patched kernel's /proc/<pid>/hmt_priority interface.
-    let balanced = execute(
-        StaticRun::new(&programs, placement).with_priorities(vec![
-            PrioritySetting::ProcFs(5), // the bottleneck
-            PrioritySetting::ProcFs(4), // its core-mate pays the bill
-            PrioritySetting::Default,
-            PrioritySetting::Default,
-        ]),
-    )
+    let balanced = execute(StaticRun::new(&programs, placement).with_priorities(vec![
+        PrioritySetting::ProcFs(5), // the bottleneck
+        PrioritySetting::ProcFs(4), // its core-mate pays the bill
+        PrioritySetting::Default,
+        PrioritySetting::Default,
+    ]))
     .unwrap();
 
     for (label, run) in [("reference", &reference), ("balanced ", &balanced)] {
@@ -60,7 +64,12 @@ fn main() {
         "{}",
         render_gantt(
             &balanced.timelines,
-            &GanttConfig { width: 80, legend: true, title: Some("balanced run".into()), window: None }
+            &GanttConfig {
+                width: 80,
+                legend: true,
+                title: Some("balanced run".into()),
+                window: None
+            }
         )
     );
 }

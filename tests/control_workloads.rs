@@ -33,8 +33,7 @@ fn misapplied_priorities_hurt_balanced_workloads() {
     let reference = execute(StaticRun::new(&progs, c.placement())).unwrap();
     let case_d = &btmz_cases()[3];
     let misapplied = execute(
-        StaticRun::new(&progs, btmz_paired_placement())
-            .with_priorities(case_d.priorities.clone()),
+        StaticRun::new(&progs, btmz_paired_placement()).with_priorities(case_d.priorities.clone()),
     )
     .unwrap();
     assert!(
@@ -52,8 +51,7 @@ fn dynamic_policy_stays_idle_on_balanced_workloads() {
         let progs = c.programs();
         let reference = execute(StaticRun::new(&progs, c.placement())).unwrap();
         let mut balancer = DynamicBalancer::with_defaults(&c.placement());
-        let dynamic =
-            execute_with(StaticRun::new(&progs, c.placement()), &mut balancer).unwrap();
+        let dynamic = execute_with(StaticRun::new(&progs, c.placement()), &mut balancer).unwrap();
         assert_eq!(
             balancer.adjustments(),
             0,

@@ -8,7 +8,11 @@ use mtbalance::{execute, StaticRun};
 #[test]
 fn full_runs_are_bit_deterministic() {
     let run = || {
-        let cfg = SiestaConfig { iterations: 10, scale: 1e-2, ..Default::default() };
+        let cfg = SiestaConfig {
+            iterations: 10,
+            scale: 1e-2,
+            ..Default::default()
+        };
         let progs = cfg.programs();
         execute(StaticRun::new(&progs, cfg.placement_paired())).unwrap()
     };
@@ -22,7 +26,12 @@ fn full_runs_are_bit_deterministic() {
 #[test]
 fn different_seeds_change_the_details_not_the_shape() {
     let exec_with_seed = |seed: u64| {
-        let cfg = SiestaConfig { iterations: 10, scale: 1e-2, seed, ..Default::default() };
+        let cfg = SiestaConfig {
+            iterations: 10,
+            scale: 1e-2,
+            seed,
+            ..Default::default()
+        };
         let progs = cfg.programs();
         execute(StaticRun::new(&progs, cfg.placement_reference()))
             .unwrap()
@@ -40,14 +49,18 @@ fn cycle_accurate_engine_reproduces_the_metbench_ordering() {
     // The expensive fidelity check: run MetBench cases A and C on the
     // cycle-level core (tiny scale) and confirm the balancing direction
     // matches the mesoscale result.
-    let cfg = MetBenchConfig { iterations: 2, scale: 2e-6, ..Default::default() };
+    let cfg = MetBenchConfig {
+        iterations: 2,
+        scale: 2e-6,
+        ..Default::default()
+    };
     let progs = cfg.programs();
     let cases = metbench_cases();
 
     let run = |case_idx: usize, cycle_accurate: bool| {
         let case = &cases[case_idx];
-        let mut run = StaticRun::new(&progs, case.placement.clone())
-            .with_priorities(case.priorities.clone());
+        let mut run =
+            StaticRun::new(&progs, case.placement.clone()).with_priorities(case.priorities.clone());
         if cycle_accurate {
             run = run.cycle_accurate();
         }
@@ -60,7 +73,10 @@ fn cycle_accurate_engine_reproduces_the_metbench_ordering() {
     let c_cyc = run(2, true);
 
     assert!(c_meso < a_meso, "meso: C beats A");
-    assert!(c_cyc < a_cyc, "cycle-accurate: C beats A too ({c_cyc} vs {a_cyc})");
+    assert!(
+        c_cyc < a_cyc,
+        "cycle-accurate: C beats A too ({c_cyc} vs {a_cyc})"
+    );
 
     // Absolute agreement between the models stays within a factor ~1.5
     // at this scale (cold caches hurt the cycle model).

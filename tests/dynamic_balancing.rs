@@ -34,7 +34,10 @@ fn dynamic_policy_recovers_most_of_the_static_metbench_win() {
     };
     let static_imp = imp(&best_static);
     let dyn_imp = imp(&dynamic);
-    assert!(static_imp > 5.0, "static case C regime wins: {static_imp:.1}%");
+    assert!(
+        static_imp > 5.0,
+        "static case C regime wins: {static_imp:.1}%"
+    );
     assert!(
         dyn_imp > 0.6 * static_imp,
         "dynamic recovers most of the static win: {dyn_imp:.1}% vs {static_imp:.1}%"
@@ -66,7 +69,11 @@ fn predictor_choice_matches_simulated_optimum_for_metbench_pair() {
     // with the predictor, then verify by simulation that the chosen pair
     // is within 2% of the simulated best pair.
     let load = loads::metbench_load(0);
-    let cfg = MetBenchConfig { ranks: 2, heavy_ranks: vec![1], ..Default::default() };
+    let cfg = MetBenchConfig {
+        ranks: 2,
+        heavy_ranks: vec![1],
+        ..Default::default()
+    };
     let progs = cfg.programs();
     let placement = cfg.placement();
 
@@ -77,10 +84,8 @@ fn predictor_choice_matches_simulated_optimum_for_metbench_pair() {
 
     let simulate = |a: u8, b: u8| {
         execute(
-            StaticRun::new(&progs, placement.clone()).with_priorities(vec![
-                PrioritySetting::ProcFs(a),
-                PrioritySetting::ProcFs(b),
-            ]),
+            StaticRun::new(&progs, placement.clone())
+                .with_priorities(vec![PrioritySetting::ProcFs(a), PrioritySetting::ProcFs(b)]),
         )
         .unwrap()
         .total_cycles
@@ -102,14 +107,15 @@ fn predictor_choice_matches_simulated_optimum_for_metbench_pair() {
 fn audited_policy_contains_damage_on_pure_noise_imbalance() {
     use mtbalance::os::noise::interrupt_annoyance;
     use mtbalance::workloads::synthetic::SyntheticConfig;
-    let cfg = SyntheticConfig { skew: 1.0, iterations: 16, ..Default::default() };
+    let cfg = SyntheticConfig {
+        skew: 1.0,
+        iterations: 16,
+        ..Default::default()
+    };
     let progs = cfg.programs();
     let noise = interrupt_annoyance(2, 1_500_000, 7_500, 500_000, 50_000);
 
-    let plain = execute(
-        StaticRun::new(&progs, cfg.placement()).with_noise(noise.clone()),
-    )
-    .unwrap();
+    let plain = execute(StaticRun::new(&progs, cfg.placement()).with_noise(noise.clone())).unwrap();
     let mut balancer = DynamicBalancer::with_defaults(&cfg.placement());
     let dynamic = execute_with(
         StaticRun::new(&progs, cfg.placement()).with_noise(noise),

@@ -9,7 +9,11 @@ use mtbalance::{execute, StaticRun};
 
 #[test]
 fn balancing_improves_time_and_energy_together() {
-    let cfg = MetBenchConfig { iterations: 20, scale: 2e-2, ..Default::default() };
+    let cfg = MetBenchConfig {
+        iterations: 20,
+        scale: 2e-2,
+        ..Default::default()
+    };
     let progs = cfg.programs();
     let cases = mtbalance::balance::paper_cases::metbench_cases();
     let model = EnergyModel::default();
@@ -28,7 +32,12 @@ fn balancing_improves_time_and_energy_together() {
     let (t_a, e_a) = energy_of(0);
     let (t_c, e_c) = energy_of(2);
     assert!(t_c < t_a);
-    assert!(e_c.joules < e_a.joules, "case C saves energy: {} vs {}", e_c.joules, e_a.joules);
+    assert!(
+        e_c.joules < e_a.joules,
+        "case C saves energy: {} vs {}",
+        e_c.joules,
+        e_a.joules
+    );
     assert!(e_c.edp < e_a.edp, "and EDP");
 
     let (t_d, e_d) = energy_of(3);

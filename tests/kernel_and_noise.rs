@@ -5,9 +5,7 @@ use mtbalance::os::noise::interrupt_annoyance;
 use mtbalance::smt::PrivilegeLevel;
 use mtbalance::workloads::metbench::MetBenchConfig;
 use mtbalance::workloads::synthetic::SyntheticConfig;
-use mtbalance::{
-    execute, CtxAddr, KernelConfig, NoiseSource, PrioritySetting, StaticRun,
-};
+use mtbalance::{execute, CtxAddr, KernelConfig, NoiseSource, PrioritySetting, StaticRun};
 
 fn ticks(period: u64, cost: u64) -> Vec<NoiseSource> {
     (0..4)
@@ -17,7 +15,11 @@ fn ticks(period: u64, cost: u64) -> Vec<NoiseSource> {
 
 #[test]
 fn vanilla_kernel_defeats_balancing_under_interrupts() {
-    let cfg = MetBenchConfig { iterations: 20, scale: 1e-2, ..Default::default() };
+    let cfg = MetBenchConfig {
+        iterations: 20,
+        scale: 1e-2,
+        ..Default::default()
+    };
     let progs = cfg.programs();
     // User-reachable balancing: drop the light ranks one level.
     let prios = vec![
@@ -28,10 +30,8 @@ fn vanilla_kernel_defeats_balancing_under_interrupts() {
     ];
     let noise = ticks(1_500_000, 7_500);
 
-    let reference = execute(
-        StaticRun::new(&progs, cfg.placement()).with_noise(noise.clone()),
-    )
-    .unwrap();
+    let reference =
+        execute(StaticRun::new(&progs, cfg.placement()).with_noise(noise.clone())).unwrap();
     let patched = execute(
         StaticRun::new(&progs, cfg.placement())
             .with_priorities(prios.clone())
@@ -73,16 +73,20 @@ fn procfs_requires_the_patch() {
 
 #[test]
 fn interrupt_annoyance_skews_a_balanced_app() {
-    let cfg = SyntheticConfig { skew: 1.0, iterations: 8, ..Default::default() };
+    let cfg = SyntheticConfig {
+        skew: 1.0,
+        iterations: 8,
+        ..Default::default()
+    };
     let progs = cfg.programs();
     let quiet = execute(StaticRun::new(&progs, cfg.placement())).unwrap();
-    assert!(quiet.metrics.imbalance_pct < 0.5, "balanced app, quiet machine");
+    assert!(
+        quiet.metrics.imbalance_pct < 0.5,
+        "balanced app, quiet machine"
+    );
 
     let noise = interrupt_annoyance(2, 1_500_000, 7_500, 500_000, 25_000);
-    let noisy = execute(
-        StaticRun::new(&progs, cfg.placement()).with_noise(noise),
-    )
-    .unwrap();
+    let noisy = execute(StaticRun::new(&progs, cfg.placement()).with_noise(noise)).unwrap();
     assert!(
         noisy.metrics.imbalance_pct > 2.0,
         "CPU0-routed IRQs must imbalance it: {}",
@@ -99,7 +103,11 @@ fn interrupt_annoyance_skews_a_balanced_app() {
 
 #[test]
 fn noise_imbalance_grows_with_duty_cycle() {
-    let cfg = SyntheticConfig { skew: 1.0, iterations: 4, ..Default::default() };
+    let cfg = SyntheticConfig {
+        skew: 1.0,
+        iterations: 4,
+        ..Default::default()
+    };
     let progs = cfg.programs();
     let mut last = -1.0;
     for duty in [1u64, 5, 10] {
@@ -111,10 +119,7 @@ fn noise_imbalance_grows_with_duty_cycle() {
             period * duty / 100,
             0,
         )];
-        let r = execute(
-            StaticRun::new(&progs, cfg.placement()).with_noise(noise),
-        )
-        .unwrap();
+        let r = execute(StaticRun::new(&progs, cfg.placement()).with_noise(noise)).unwrap();
         assert!(
             r.metrics.imbalance_pct > last,
             "imbalance must grow with duty {duty}: {} vs {last}",
@@ -126,13 +131,19 @@ fn noise_imbalance_grows_with_duty_cycle() {
 
 #[test]
 fn daemons_steal_from_their_cpu_only() {
-    let cfg = SyntheticConfig { skew: 1.0, iterations: 4, ..Default::default() };
+    let cfg = SyntheticConfig {
+        skew: 1.0,
+        iterations: 4,
+        ..Default::default()
+    };
     let progs = cfg.programs();
-    let noise = vec![NoiseSource::daemon("statsd", CtxAddr::from_cpu(2), 10_000_000, 500_000)];
-    let r = execute(
-        StaticRun::new(&progs, cfg.placement()).with_noise(noise),
-    )
-    .unwrap();
+    let noise = vec![NoiseSource::daemon(
+        "statsd",
+        CtxAddr::from_cpu(2),
+        10_000_000,
+        500_000,
+    )];
+    let r = execute(StaticRun::new(&progs, cfg.placement()).with_noise(noise)).unwrap();
     assert!(r.interrupt_cycles[2] > 0);
     assert_eq!(r.interrupt_cycles[0], 0);
     assert_eq!(r.interrupt_cycles[1], 0);

@@ -6,16 +6,15 @@
 use mtbalance::balance::paper_cases::{
     btmz_cases, btmz_st_case, metbench_cases, siesta_cases, siesta_st_case,
 };
-use mtbalance::{execute, StaticRun};
 use mtbalance::workloads::{BtMzConfig, MetBenchConfig, SiestaConfig};
+use mtbalance::{execute, StaticRun};
 
 fn exec_of(
     programs: &[mtbalance::Program],
     case: &mtbalance::balance::paper_cases::Case,
 ) -> (u64, f64) {
     let r = execute(
-        StaticRun::new(programs, case.placement.clone())
-            .with_priorities(case.priorities.clone()),
+        StaticRun::new(programs, case.placement.clone()).with_priorities(case.priorities.clone()),
     )
     .unwrap();
     (r.total_cycles, r.metrics.imbalance_pct)
@@ -43,7 +42,10 @@ fn table4_metbench_shape() {
     assert!((-28.0..-12.0).contains(&imp(d)), "D regression {}", imp(d));
     // Imbalance: monotone drop A -> B -> C; D re-imbalanced.
     assert!(imb_a > 60.0, "reference is heavily imbalanced: {imb_a}");
-    assert!(imb_b < imb_a && imb_c < imb_b, "{imb_a} > {imb_b} > {imb_c}");
+    assert!(
+        imb_b < imb_a && imb_c < imb_b,
+        "{imb_a} > {imb_b} > {imb_c}"
+    );
     assert!(imb_d > imb_c, "D reverses the imbalance");
 }
 
@@ -59,9 +61,17 @@ fn table4_case_a_percentages_match_paper() {
     )
     .unwrap();
     let p = &r.metrics.procs;
-    assert!((20.0..30.0).contains(&p[0].comp_pct), "P1 comp {}", p[0].comp_pct);
+    assert!(
+        (20.0..30.0).contains(&p[0].comp_pct),
+        "P1 comp {}",
+        p[0].comp_pct
+    );
     assert!(p[1].comp_pct > 95.0, "P2 comp {}", p[1].comp_pct);
-    assert!((20.0..30.0).contains(&p[2].comp_pct), "P3 comp {}", p[2].comp_pct);
+    assert!(
+        (20.0..30.0).contains(&p[2].comp_pct),
+        "P3 comp {}",
+        p[2].comp_pct
+    );
     assert!(p[3].comp_pct > 95.0, "P4 comp {}", p[3].comp_pct);
 }
 
@@ -127,7 +137,10 @@ fn table6_siesta_shape() {
     assert!(c < a, "case C improves");
     assert!(d > a, "case D regresses");
     let imp_c = 100.0 * (a as f64 - c as f64) / a as f64;
-    assert!((4.0..12.0).contains(&imp_c), "SIESTA C improvement {imp_c:.1}%");
+    assert!(
+        (4.0..12.0).contains(&imp_c),
+        "SIESTA C improvement {imp_c:.1}%"
+    );
     let imp_d = 100.0 * (a as f64 - d as f64) / a as f64;
     assert!(imp_d < -10.0, "SIESTA D loss {imp_d:.1}%");
     assert!(imb_c < imb_a, "C reduces the imbalance");
@@ -149,7 +162,11 @@ fn master_worker_variant_reproduces_the_case_shape() {
     // The paper's literal master/worker protocol (bcast + reduce + master
     // statistics) must tell the same balancing story as the barrier
     // variant used for Table IV.
-    let cfg = MetBenchConfig { iterations: 20, scale: 5e-2, ..Default::default() };
+    let cfg = MetBenchConfig {
+        iterations: 20,
+        scale: 5e-2,
+        ..Default::default()
+    };
     let progs = cfg.programs();
     let mw_progs = cfg.master_worker_programs();
     let cases = metbench_cases();
@@ -169,7 +186,10 @@ fn master_worker_variant_reproduces_the_case_shape() {
     // Same direction and comparable magnitude of the case-C win.
     let imp = 100.0 * (a as f64 - c as f64) / a as f64;
     let mw_imp = 100.0 * (mw_a as f64 - mw_c as f64) / mw_a as f64;
-    assert!(mw_imp > 0.0, "case C must help under master/worker: {mw_imp:.1}%");
+    assert!(
+        mw_imp > 0.0,
+        "case C must help under master/worker: {mw_imp:.1}%"
+    );
     assert!(
         (imp - mw_imp).abs() < 5.0,
         "protocols agree on the improvement: {imp:.1}% vs {mw_imp:.1}%"

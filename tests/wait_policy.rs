@@ -5,13 +5,15 @@ use mtbalance::workloads::metbench::MetBenchConfig;
 use mtbalance::{execute, StaticRun, WaitPolicy};
 
 fn run(policy: WaitPolicy) -> u64 {
-    let cfg = MetBenchConfig { iterations: 20, scale: 2e-2, ..Default::default() };
+    let cfg = MetBenchConfig {
+        iterations: 20,
+        scale: 2e-2,
+        ..Default::default()
+    };
     let progs = cfg.programs();
-    execute(
-        StaticRun::new(&progs, cfg.placement()).with_wait_policy(policy),
-    )
-    .unwrap()
-    .total_cycles
+    execute(StaticRun::new(&progs, cfg.placement()).with_wait_policy(policy))
+        .unwrap()
+        .total_cycles
 }
 
 #[test]
@@ -35,7 +37,11 @@ fn wait_policy_composes_with_priorities() {
     // slots, so the wait policy makes little further difference — the two
     // mechanisms converge on the same slots.
     let cases = mtbalance::balance::paper_cases::metbench_cases();
-    let cfg = MetBenchConfig { iterations: 20, scale: 2e-2, ..Default::default() };
+    let cfg = MetBenchConfig {
+        iterations: 20,
+        scale: 2e-2,
+        ..Default::default()
+    };
     let progs = cfg.programs();
     let with = |policy: WaitPolicy| {
         execute(
@@ -49,18 +55,22 @@ fn wait_policy_composes_with_priorities() {
     let stock = with(WaitPolicy::SpinOwn);
     let block = with(WaitPolicy::Block);
     let rel = (stock as f64 - block as f64).abs() / stock as f64;
-    assert!(rel < 0.02, "under case-C priorities the policies converge: {rel}");
+    assert!(
+        rel < 0.02,
+        "under case-C priorities the policies converge: {rel}"
+    );
 }
 
 #[test]
 fn spin_waste_shrinks_under_cooperative_waiting() {
-    let cfg = MetBenchConfig { iterations: 20, scale: 2e-2, ..Default::default() };
+    let cfg = MetBenchConfig {
+        iterations: 20,
+        scale: 2e-2,
+        ..Default::default()
+    };
     let progs = cfg.programs();
     let spin_of = |policy: WaitPolicy| {
-        let r = execute(
-            StaticRun::new(&progs, cfg.placement()).with_wait_policy(policy),
-        )
-        .unwrap();
+        let r = execute(StaticRun::new(&progs, cfg.placement()).with_wait_policy(policy)).unwrap();
         r.spin_cycles.iter().sum::<u64>()
     };
     let stock = spin_of(WaitPolicy::SpinOwn);
