@@ -38,6 +38,7 @@ USAGE:
     mtb run --app <APP> [OPTIONS]     simulate one configuration
     mtb tables [N|all]                regenerate paper tables (default: all)
     mtb sweep --app <APP>             sweep the priority difference
+    mtb lint [OPTIONS]                static analysis of programs + priorities
     mtb help                          this text
 
 APPS:   metbench | btmz | siesta | synthetic
@@ -52,6 +53,14 @@ RUN OPTIONS:
     --seed <n>              workload seed
     --gantt                 render the trace Gantt chart
     --cycle-accurate        use the cycle-level core model (slow)
+
+LINT OPTIONS:
+    --app <APP> --case <C>  lint one (app, case) target
+    --all-cases             lint every paper case and workload program
+    --json                  machine-readable diagnostics on stdout
+    --deny <warnings>       exit nonzero on warnings too (default: errors)
+    --selftest              determinism check: --jobs 1 vs --jobs N record hashes
+    --jobs <n>              worker count the selftest compares against  [default: 8]
 ";
 
 fn main() -> ExitCode {
@@ -60,6 +69,7 @@ fn main() -> ExitCode {
         Some("run") => cmd_run(&args[1..]),
         Some("tables") => cmd_tables(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
+        Some("lint") => cmd_lint(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -219,6 +229,75 @@ fn cmd_tables(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_lint(args: &[String]) -> ExitCode {
+    use mtb_bench::lint;
+    use mtb_verify::Severity;
+
+    let (opts, flags) = match parse_opts(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let deny = match opts.get("deny").map(String::as_str) {
+        None | Some("errors") => Severity::Error,
+        Some("warnings") => Severity::Warning,
+        Some(other) => {
+            eprintln!("--deny {other:?}: expected errors|warnings");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if flags.iter().any(|f| f == "selftest") {
+        let jobs: usize = opts.get("jobs").and_then(|s| s.parse().ok()).unwrap_or(8);
+        return match lint::selftest(jobs) {
+            Ok(lines) => {
+                for line in lines {
+                    println!("{line}");
+                }
+                println!("determinism selftest passed");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("determinism selftest FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let targets: Vec<(&str, &str)> = if flags.iter().any(|f| f == "all-cases") {
+        lint::ALL_TARGETS.to_vec()
+    } else {
+        let app = match opts.get("app") {
+            Some(a) => a.as_str(),
+            None => {
+                eprintln!("lint needs --app <APP> --case <C>, --all-cases or --selftest");
+                return ExitCode::FAILURE;
+            }
+        };
+        vec![(app, opts.get("case").map(String::as_str).unwrap_or("A"))]
+    };
+
+    let outcomes = match lint::lint_targets(&targets) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("lint failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if flags.iter().any(|f| f == "json") {
+        println!("{}", lint::outcomes_to_json(&outcomes).render());
+    } else {
+        print!("{}", lint::outcomes_to_text(&outcomes));
+    }
+    if lint::any_at_or_above(&outcomes, deny) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
 }
 
 fn cmd_sweep(args: &[String]) -> ExitCode {

@@ -10,8 +10,9 @@ use mtb_workloads::{BtMzConfig, MetBenchConfig, SiestaConfig};
 use std::collections::HashMap;
 
 /// Parse `--key value` pairs and bare `--flag`s (flags: `dynamic`,
-/// `gantt`, `cycle-accurate`, `no-cache`). `--jobs N` and `--no-cache`
-/// are also read by the global sweep harness
+/// `gantt`, `cycle-accurate`, `no-cache`, and the lint flags `json`,
+/// `all-cases`, `selftest`). `--jobs N` and `--no-cache` are also read
+/// by the global sweep harness
 /// ([`crate::harness::SweepOptions::from_env`]); they are accepted here
 /// so the driver's own parser does not reject them.
 pub fn parse_opts(args: &[String]) -> Result<(HashMap<String, String>, Vec<String>), String> {
@@ -23,7 +24,8 @@ pub fn parse_opts(args: &[String]) -> Result<(HashMap<String, String>, Vec<Strin
             return Err(format!("unexpected argument {a:?}"));
         };
         match key {
-            "dynamic" | "gantt" | "cycle-accurate" | "no-cache" => flags.push(key.to_string()),
+            "dynamic" | "gantt" | "cycle-accurate" | "no-cache" | "json" | "all-cases"
+            | "selftest" => flags.push(key.to_string()),
             _ => {
                 let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
                 opts.insert(key.to_string(), v.clone());

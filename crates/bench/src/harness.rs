@@ -23,11 +23,10 @@
 //! [`SCHEMA_VERSION`].
 
 use crate::json::Json;
-use mtb_core::balance::{execute, StaticRun};
+use mtb_core::balance::{execute, BalanceError, StaticRun};
 use mtb_core::paper_cases::Case;
 use mtb_mpisim::engine::RunResult;
 use mtb_mpisim::program::Program;
-use mtb_oskernel::PriorityError;
 use mtb_trace::paraver::CommEvent;
 use mtb_trace::{ProcState, RunMetrics, Timeline, TimelineBuilder};
 
@@ -634,7 +633,7 @@ impl SweepRunner {
     /// Run a fully-specified [`StaticRun`] through the cache. Covers the
     /// extension binaries that vary kernel flavour, noise, fidelity,
     /// topology or wait policy beyond what a [`Case`] expresses.
-    pub fn run_static(&self, run: StaticRun<'_>) -> Result<RunResult, PriorityError> {
+    pub fn run_static(&self, run: StaticRun<'_>) -> Result<RunResult, BalanceError> {
         let t0 = Instant::now();
         let hash = config_hash_static(&run);
         if let Some(record) = self.load_record(hash) {
@@ -707,7 +706,7 @@ impl SweepRunner {
 /// [`SweepRunner::run_static`] on the global runner — the drop-in
 /// cached replacement for `mtb_core::balance::execute` in the extension
 /// binaries.
-pub fn run_static(run: StaticRun<'_>) -> Result<RunResult, PriorityError> {
+pub fn run_static(run: StaticRun<'_>) -> Result<RunResult, BalanceError> {
     SweepRunner::global().run_static(run)
 }
 

@@ -6,12 +6,61 @@
 //! feedback observer (dynamic balancing, Section VIII).
 
 use crate::policy::{apply_priorities, PrioritySetting};
-use mtb_mpisim::engine::{Engine, Observer, RunResult, SimConfig};
+use mtb_mpisim::engine::{Engine, Observer, RunResult, SimConfig, SimError};
 use mtb_mpisim::program::Program;
 use mtb_oskernel::{CtxAddr, KernelConfig, NoiseSource, PriorityError, Topology, WaitPolicy};
 use mtb_smtsim::chip::Fidelity;
 use mtb_smtsim::perfmodel::MesoConfig;
 use mtb_smtsim::CoreConfig;
+use std::fmt;
+
+/// Everything that can go wrong executing a balancing run.
+#[derive(Debug)]
+pub enum BalanceError {
+    /// A priority setting the configured kernel interface rejects.
+    Priority(PriorityError),
+    /// The simulator refused or aborted the run (bad placement,
+    /// out-of-range ranks, collective mismatch, deadlock, livelock).
+    Sim(SimError),
+    /// The pre-flight static analysis found errors before any cycle was
+    /// simulated (debug builds with the `verify` feature, the default).
+    #[cfg(feature = "verify")]
+    Verify(mtb_verify::Report),
+}
+
+impl fmt::Display for BalanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BalanceError::Priority(e) => write!(f, "{e}"),
+            BalanceError::Sim(e) => write!(f, "{e}"),
+            #[cfg(feature = "verify")]
+            BalanceError::Verify(r) => write!(f, "pre-flight verification failed:\n{r}"),
+        }
+    }
+}
+
+impl std::error::Error for BalanceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            BalanceError::Priority(e) => Some(e),
+            BalanceError::Sim(e) => Some(e),
+            #[cfg(feature = "verify")]
+            BalanceError::Verify(r) => Some(r),
+        }
+    }
+}
+
+impl From<PriorityError> for BalanceError {
+    fn from(e: PriorityError) -> BalanceError {
+        BalanceError::Priority(e)
+    }
+}
+
+impl From<SimError> for BalanceError {
+    fn from(e: SimError) -> BalanceError {
+        BalanceError::Sim(e)
+    }
+}
 
 /// A fully-specified balancing experiment.
 pub struct StaticRun<'a> {
@@ -97,7 +146,7 @@ impl<'a> StaticRun<'a> {
         self
     }
 
-    fn build_engine(&self) -> Engine {
+    fn build_engine(&self) -> Result<Engine, SimError> {
         let mut cfg = SimConfig::power5(self.programs.len());
         cfg.cores = self.cores;
         cfg.topology = self.topology;
@@ -111,17 +160,67 @@ impl<'a> StaticRun<'a> {
             // event steps bounded so rate estimates stay fresh.
             cfg.quantum = 50_000;
         }
-        Engine::new(self.programs, cfg)
+        Engine::try_new(self.programs, cfg)
+    }
+
+    /// The run expressed as a `mtb-verify` case for pre-flight linting.
+    #[cfg(feature = "verify")]
+    pub fn as_case_spec(&self) -> mtb_verify::CaseSpec {
+        let mut priorities: Vec<mtb_verify::PrioritySpec> = self
+            .priorities
+            .iter()
+            .map(|p| match *p {
+                PrioritySetting::Default => mtb_verify::PrioritySpec::Default,
+                PrioritySetting::ProcFs(v) => mtb_verify::PrioritySpec::ProcFs(v),
+                PrioritySetting::OrNop(v, lvl) => mtb_verify::PrioritySpec::OrNop(v, lvl),
+            })
+            .collect();
+        priorities.resize(self.programs.len(), mtb_verify::PrioritySpec::Default);
+        mtb_verify::CaseSpec {
+            name: "run".into(),
+            placement: self.placement.clone(),
+            priorities,
+            flavour: self.kernel.flavour,
+        }
+    }
+
+    /// Static analysis of the run (communication graph + priority
+    /// configuration), independent of whether pre-flight is active.
+    #[cfg(feature = "verify")]
+    pub fn verify(&self) -> mtb_verify::Report {
+        mtb_verify::verify(self.programs, &self.as_case_spec())
     }
 }
 
+/// Pre-flight static analysis: in debug builds (with the default
+/// `verify` feature) refuse runs the analyzer can prove broken before a
+/// single cycle is simulated. Warnings (e.g. predicted inversions —
+/// experiments reproduce those on purpose) never block.
+#[cfg(feature = "verify")]
+fn preflight(run: &StaticRun<'_>) -> Result<(), BalanceError> {
+    if !cfg!(debug_assertions) {
+        return Ok(());
+    }
+    let report = run.verify();
+    if report.has_errors() {
+        return Err(BalanceError::Verify(report));
+    }
+    Ok(())
+}
+
+#[cfg(not(feature = "verify"))]
+fn preflight(_run: &StaticRun<'_>) -> Result<(), BalanceError> {
+    Ok(())
+}
+
 /// Execute a static balancing run.
-pub fn execute(run: StaticRun<'_>) -> Result<RunResult, PriorityError> {
-    let mut engine = run.build_engine();
+pub fn execute(run: StaticRun<'_>) -> Result<RunResult, BalanceError> {
+    preflight(&run)?;
+    let mut engine = run.build_engine()?;
     let mut settings = run.priorities.clone();
     settings.resize(run.programs.len(), PrioritySetting::Default);
     apply_priorities(engine.machine_mut(), &settings)?;
-    Ok(engine.run())
+    engine.try_run().map_err(BalanceError::Sim)
 }
 
 /// Execute a run with a feedback observer (e.g.
@@ -129,12 +228,13 @@ pub fn execute(run: StaticRun<'_>) -> Result<RunResult, PriorityError> {
 pub fn execute_with(
     run: StaticRun<'_>,
     observer: &mut dyn Observer,
-) -> Result<RunResult, PriorityError> {
-    let mut engine = run.build_engine();
+) -> Result<RunResult, BalanceError> {
+    preflight(&run)?;
+    let mut engine = run.build_engine()?;
     let mut settings = run.priorities.clone();
     settings.resize(run.programs.len(), PrioritySetting::Default);
     apply_priorities(engine.machine_mut(), &settings)?;
-    Ok(engine.run_with(observer))
+    engine.try_run_with(observer).map_err(BalanceError::Sim)
 }
 
 #[cfg(test)]
@@ -199,6 +299,48 @@ mod tests {
         let p2 = &inverted.metrics.procs[1];
         assert!(p2.sync_pct < 5.0, "P2 must be the new bottleneck: {p2:?}");
         assert!(inverted.total_cycles > base.total_cycles);
+    }
+
+    #[cfg(feature = "verify")]
+    #[test]
+    fn preflight_rejects_deadlocking_programs_before_simulation() {
+        use mtb_mpisim::ProgramBuilder;
+        // Two ranks each blocking on a receive the other never sends:
+        // the analyzer must refuse this in debug; in release the engine
+        // itself reports the deadlock. Either way: a structured error.
+        let progs = vec![
+            ProgramBuilder::new().recv(1, 1).build(),
+            ProgramBuilder::new().recv(0, 2).build(),
+        ];
+        let placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(1)];
+        let res = execute(StaticRun::new(&progs, placement));
+        match res {
+            // Preflight only runs in debug builds; there the analyzer
+            // must refuse before the engine is even constructed.
+            Err(BalanceError::Verify(report)) if cfg!(debug_assertions) => {
+                assert!(report.has_errors(), "{report}");
+            }
+            Err(BalanceError::Sim(_)) if !cfg!(debug_assertions) => {}
+            other => panic!(
+                "expected a verify (debug) or sim (release) error, got {:?}",
+                other.map(|r| r.total_cycles)
+            ),
+        }
+    }
+
+    #[cfg(feature = "verify")]
+    #[test]
+    fn preflight_warnings_do_not_block_execution() {
+        // Overboosting (difference 4) draws PRIO-DIFF / PRIO-INVERT
+        // warnings, but experiments reproduce inversions on purpose —
+        // the run must still execute.
+        let cfg = SyntheticConfig::tiny();
+        let progs = cfg.programs();
+        let run = StaticRun::new(&progs, cfg.placement())
+            .with_priorities(vec![PrioritySetting::ProcFs(6), PrioritySetting::ProcFs(2)]);
+        let report = run.verify();
+        assert!(!report.has_errors(), "{report}");
+        assert!(execute(run).is_ok());
     }
 
     #[test]

@@ -60,6 +60,74 @@ impl Default for DynamicConfig {
     }
 }
 
+#[cfg(feature = "verify")]
+impl DynamicConfig {
+    /// Lint the tunables against the paper's safe-operation envelope.
+    /// `max_diff` beyond the Table IV bound, inverted thresholds, or a
+    /// degenerate EWMA all return diagnostics instead of silently
+    /// misbehaving at run time.
+    pub fn lint(&self) -> mtb_verify::Report {
+        use mtb_verify::{codes, Diagnostic, Report, Severity};
+        let mut report = Report::new();
+        if self.max_diff > mtb_verify::prio::DEFAULT_MAX_DIFF {
+            report.push(Diagnostic::new(
+                codes::PRIO_DIFF,
+                Severity::Warning,
+                format!(
+                    "max_diff {} exceeds the bounded-difference limit {} — beyond it \
+                     the penalized thread collapses superlinearly (Table IV case D)",
+                    self.max_diff,
+                    mtb_verify::prio::DEFAULT_MAX_DIFF
+                ),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.ewma) || self.ewma.is_nan() {
+            report.push(Diagnostic::new(
+                codes::PRIO_DIFF,
+                Severity::Error,
+                format!(
+                    "ewma {} is outside [0, 1]: smoothing would diverge",
+                    self.ewma
+                ),
+            ));
+        }
+        if self.threshold < 1.0 {
+            report.push(Diagnostic::new(
+                codes::PRIO_DIFF,
+                Severity::Warning,
+                format!(
+                    "threshold {} is below 1.0: every pair counts as imbalanced and \
+                     the policy chases noise",
+                    self.threshold
+                ),
+            ));
+        }
+        if self.strong_threshold < self.threshold {
+            report.push(Diagnostic::new(
+                codes::PRIO_DIFF,
+                Severity::Warning,
+                format!(
+                    "strong_threshold {} is below threshold {}: the weak tier is \
+                     unreachable",
+                    self.strong_threshold, self.threshold
+                ),
+            ));
+        }
+        if self.revert_tolerance < 0.0 {
+            report.push(Diagnostic::new(
+                codes::PRIO_DIFF,
+                Severity::Warning,
+                format!(
+                    "revert_tolerance {} is negative: every adjustment is reverted \
+                     and pairs freeze immediately",
+                    self.revert_tolerance
+                ),
+            ));
+        }
+        report
+    }
+}
+
 /// Audit record for a pending adjustment.
 #[derive(Debug, Clone, Copy)]
 struct PendingAudit {
@@ -417,5 +485,23 @@ mod tests {
         // Frozen: further imbalance is ignored during cool-off.
         b.on_epoch(2, &windows(&[300, 100]), &mut machine);
         assert_eq!(b.current_priorities(), &[4, 4]);
+    }
+
+    #[cfg(feature = "verify")]
+    #[test]
+    fn config_lint_flags_unsafe_tunables() {
+        use mtb_verify::Severity;
+        assert!(DynamicConfig::default().lint().diagnostics.is_empty());
+        let bad = DynamicConfig {
+            max_diff: 5,
+            threshold: 0.8,
+            strong_threshold: 0.5,
+            ewma: 1.5,
+            revert_tolerance: -0.1,
+            cooloff: 8,
+        };
+        let r = bad.lint();
+        assert_eq!(r.count(Severity::Error), 1, "{r}");
+        assert_eq!(r.count(Severity::Warning), 4, "{r}");
     }
 }

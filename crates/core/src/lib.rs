@@ -44,7 +44,7 @@ pub mod redistribution;
 pub mod remap;
 
 pub use analysis::{characterize, CaseRow};
-pub use balance::{execute, StaticRun};
+pub use balance::{execute, BalanceError, StaticRun};
 pub use dynamic::{DynamicBalancer, DynamicConfig};
 pub use mapper::pair_by_load;
 pub use policy::PrioritySetting;

@@ -142,6 +142,41 @@ impl SyncEpochs {
         }
     }
 
+    /// The ranks `rank` is still waiting for inside epoch `idx` — empty
+    /// if the rank could already leave (or is not in the epoch). Feeds
+    /// the engine's deadlock wait-for graph.
+    ///
+    /// * `AllToAll`: every rank that has not arrived yet.
+    /// * `FromRoot`: the root, until it arrives.
+    /// * `ToRoot`: the root waits for every absentee; non-roots for nobody.
+    pub fn missing_from(&self, idx: usize, rank: Rank) -> Vec<Rank> {
+        let Some(e) = self.epochs.get(idx) else {
+            return Vec::new();
+        };
+        let absent = || -> Vec<Rank> {
+            (0..self.n_ranks)
+                .filter(|r| !e.arrived.contains(r))
+                .collect()
+        };
+        match e.kind {
+            EpochKind::AllToAll => absent(),
+            EpochKind::FromRoot { root } => {
+                if e.arrived.contains(&root) {
+                    Vec::new()
+                } else {
+                    vec![root]
+                }
+            }
+            EpochKind::ToRoot { root } => {
+                if rank == root {
+                    absent()
+                } else {
+                    Vec::new()
+                }
+            }
+        }
+    }
+
     /// The epoch index `rank` would join next.
     pub fn next_epoch(&self, rank: Rank) -> usize {
         self.next[rank]
@@ -261,6 +296,25 @@ mod tests {
         );
         s.arrive(2, 400, 5, kind);
         assert_eq!(s.release_time_for(0, 0), Some(405));
+    }
+
+    #[test]
+    fn missing_from_reports_absent_peers_per_kind() {
+        let mut s = SyncEpochs::new(3);
+        s.arrive(0, 1, 0, EpochKind::AllToAll);
+        assert_eq!(s.missing_from(0, 0), vec![1, 2]);
+
+        let mut b = SyncEpochs::new(3);
+        b.arrive(1, 1, 0, EpochKind::FromRoot { root: 0 });
+        assert_eq!(b.missing_from(0, 1), vec![0], "waits for the root only");
+        b.arrive(0, 2, 0, EpochKind::FromRoot { root: 0 });
+        assert_eq!(b.missing_from(0, 1), Vec::<Rank>::new());
+
+        let mut r = SyncEpochs::new(3);
+        r.arrive(0, 1, 0, EpochKind::ToRoot { root: 0 });
+        r.arrive(1, 2, 0, EpochKind::ToRoot { root: 0 });
+        assert_eq!(r.missing_from(0, 0), vec![2], "root waits for absentees");
+        assert_eq!(r.missing_from(0, 1), Vec::<Rank>::new());
     }
 
     #[test]

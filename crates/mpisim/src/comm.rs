@@ -224,6 +224,17 @@ impl CommState {
     pub fn unexpected_count(&self, rank: Rank) -> usize {
         self.boxes[rank].unexpected.len()
     }
+
+    /// The `(from, tag)` pairs of `rank`'s posted-but-unmatched receives,
+    /// in posting order — who this rank is waiting to hear from
+    /// (deadlock diagnostics).
+    pub fn pending_recv_sources(&self, rank: Rank) -> Vec<(Rank, Tag)> {
+        self.boxes[rank]
+            .pending_recvs
+            .iter()
+            .map(|&(from, tag, _)| (from, tag))
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -377,6 +388,23 @@ mod tests {
             None,
             "unmatched handle blocks horizon"
         );
+    }
+
+    #[test]
+    fn pending_recv_sources_report_unmatched_peers() {
+        let mut cs = CommState::new(3);
+        cs.post_irecv(2, 0, 5, 0);
+        cs.post_irecv(2, 1, 9, 0);
+        assert_eq!(cs.pending_recv_sources(2), vec![(0, 5), (1, 9)]);
+        cs.post_send(Message {
+            from: 0,
+            to: 2,
+            tag: 5,
+            bytes: 1,
+            arrival: 10,
+        });
+        assert_eq!(cs.pending_recv_sources(2), vec![(1, 9)]);
+        assert!(cs.pending_recv_sources(0).is_empty());
     }
 
     #[test]

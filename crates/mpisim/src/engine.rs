@@ -25,13 +25,223 @@
 
 use crate::collective::{EpochKind, SyncEpochs};
 use crate::comm::{CommState, LatencyModel, Message};
-use crate::interp::{flatten, FlatOp};
+use crate::interp::{collective_signature, flatten, FlatOp};
 use crate::program::{Program, Rank, TracePhase};
-use mtb_oskernel::{CtxAddr, KernelConfig, Machine, NoiseSource, Topology, WaitPolicy};
+use mtb_oskernel::{
+    CtxAddr, KernelConfig, Machine, MachineError, NoiseSource, Topology, WaitPolicy,
+};
 use mtb_smtsim::chip::{build_cores_fidelity, Fidelity};
 use mtb_trace::paraver::CommEvent;
 use mtb_trace::Cycles;
 use mtb_trace::{ProcState, RunMetrics, Timeline, TimelineBuilder};
+use std::fmt;
+
+/// What one rank was doing when a run failed — the per-rank detail of
+/// [`SimError::Deadlock`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankSnapshot {
+    /// MPI rank.
+    pub rank: Rank,
+    /// Engine state, rendered (`"WaitRecv { hidx: 0 }"`, ...).
+    pub state: String,
+    /// Ops already dispatched.
+    pub pc: usize,
+    /// Total ops in the rank's flat program.
+    pub total_ops: usize,
+    /// The op the rank would dispatch next, rendered (None at end).
+    pub next_op: Option<String>,
+    /// Ranks this rank cannot proceed without — its wait-for edges.
+    pub waiting_on: Vec<Rank>,
+}
+
+/// Why an engine could not be built, or a run could not complete.
+///
+/// [`Engine::try_new`] / [`Engine::try_run`] return these; the panicking
+/// wrappers ([`Engine::new`] / [`Engine::run`]) panic with the same
+/// [`fmt::Display`] text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// `placement.len()` differs from the number of rank programs.
+    PlacementMismatch {
+        /// Number of rank programs.
+        ranks: usize,
+        /// Number of placement entries.
+        contexts: usize,
+    },
+    /// A rank could not be pinned to its hardware context.
+    Placement {
+        /// The offending rank.
+        rank: Rank,
+        /// The context it was assigned.
+        ctx: CtxAddr,
+        /// Why the machine refused it.
+        source: MachineError,
+    },
+    /// An op names a peer or root outside `0..n_ranks`.
+    InvalidRank {
+        /// The rank whose program is broken.
+        rank: Rank,
+        /// Index of the offending op in the rank's flat program.
+        op_index: usize,
+        /// The out-of-range target rank.
+        target: Rank,
+        /// Number of ranks in the run.
+        n_ranks: usize,
+    },
+    /// Ranks disagree on how many collectives they join.
+    CollectiveMismatch {
+        /// Per-rank collective counts.
+        counts: Vec<usize>,
+    },
+    /// Two ranks join the same epoch with incompatible collective kinds
+    /// (e.g. one broadcasts while the other reduces).
+    CollectiveKindMismatch {
+        /// Epoch index where the streams diverge.
+        epoch: usize,
+        /// First rank (reference).
+        rank_a: Rank,
+        /// The disagreeing rank.
+        rank_b: Rank,
+        /// `rank_a`'s epoch kind.
+        kind_a: EpochKind,
+        /// `rank_b`'s epoch kind.
+        kind_b: EpochKind,
+    },
+    /// No rank can make progress.
+    Deadlock {
+        /// Simulation time of the stall.
+        at: Cycles,
+        /// A cycle in the wait-for graph, if one exists (`[a, b]` means
+        /// a waits on b waits on a). Empty when the stall is acyclic,
+        /// e.g. a receive from a rank that already finished.
+        cycle: Vec<Rank>,
+        /// Per-rank state at the stall, rank order.
+        per_rank: Vec<RankSnapshot>,
+    },
+    /// The run exceeded the configured cycle budget.
+    MaxCycles {
+        /// The configured `max_cycles`.
+        limit: Cycles,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PlacementMismatch { ranks, contexts } => write!(
+                f,
+                "placement must cover every rank ({contexts} contexts for {ranks} ranks)"
+            ),
+            SimError::Placement { rank, ctx, source } => {
+                write!(f, "cannot place rank {rank} on {ctx:?}: {source}")
+            }
+            SimError::InvalidRank {
+                rank,
+                op_index,
+                target,
+                n_ranks,
+            } => write!(
+                f,
+                "rank {rank} op {op_index} targets rank {target}, \
+                 but only ranks 0..{n_ranks} exist"
+            ),
+            SimError::CollectiveMismatch { counts } => {
+                write!(f, "ranks disagree on collective counts: {counts:?}")
+            }
+            SimError::CollectiveKindMismatch {
+                epoch,
+                rank_a,
+                rank_b,
+                kind_a,
+                kind_b,
+            } => write!(
+                f,
+                "ranks disagree on the kind of collective {epoch}: \
+                 rank {rank_a} joins {kind_a:?}, rank {rank_b} joins {kind_b:?}"
+            ),
+            SimError::Deadlock {
+                at,
+                cycle,
+                per_rank,
+            } => {
+                write!(f, "simulation deadlock at cycle {at}")?;
+                if !cycle.is_empty() {
+                    write!(f, " (wait cycle: {cycle:?})")?;
+                }
+                writeln!(f, ":")?;
+                for s in per_rank {
+                    writeln!(
+                        f,
+                        "  rank {}: state {}, pc {}/{} (next op: {:?}), waiting on {:?}",
+                        s.rank, s.state, s.pc, s.total_ops, s.next_op, s.waiting_on
+                    )?;
+                }
+                Ok(())
+            }
+            SimError::MaxCycles { limit } => {
+                write!(f, "simulation exceeded max_cycles ({limit}); livelock?")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Placement { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Find a cycle in the wait-for graph `waits` (edge `r -> waits[r][i]`).
+/// Returns the ranks along the first cycle found, in wait order, or an
+/// empty vec if the graph is acyclic. Self-loops (a rank waiting on
+/// itself, e.g. a blocking self-receive) are one-element cycles.
+fn find_cycle(waits: &[Vec<Rank>]) -> Vec<Rank> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    fn visit(
+        r: Rank,
+        waits: &[Vec<Rank>],
+        colour: &mut [Colour],
+        stack: &mut Vec<Rank>,
+    ) -> Option<Vec<Rank>> {
+        colour[r] = Colour::Grey;
+        stack.push(r);
+        for &next in &waits[r] {
+            match colour[next] {
+                Colour::Grey => {
+                    let start = stack.iter().position(|&x| x == next).unwrap_or(0);
+                    return Some(stack[start..].to_vec());
+                }
+                Colour::White => {
+                    if let Some(c) = visit(next, waits, colour, stack) {
+                        return Some(c);
+                    }
+                }
+                Colour::Black => {}
+            }
+        }
+        stack.pop();
+        colour[r] = Colour::Black;
+        None
+    }
+    let mut colour = vec![Colour::White; waits.len()];
+    for r in 0..waits.len() {
+        if colour[r] == Colour::White {
+            let mut stack = Vec::new();
+            if let Some(c) = visit(r, waits, &mut colour, &mut stack) {
+                return c;
+            }
+        }
+    }
+    Vec::new()
+}
 
 /// Per-rank compute/wait accounting over one synchronization window,
 /// handed to [`Observer::on_epoch`] — the measurements the paper's
@@ -81,8 +291,8 @@ pub struct SimConfig {
     pub wait_policy: WaitPolicy,
     /// Extrinsic noise sources.
     pub noise: Vec<NoiseSource>,
-    /// Hard stop: panic if the simulation exceeds this many cycles
-    /// (deadlock/livelock guard).
+    /// Hard stop: the run fails with [`SimError::MaxCycles`] past this
+    /// many cycles (deadlock/livelock guard).
     pub max_cycles: Cycles,
     /// Maximum advance per step (bounds rate drift for the cycle model).
     pub quantum: Cycles,
@@ -208,15 +418,29 @@ pub struct Engine {
 
 impl Engine {
     /// Build an engine: constructs the machine, spawns one pinned process
-    /// per rank (pid = rank) and flattens the programs.
+    /// per rank (pid = rank) and flattens the programs. Panicking wrapper
+    /// around [`Engine::try_new`].
     ///
     /// # Panics
-    /// Panics if placement length mismatches the program count, a context
-    /// is double-booked, or the ranks disagree on their collective
-    /// sequence (which would deadlock real MPI too).
+    /// Panics (with the [`SimError`] display text) if placement length
+    /// mismatches the program count, a context is double-booked, an op
+    /// targets an out-of-range rank, or the ranks disagree on their
+    /// collective sequence (which would deadlock real MPI too).
     pub fn new(programs: &[Program], cfg: SimConfig) -> Engine {
+        Engine::try_new(programs, cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: validates placement, rank ranges and
+    /// collective-sequence agreement up front, returning a structured
+    /// [`SimError`] instead of panicking.
+    pub fn try_new(programs: &[Program], cfg: SimConfig) -> Result<Engine, SimError> {
         let n = programs.len();
-        assert_eq!(cfg.placement.len(), n, "placement must cover every rank");
+        if cfg.placement.len() != n {
+            return Err(SimError::PlacementMismatch {
+                ranks: n,
+                contexts: cfg.placement.len(),
+            });
+        }
         let mut machine = Machine::new(build_cores_fidelity(cfg.cores, &cfg.fidelity), cfg.kernel);
         machine.set_wait_policy(cfg.wait_policy);
         for src in cfg.noise {
@@ -231,21 +455,62 @@ impl Engine {
                 .unwrap_or_else(|| format!("P{}", rank + 1));
             machine
                 .spawn(rank, name.clone(), cfg.placement[rank])
-                .unwrap_or_else(|e| panic!("cannot place rank {rank}: {e}"));
+                .map_err(|source| SimError::Placement {
+                    rank,
+                    ctx: cfg.placement[rank],
+                    source,
+                })?;
             builders.push(Some(TimelineBuilder::new(rank, name, 0, ProcState::Idle)));
             ops.push(flatten(prog, rank));
         }
-        // Validate the collective sequences agree.
-        let sync_counts: Vec<usize> = ops
-            .iter()
-            .map(|o| crate::interp::count_sync_epochs(o))
-            .collect();
-        assert!(
-            sync_counts.windows(2).all(|w| w[0] == w[1]),
-            "ranks disagree on collective counts: {sync_counts:?}"
-        );
+        // Every op's peer/root must name an existing rank — checked here
+        // so comm/epoch state can index by rank unconditionally.
+        for (rank, rank_ops) in ops.iter().enumerate() {
+            for (op_index, op) in rank_ops.iter().enumerate() {
+                let target = match op {
+                    FlatOp::Send { to, .. } | FlatOp::Isend { to, .. } => Some(*to),
+                    FlatOp::Recv { from, .. } | FlatOp::Irecv { from, .. } => Some(*from),
+                    FlatOp::Bcast { root, .. } | FlatOp::Reduce { root, .. } => Some(*root),
+                    _ => None,
+                };
+                if let Some(target) = target {
+                    if target >= n {
+                        return Err(SimError::InvalidRank {
+                            rank,
+                            op_index,
+                            target,
+                            n_ranks: n,
+                        });
+                    }
+                }
+            }
+        }
+        // Validate the collective sequences agree — counts first, then
+        // element-wise kinds. (Barrier and AllReduce both join AllToAll
+        // epochs, so mixing those two across ranks stays legal.)
+        let sigs: Vec<Vec<EpochKind>> = ops.iter().map(|o| collective_signature(o)).collect();
+        if sigs.windows(2).any(|w| w[0].len() != w[1].len()) {
+            return Err(SimError::CollectiveMismatch {
+                counts: sigs.iter().map(|s| s.len()).collect(),
+            });
+        }
+        if let Some((first, rest)) = sigs.split_first() {
+            for (off, sig) in rest.iter().enumerate() {
+                for (epoch, (ka, kb)) in first.iter().zip(sig.iter()).enumerate() {
+                    if ka != kb {
+                        return Err(SimError::CollectiveKindMismatch {
+                            epoch,
+                            rank_a: 0,
+                            rank_b: off + 1,
+                            kind_a: *ka,
+                            kind_b: *kb,
+                        });
+                    }
+                }
+            }
+        }
 
-        Engine {
+        Ok(Engine {
             machine,
             cfg_latency: cfg.latency,
             topology: cfg.topology,
@@ -264,7 +529,7 @@ impl Engine {
             win_compute: vec![0; n],
             win_sync: vec![0; n],
             comm_log: Vec::new(),
-        }
+        })
     }
 
     /// Mutable access to the machine, e.g. for a static policy to set
@@ -278,27 +543,46 @@ impl Engine {
         &self.machine
     }
 
-    /// Run to completion without an observer.
+    /// Run to completion without an observer. Panicking wrapper around
+    /// [`Engine::try_run`].
     pub fn run(self) -> RunResult {
         self.run_with(&mut NullObserver)
     }
 
     /// Run to completion, invoking `observer` at every epoch completion.
-    pub fn run_with(mut self, observer: &mut dyn Observer) -> RunResult {
+    /// Panicking wrapper around [`Engine::try_run_with`].
+    ///
+    /// # Panics
+    /// Panics (with the [`SimError`] display text) on deadlock or when
+    /// the run exceeds `max_cycles`.
+    pub fn run_with(self, observer: &mut dyn Observer) -> RunResult {
+        self.try_run_with(observer)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible run without an observer.
+    pub fn try_run(self) -> Result<RunResult, SimError> {
+        self.try_run_with(&mut NullObserver)
+    }
+
+    /// Fallible run: a stall becomes [`SimError::Deadlock`] (with the
+    /// wait-for cycle and per-rank snapshots) and a cycle-budget overrun
+    /// becomes [`SimError::MaxCycles`], instead of panicking.
+    pub fn try_run_with(mut self, observer: &mut dyn Observer) -> Result<RunResult, SimError> {
         loop {
             self.dispatch_ready(observer);
             if self.all_done() {
                 break;
             }
             let now = self.machine.now();
-            assert!(
-                now <= self.max_cycles,
-                "simulation exceeded max_cycles ({}); livelock?",
-                self.max_cycles
-            );
-            let next = self
-                .next_event(now)
-                .unwrap_or_else(|| self.diagnose_deadlock(now));
+            if now > self.max_cycles {
+                return Err(SimError::MaxCycles {
+                    limit: self.max_cycles,
+                });
+            }
+            let Some(next) = self.next_event(now) else {
+                return Err(self.deadlock_error(now));
+            };
             let dt = (next.saturating_sub(now)).clamp(1, self.quantum);
             self.machine.advance(dt);
             self.resolve_completions();
@@ -311,7 +595,7 @@ impl Engine {
             .map(|t| t.expect("all ranks finished"))
             .collect();
         let metrics = RunMetrics::from_timelines(&timelines);
-        RunResult {
+        Ok(RunResult {
             retired: (0..self.n_ranks).map(|r| self.machine.retired(r)).collect(),
             interrupt_cycles: (0..self.n_ranks)
                 .map(|r| self.machine.pcb(r).map_or(0, |p| p.interrupt_cycles))
@@ -326,7 +610,7 @@ impl Engine {
             total_cycles: end,
             timelines,
             metrics,
-        }
+        })
     }
 
     fn all_done(&self) -> bool {
@@ -629,19 +913,46 @@ impl Engine {
         }
     }
 
+    /// The ranks `rank` cannot proceed without, per its current state —
+    /// the outgoing edges of the deadlock wait-for graph. A stalled
+    /// compute phase (e.g. priority 0, no decode share) waits on nobody.
+    fn waiting_on(&self, rank: Rank) -> Vec<Rank> {
+        let mut peers: Vec<Rank> = match self.state[rank] {
+            RankState::WaitRecv { .. } | RankState::WaitAll => self
+                .comm
+                .pending_recv_sources(rank)
+                .into_iter()
+                .map(|(from, _)| from)
+                .collect(),
+            RankState::InEpoch { idx } => self.epochs.missing_from(idx, rank),
+            _ => Vec::new(),
+        };
+        peers.sort_unstable();
+        peers.dedup();
+        peers
+    }
+
     #[cold]
-    fn diagnose_deadlock(&self, now: Cycles) -> ! {
-        let mut msg = format!("simulation deadlock at cycle {now}:\n");
-        for rank in 0..self.n_ranks {
-            msg.push_str(&format!(
-                "  rank {rank}: state {:?}, pc {}/{} (next op: {:?})\n",
-                self.state[rank],
-                self.pc[rank],
-                self.ops[rank].len(),
-                self.ops[rank].get(self.pc[rank]),
-            ));
+    fn deadlock_error(&self, now: Cycles) -> SimError {
+        let waits: Vec<Vec<Rank>> = (0..self.n_ranks).map(|r| self.waiting_on(r)).collect();
+        let cycle = find_cycle(&waits);
+        let per_rank = (0..self.n_ranks)
+            .map(|rank| RankSnapshot {
+                rank,
+                state: format!("{:?}", self.state[rank]),
+                pc: self.pc[rank],
+                total_ops: self.ops[rank].len(),
+                next_op: self.ops[rank]
+                    .get(self.pc[rank])
+                    .map(|op| format!("{op:?}")),
+                waiting_on: waits[rank].clone(),
+            })
+            .collect();
+        SimError::Deadlock {
+            at: now,
+            cycle,
+            per_rank,
         }
-        panic!("{msg}");
     }
 }
 
@@ -664,6 +975,13 @@ mod tests {
         ProgramBuilder::new()
             .compute(WorkSpec::new(wl(2.0), insts))
             .build()
+    }
+
+    fn build_err(programs: &[Program], cfg: SimConfig) -> SimError {
+        match Engine::try_new(programs, cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("expected construction to fail"),
+        }
     }
 
     #[test]
@@ -1010,6 +1328,157 @@ mod tests {
         // And the full trace exports with both record types.
         let text = mtb_trace::paraver::export_with_comm(&r.timelines, &r.comm_log);
         assert!(text.lines().any(|l| l.starts_with("3:")));
+    }
+
+    #[test]
+    fn unmatched_recv_returns_structured_deadlock() {
+        let p0 = ProgramBuilder::new().recv(1, 99).build();
+        let p1 = ProgramBuilder::new()
+            .compute(WorkSpec::new(wl(2.0), 1_000))
+            .build();
+        let mut cfg = SimConfig::power5(2);
+        cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
+        let err = Engine::try_new(&[p0, p1], cfg)
+            .unwrap()
+            .try_run()
+            .unwrap_err();
+        match err {
+            SimError::Deadlock {
+                cycle, per_rank, ..
+            } => {
+                assert!(cycle.is_empty(), "acyclic stall: the peer finished");
+                assert_eq!(per_rank[0].waiting_on, vec![1]);
+                assert_eq!(per_rank[1].state, "Done");
+                assert!(per_rank[1].waiting_on.is_empty());
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn cross_recv_cycle_is_reported_in_wait_order() {
+        // Each rank blocks receiving from the other before sending: a
+        // two-rank wait-for cycle.
+        let p0 = ProgramBuilder::new().recv(1, 1).send(1, 2, 64).build();
+        let p1 = ProgramBuilder::new().recv(0, 2).send(0, 1, 64).build();
+        let mut cfg = SimConfig::power5(2);
+        cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
+        let err = Engine::try_new(&[p0, p1], cfg)
+            .unwrap()
+            .try_run()
+            .unwrap_err();
+        match err {
+            SimError::Deadlock { cycle, .. } => assert_eq!(cycle, vec![0, 1]),
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_target_rejected_up_front() {
+        let p = ProgramBuilder::new().send(3, 1, 64).build();
+        let err = build_err(&[p], SimConfig::power5(1));
+        assert!(matches!(
+            err,
+            SimError::InvalidRank {
+                rank: 0,
+                target: 3,
+                n_ranks: 1,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn double_booked_context_is_a_placement_error() {
+        let mut cfg = SimConfig::power5(2);
+        cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(0)];
+        let err = build_err(&[compute_prog(10), compute_prog(10)], cfg);
+        assert!(matches!(err, SimError::Placement { rank: 1, .. }));
+    }
+
+    #[test]
+    fn mismatched_collective_kinds_rejected_up_front() {
+        let p0 = ProgramBuilder::new().bcast(0, 64).build();
+        let p1 = ProgramBuilder::new().reduce(0, 64).build();
+        let mut cfg = SimConfig::power5(2);
+        cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
+        let err = build_err(&[p0, p1], cfg);
+        assert!(matches!(
+            err,
+            SimError::CollectiveKindMismatch { epoch: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn barrier_and_allreduce_pair_across_ranks() {
+        // Both join AllToAll epochs; the engine accepts the mix (the
+        // verifier warns about it separately).
+        let p0 = ProgramBuilder::new().barrier().build();
+        let p1 = ProgramBuilder::new().allreduce(64).build();
+        let mut cfg = SimConfig::power5(2);
+        cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
+        let r = Engine::try_new(&[p0, p1], cfg).unwrap().try_run().unwrap();
+        assert!(r.total_cycles > 0);
+    }
+
+    #[test]
+    fn self_send_then_recv_completes() {
+        // Eager protocol: the self-send deposits immediately, so a later
+        // self-receive matches it.
+        let p = ProgramBuilder::new().send(0, 1, 64).recv(0, 1).build();
+        let r = Engine::new(&[p], SimConfig::power5(1)).run();
+        assert!(r.total_cycles > 0);
+    }
+
+    #[test]
+    fn recv_from_self_before_send_is_a_self_cycle() {
+        let p = ProgramBuilder::new().recv(0, 1).send(0, 1, 64).build();
+        let err = Engine::try_new(&[p], SimConfig::power5(1))
+            .unwrap()
+            .try_run()
+            .unwrap_err();
+        match err {
+            SimError::Deadlock {
+                cycle, per_rank, ..
+            } => {
+                assert_eq!(cycle, vec![0], "one-rank wait-for self-loop");
+                assert_eq!(per_rank[0].waiting_on, vec![0]);
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn empty_loop_contributes_nothing() {
+        let p = ProgramBuilder::new()
+            .repeat(0, |b| b.compute(WorkSpec::new(wl(2.0), 1_000)).barrier())
+            .compute(WorkSpec::new(wl(2.0), 5_000))
+            .build();
+        let r = Engine::new(&[p], SimConfig::power5(1)).run();
+        assert_eq!(r.retired[0], 5_000, "zero-count loop body never runs");
+    }
+
+    #[test]
+    fn waitall_with_no_pending_handles_is_a_no_op() {
+        let p = ProgramBuilder::new()
+            .waitall()
+            .compute(WorkSpec::new(wl(2.0), 10_000))
+            .waitall()
+            .build();
+        let r = Engine::new(&[p], SimConfig::power5(1)).run();
+        assert_eq!(r.retired[0], 10_000);
+    }
+
+    #[test]
+    fn max_cycles_overrun_is_a_structured_error() {
+        let mut cfg = SimConfig::power5(1);
+        cfg.max_cycles = 10;
+        cfg.quantum = 4; // force several small steps so the guard trips
+        let err = Engine::try_new(&[compute_prog(1_000_000)], cfg)
+            .unwrap()
+            .try_run()
+            .unwrap_err();
+        assert_eq!(err, SimError::MaxCycles { limit: 10 });
     }
 
     #[test]

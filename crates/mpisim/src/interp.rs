@@ -137,6 +137,158 @@ fn flatten_into(body: &[Stmt], rank: Rank, counters: &mut Vec<u32>, out: &mut Ve
     }
 }
 
+/// One segment of the structural path from a program's root to a
+/// statement — the span attached to analyzer diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathSeg {
+    /// Index within the enclosing statement list.
+    Stmt(usize),
+    /// Iteration of the enclosing loop.
+    Iter(u32),
+}
+
+/// Render a statement path compactly, e.g. `"2/it1/0"` for the first
+/// statement of iteration 1 of the loop at top-level index 2.
+pub fn path_string(path: &[PathSeg]) -> String {
+    let mut out = String::new();
+    for (i, seg) in path.iter().enumerate() {
+        if i > 0 {
+            out.push('/');
+        }
+        match seg {
+            PathSeg::Stmt(s) => out.push_str(&s.to_string()),
+            PathSeg::Iter(k) => {
+                out.push_str("it");
+                out.push_str(&k.to_string());
+            }
+        }
+    }
+    out
+}
+
+/// A flattened op under *symbolic* evaluation: [`Stmt::DynCompute`]
+/// closures are left opaque instead of being called, so the stream is a
+/// pure function of the program structure (no rank-dependent closure
+/// behaviour) — what a static analyzer may rely on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SymOpKind {
+    /// A concrete flattened op.
+    Op(FlatOp),
+    /// A dynamic compute load whose closure was not evaluated.
+    OpaqueCompute,
+}
+
+/// A symbolically flattened op with its structural origin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymOp {
+    /// Path from the program root to the originating statement.
+    pub path: Vec<PathSeg>,
+    /// The op itself.
+    pub op: SymOpKind,
+}
+
+/// Flatten `program` symbolically: loops are unrolled (their counts are
+/// static), but [`Stmt::DynCompute`] closures are NOT called — they
+/// appear as [`SymOpKind::OpaqueCompute`]. Rank-independent by
+/// construction; communication structure is preserved exactly as
+/// [`flatten`] would produce it.
+pub fn flatten_symbolic(program: &Program) -> Vec<SymOp> {
+    let mut out = Vec::new();
+    let mut path = Vec::new();
+    flatten_symbolic_into(&program.body, &mut path, &mut out);
+    out
+}
+
+fn flatten_symbolic_into(body: &[Stmt], path: &mut Vec<PathSeg>, out: &mut Vec<SymOp>) {
+    for (i, stmt) in body.iter().enumerate() {
+        path.push(PathSeg::Stmt(i));
+        let mut emit = |op: SymOpKind, path: &[PathSeg]| {
+            out.push(SymOp {
+                path: path.to_vec(),
+                op,
+            })
+        };
+        match stmt {
+            Stmt::Compute(w) => emit(SymOpKind::Op(FlatOp::Compute(w.clone())), path),
+            Stmt::DynCompute(_) => emit(SymOpKind::OpaqueCompute, path),
+            Stmt::Send { to, tag, bytes } => emit(
+                SymOpKind::Op(FlatOp::Send {
+                    to: *to,
+                    tag: *tag,
+                    bytes: *bytes,
+                }),
+                path,
+            ),
+            Stmt::Recv { from, tag } => emit(
+                SymOpKind::Op(FlatOp::Recv {
+                    from: *from,
+                    tag: *tag,
+                }),
+                path,
+            ),
+            Stmt::Isend { to, tag, bytes } => emit(
+                SymOpKind::Op(FlatOp::Isend {
+                    to: *to,
+                    tag: *tag,
+                    bytes: *bytes,
+                }),
+                path,
+            ),
+            Stmt::Irecv { from, tag } => emit(
+                SymOpKind::Op(FlatOp::Irecv {
+                    from: *from,
+                    tag: *tag,
+                }),
+                path,
+            ),
+            Stmt::WaitAll => emit(SymOpKind::Op(FlatOp::WaitAll), path),
+            Stmt::Barrier => emit(SymOpKind::Op(FlatOp::Barrier), path),
+            Stmt::AllReduce { bytes } => {
+                emit(SymOpKind::Op(FlatOp::AllReduce { bytes: *bytes }), path)
+            }
+            Stmt::Bcast { root, bytes } => emit(
+                SymOpKind::Op(FlatOp::Bcast {
+                    root: *root,
+                    bytes: *bytes,
+                }),
+                path,
+            ),
+            Stmt::Reduce { root, bytes } => emit(
+                SymOpKind::Op(FlatOp::Reduce {
+                    root: *root,
+                    bytes: *bytes,
+                }),
+                path,
+            ),
+            Stmt::Loop { count, body } => {
+                for k in 0..*count {
+                    path.push(PathSeg::Iter(k));
+                    flatten_symbolic_into(body, path, out);
+                    path.pop();
+                }
+            }
+            Stmt::Phase(p) => emit(SymOpKind::Op(FlatOp::Phase(*p)), path),
+        }
+        path.pop();
+    }
+}
+
+/// The synchronization-epoch signature of a flat op stream: the
+/// [`EpochKind`] each collective call joins, in program order. Every rank
+/// must produce the same signature for the run to terminate — the engine
+/// rejects mismatches up front ([`crate::engine::SimError`]).
+pub fn collective_signature(ops: &[FlatOp]) -> Vec<crate::collective::EpochKind> {
+    use crate::collective::EpochKind;
+    ops.iter()
+        .filter_map(|o| match o {
+            FlatOp::Barrier | FlatOp::AllReduce { .. } => Some(EpochKind::AllToAll),
+            FlatOp::Bcast { root, .. } => Some(EpochKind::FromRoot { root: *root }),
+            FlatOp::Reduce { root, .. } => Some(EpochKind::ToRoot { root: *root }),
+            _ => None,
+        })
+        .collect()
+}
+
 /// Number of global synchronization epochs (barriers + allreduces) a flat
 /// program participates in — every rank must agree on this for the run to
 /// terminate; the engine validates it up front.
@@ -272,5 +424,69 @@ mod tests {
         let ops = flatten(&Program::new(vec![]), 0);
         assert!(ops.is_empty());
         assert_eq!(count_sync_epochs(&ops), 0);
+    }
+
+    #[test]
+    fn symbolic_flatten_keeps_dyn_compute_opaque() {
+        let p = ProgramBuilder::new()
+            .repeat(2, |b| {
+                b.dyn_compute(|ctx| WorkSpec::new(w(), u64::from(ctx.iteration())))
+                    .barrier()
+            })
+            .build();
+        let sym = flatten_symbolic(&p);
+        assert_eq!(sym.len(), 4, "2 iterations x (dyn compute + barrier)");
+        assert_eq!(sym[0].op, SymOpKind::OpaqueCompute);
+        assert_eq!(sym[1].op, SymOpKind::Op(FlatOp::Barrier));
+        assert_eq!(
+            sym[0].path,
+            vec![PathSeg::Stmt(0), PathSeg::Iter(0), PathSeg::Stmt(0)]
+        );
+        assert_eq!(path_string(&sym[3].path), "0/it1/1");
+    }
+
+    #[test]
+    fn symbolic_flatten_matches_concrete_comm_structure() {
+        let p = ProgramBuilder::new()
+            .repeat(3, |b| b.isend(1, 5, 64).irecv(1, 5).waitall().barrier())
+            .build();
+        let concrete = flatten(&p, 0);
+        let sym = flatten_symbolic(&p);
+        assert_eq!(concrete.len(), sym.len());
+        for (c, s) in concrete.iter().zip(&sym) {
+            assert_eq!(s.op, SymOpKind::Op(c.clone()));
+        }
+    }
+
+    #[test]
+    fn symbolic_flatten_drops_empty_loops() {
+        let p = ProgramBuilder::new()
+            .repeat(0, |b| b.barrier())
+            .compute(WorkSpec::new(w(), 5))
+            .build();
+        let sym = flatten_symbolic(&p);
+        assert_eq!(sym.len(), 1);
+        assert_eq!(sym[0].path, vec![PathSeg::Stmt(1)]);
+    }
+
+    #[test]
+    fn collective_signature_distinguishes_kinds() {
+        use crate::collective::EpochKind;
+        let p = ProgramBuilder::new()
+            .barrier()
+            .allreduce(8)
+            .bcast(1, 64)
+            .reduce(2, 64)
+            .build();
+        let sig = collective_signature(&flatten(&p, 0));
+        assert_eq!(
+            sig,
+            vec![
+                EpochKind::AllToAll,
+                EpochKind::AllToAll,
+                EpochKind::FromRoot { root: 1 },
+                EpochKind::ToRoot { root: 2 },
+            ]
+        );
     }
 }

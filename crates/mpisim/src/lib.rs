@@ -33,5 +33,5 @@ pub mod interp;
 pub mod program;
 
 pub use comm::LatencyModel;
-pub use engine::{Engine, Observer, RankWindow, RunResult, SimConfig};
+pub use engine::{Engine, Observer, RankSnapshot, RankWindow, RunResult, SimConfig, SimError};
 pub use program::{Program, ProgramBuilder, Rank, Stmt, Tag, TracePhase, WorkSpec};

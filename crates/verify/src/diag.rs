@@ -1,0 +1,246 @@
+//! Structured diagnostics: severities, stable lint codes, spans.
+//!
+//! Every analyzer pass reports through a [`Report`]. A diagnostic carries
+//! a stable code (the `MTB-*` identifiers documented in EXPERIMENTS.md),
+//! a [`Severity`], an optional rank and statement-path span, and a
+//! human-readable message. The severity policy:
+//!
+//! * **Error** — the configuration will deadlock, crash, or starve: the
+//!   engine would refuse it or never terminate. `mtb lint` exits nonzero.
+//! * **Warning** — legal but suspicious: likely a performance or
+//!   portability hazard (e.g. a priority pair predicted to *invert* the
+//!   imbalance the paper's Section V warns about).
+//! * **Info** — stylistic or informational findings.
+
+use mtb_mpisim::Rank;
+use std::fmt;
+
+/// How bad a finding is. Ordered: `Info < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational only.
+    Info,
+    /// Legal but suspicious.
+    Warning,
+    /// Will not run correctly.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// Stable lint codes. Codes are append-only: once published they never
+/// change meaning (tooling may match on them).
+pub mod codes {
+    /// Cyclic blocking-receive waits: a wait-for cycle among ranks.
+    pub const DEADLOCK_CYCLE: &str = "MTB-DEADLOCK-CYCLE";
+    /// A blocking `Recv` (or a `WaitAll` covering an `Irecv`) that no
+    /// peer `Send` ever matches.
+    pub const UNMATCHED_RECV: &str = "MTB-UNMATCHED-RECV";
+    /// A `Send` no receive ever consumes (message leaks; harmless under
+    /// the eager protocol but almost certainly a program bug).
+    pub const UNMATCHED_SEND: &str = "MTB-UNMATCHED-SEND";
+    /// An `Irecv` never completed by a later `WaitAll`.
+    pub const ORPHAN_IRECV: &str = "MTB-ORPHAN-IRECV";
+    /// Ranks disagree on their collective sequence (count or kind), or a
+    /// rank finishes while peers still sit in a collective.
+    pub const COLLECTIVE_MISMATCH: &str = "MTB-COLLECTIVE-MISMATCH";
+    /// A `to`/`from`/`root` outside `0..n_ranks`.
+    pub const RANK_RANGE: &str = "MTB-RANK-RANGE";
+    /// A rank sends to itself (legal under the eager protocol if the
+    /// send precedes the matching receive, but worth flagging).
+    pub const SELF_SEND: &str = "MTB-SELF-SEND";
+    /// `WaitAll` with no pending handles (a no-op).
+    pub const WAITALL_EMPTY: &str = "MTB-WAITALL-EMPTY";
+    /// `Loop { count: 0 }` — the body never executes.
+    pub const EMPTY_LOOP: &str = "MTB-EMPTY-LOOP";
+    /// A priority value the configured kernel interface cannot set
+    /// (Table I privilege rules; `/proc` accepts only 1..=6).
+    pub const PRIO_ILLEGAL: &str = "MTB-PRIO-ILLEGAL";
+    /// A priority pair that starves one thread (priority 0 stops decode
+    /// entirely; 1 against a much higher sibling is effectively starved).
+    pub const PRIO_STARVE: &str = "MTB-PRIO-STARVE";
+    /// A pair whose priority difference exceeds the dynamic balancer's
+    /// bounded-difference limit.
+    pub const PRIO_DIFF: &str = "MTB-PRIO-DIFF";
+    /// A priority pair the decode-share model predicts will *invert* the
+    /// compute imbalance (the paper's case-D hazard).
+    pub const PRIO_INVERT: &str = "MTB-PRIO-INVERT";
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable lint code (`MTB-*`).
+    pub code: &'static str,
+    /// Severity.
+    pub severity: Severity,
+    /// The rank the finding is about, if rank-specific.
+    pub rank: Option<Rank>,
+    /// Statement path within the rank's program (see
+    /// [`mtb_mpisim::interp::path_string`]), if op-specific.
+    pub path: Option<String>,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Build a diagnostic with no span.
+    pub fn new(code: &'static str, severity: Severity, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity,
+            rank: None,
+            path: None,
+            message: message.into(),
+        }
+    }
+
+    /// Attach a rank span.
+    pub fn with_rank(mut self, rank: Rank) -> Diagnostic {
+        self.rank = Some(rank);
+        self
+    }
+
+    /// Attach a statement-path span.
+    pub fn with_path(mut self, path: impl Into<String>) -> Diagnostic {
+        self.path = Some(path.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if let Some(rank) = self.rank {
+            write!(f, " rank {rank}")?;
+            if let Some(path) = &self.path {
+                write!(f, " at {path}")?;
+            }
+        } else if let Some(path) = &self.path {
+            write!(f, " at {path}")?;
+        }
+        write!(f, ": {}", self.message)
+    }
+}
+
+/// The outcome of a verification run: every diagnostic, in discovery
+/// order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// All findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Empty report.
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Add a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Append every finding of `other`.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Does the report contain at least one Error?
+    pub fn has_errors(&self) -> bool {
+        self.count(Severity::Error) > 0
+    }
+
+    /// Number of findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// The worst severity present, if any finding exists.
+    pub fn worst(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Findings at exactly `severity`.
+    pub fn at(&self, severity: Severity) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(move |d| d.severity == severity)
+    }
+
+    /// Does any finding carry `code`?
+    pub fn has_code(&self, code: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.code == code)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return write!(f, "clean: no findings");
+        }
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Report {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_info_warning_error() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn report_counts_and_worst() {
+        let mut r = Report::new();
+        assert_eq!(r.worst(), None);
+        assert!(!r.has_errors());
+        r.push(Diagnostic::new(codes::SELF_SEND, Severity::Info, "i"));
+        r.push(Diagnostic::new(codes::PRIO_INVERT, Severity::Warning, "w"));
+        assert_eq!(r.worst(), Some(Severity::Warning));
+        assert!(!r.has_errors());
+        r.push(
+            Diagnostic::new(codes::DEADLOCK_CYCLE, Severity::Error, "e")
+                .with_rank(1)
+                .with_path("0/it2/1"),
+        );
+        assert!(r.has_errors());
+        assert_eq!(r.count(Severity::Error), 1);
+        assert!(r.has_code(codes::DEADLOCK_CYCLE));
+        assert!(!r.has_code(codes::PRIO_DIFF));
+    }
+
+    #[test]
+    fn diagnostic_display_includes_span() {
+        let d = Diagnostic::new(codes::UNMATCHED_RECV, Severity::Error, "never matched")
+            .with_rank(3)
+            .with_path("1/it0/2");
+        let s = d.to_string();
+        assert!(s.contains("error[MTB-UNMATCHED-RECV]"), "{s}");
+        assert!(s.contains("rank 3"), "{s}");
+        assert!(s.contains("1/it0/2"), "{s}");
+    }
+}

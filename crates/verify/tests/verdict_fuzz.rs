@@ -1,0 +1,148 @@
+//! Property tests tying analyzer verdicts to engine behaviour, on the
+//! same randomized program schema the engine fuzzer uses
+//! (`crates/mpisim/tests/engine_fuzz.rs`):
+//!
+//! * **soundness for clean programs** — a program set the analyzer
+//!   reports error-free must run to completion in the engine;
+//! * **no false negatives** — sabotage a well-formed program set by
+//!   deleting one statement; whenever the engine refuses or deadlocks,
+//!   the analyzer must have reported at least one Error;
+//! * **no false positives** — whenever the analyzer reports an Error on
+//!   a sabotaged set, the engine must indeed refuse or deadlock (the
+//!   abstract executor mirrors the engine's FIFO matching exactly).
+
+use mtb_mpisim::engine::{Engine, SimConfig, SimError};
+use mtb_mpisim::program::{Program, ProgramBuilder, WorkSpec};
+use mtb_oskernel::CtxAddr;
+use mtb_smtsim::inst::StreamSpec;
+use mtb_smtsim::model::{Workload, WorkloadProfile};
+use mtb_verify::verify_programs;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum OpKind {
+    Compute,
+    Exchange,
+    Barrier,
+    AllReduce,
+    Bcast,
+    Reduce,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<(OpKind, u64)>> {
+    proptest::collection::vec((0usize..6, 1u64..60_000), 1..12).prop_map(|v| {
+        v.into_iter()
+            .map(|(k, size)| {
+                let kind = match k {
+                    0 => OpKind::Compute,
+                    1 => OpKind::Exchange,
+                    2 => OpKind::Barrier,
+                    3 => OpKind::AllReduce,
+                    4 => OpKind::Bcast,
+                    _ => OpKind::Reduce,
+                };
+                (kind, size)
+            })
+            .collect()
+    })
+}
+
+fn build_programs(ops: &[(OpKind, u64)], n_ranks: usize) -> Vec<Program> {
+    (0..n_ranks)
+        .map(|rank| {
+            let load = Workload::with_profile(
+                "fuzz",
+                StreamSpec::balanced(rank as u64 + 1),
+                WorkloadProfile::new(1.0 + rank as f64 * 0.4, 0.1, 0.05),
+            );
+            let mut b = ProgramBuilder::new();
+            for (i, (kind, size)) in ops.iter().enumerate() {
+                match kind {
+                    OpKind::Compute => {
+                        b = b.compute(WorkSpec::new(load.clone(), size * (rank as u64 + 1)));
+                    }
+                    OpKind::Exchange => {
+                        let s = 1 + i % (n_ranks - 1).max(1);
+                        let to = (rank + s) % n_ranks;
+                        let from = (rank + n_ranks - s) % n_ranks;
+                        b = b
+                            .isend(to, i as u32, *size % 4096)
+                            .irecv(from, i as u32)
+                            .waitall();
+                    }
+                    OpKind::Barrier => b = b.barrier(),
+                    OpKind::AllReduce => b = b.allreduce(*size % 1024),
+                    OpKind::Bcast => b = b.bcast((*size as usize) % n_ranks, *size % 1024),
+                    OpKind::Reduce => b = b.reduce((*size as usize) % n_ranks, *size % 1024),
+                }
+            }
+            b.build()
+        })
+        .collect()
+}
+
+/// Engine verdict on a program set: `Ok` cycles or the structured error
+/// (construction-time rejections and run-time deadlocks both count).
+fn engine_verdict(programs: &[Program]) -> Result<u64, SimError> {
+    let mut cfg = SimConfig::power5(programs.len());
+    cfg.placement = (0..programs.len()).map(CtxAddr::from_cpu).collect();
+    cfg.max_cycles = 50_000_000_000;
+    Engine::try_new(programs, cfg)?
+        .try_run()
+        .map(|r| r.total_cycles)
+}
+
+/// Delete one top-level statement from one rank — the sabotage that
+/// turns a well-formed set into (maybe) a deadlocking one.
+fn sabotage(programs: &mut [Program], rank_pick: usize, stmt_pick: usize) -> bool {
+    let rank = rank_pick % programs.len();
+    let body = &mut programs[rank].body;
+    if body.is_empty() {
+        return false;
+    }
+    let at = stmt_pick % body.len();
+    body.remove(at);
+    true
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Analyzer-clean programs must complete in the engine.
+    #[test]
+    fn analyzer_clean_programs_complete(
+        ops in arb_ops(),
+        n_ranks in 2usize..=4,
+    ) {
+        let programs = build_programs(&ops, n_ranks);
+        let report = verify_programs(&programs);
+        prop_assert!(!report.has_errors(), "well-formed schema must verify:\n{report}");
+        let verdict = engine_verdict(&programs);
+        prop_assert!(verdict.is_ok(), "clean verdict but engine failed: {:?}", verdict.err());
+    }
+
+    /// Sabotaged programs: engine failure ⇒ analyzer Error (no false
+    /// negatives), analyzer Error ⇒ engine failure (no false positives).
+    #[test]
+    fn verdicts_match_engine_on_sabotaged_programs(
+        ops in arb_ops(),
+        n_ranks in 2usize..=4,
+        rank_pick in 0usize..4,
+        stmt_pick in 0usize..64,
+    ) {
+        let mut programs = build_programs(&ops, n_ranks);
+        prop_assume!(sabotage(&mut programs, rank_pick, stmt_pick));
+        let report = verify_programs(&programs);
+        let verdict = engine_verdict(&programs);
+        match &verdict {
+            Err(e) => prop_assert!(
+                report.has_errors(),
+                "engine failed ({e}) but the analyzer saw no error:\n{report}"
+            ),
+            Ok(_) => prop_assert!(
+                !report.has_errors(),
+                "engine completed but the analyzer claims an error:\n{report}"
+            ),
+        }
+    }
+}
