@@ -1,0 +1,38 @@
+//! Engine stepping companion bench: event-horizon jumps vs the historical
+//! quantum-clamped stepping, on a meso paper case. Outputs are proven
+//! identical by the perf module's differential tests; this measures the
+//! wall-clock side of that trade.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mtb_bench::lint::record_hash;
+use mtb_core::balance::{execute, StaticRun};
+use mtb_core::paper_cases::metbench_cases;
+use mtb_mpisim::engine::Stepping;
+use mtb_workloads::MetBenchConfig;
+
+fn bench_stepping(c: &mut Criterion) {
+    let cfg = MetBenchConfig::tiny();
+    let programs = cfg.programs();
+    let case = &metbench_cases()[3]; // case D: widest priority spread
+    let mut g = c.benchmark_group("event_stepping");
+    for (name, stepping) in [
+        ("event_horizon", Stepping::EventHorizon),
+        ("quantum", Stepping::Quantum),
+    ] {
+        g.bench_function(format!("metbench_tiny_D/{name}"), |bench| {
+            bench.iter(|| {
+                let r = execute(
+                    StaticRun::new(&programs, case.placement.clone())
+                        .with_priorities(case.priorities.clone())
+                        .with_stepping(stepping),
+                )
+                .expect("paper case runs");
+                black_box(record_hash(case, &r))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_stepping);
+criterion_main!(benches);

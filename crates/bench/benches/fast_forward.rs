@@ -1,0 +1,51 @@
+//! Fast-forward companion bench: the quiet-cycle skip in the cycle-level
+//! core vs the per-cycle reference path, on the workload regimes the
+//! `mtb bench` report sweeps. Latency-bound (serialized pointer chases)
+//! is where skipping pays; frontend-bound decodes every cycle and bounds
+//! the fast path's bookkeeping overhead.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mtb_smtsim::inst::StreamSpec;
+use mtb_smtsim::model::{CoreModel, ThreadId, Workload};
+use mtb_smtsim::{CoreConfig, HwPriority, SmtCore};
+
+const CYCLES: u64 = 50_000;
+
+type SpecFn = fn(u64) -> StreamSpec;
+
+fn core(spec: SpecFn, fast_forward: bool) -> SmtCore {
+    let cfg = CoreConfig {
+        fast_forward,
+        ..CoreConfig::default()
+    };
+    let mut c = SmtCore::new(cfg);
+    c.assign(ThreadId::A, Workload::from_spec("a", spec(1)));
+    c.assign(ThreadId::B, Workload::from_spec("b", spec(2)));
+    c.set_priority(ThreadId::A, HwPriority::MEDIUM);
+    c.set_priority(ThreadId::B, HwPriority::MEDIUM);
+    c
+}
+
+fn bench_fast_forward(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fast_forward");
+    g.throughput(Throughput::Elements(CYCLES));
+    let regimes: [(&str, SpecFn); 3] = [
+        ("latency", StreamSpec::pointer_chase),
+        ("mem", StreamSpec::mem_bound),
+        ("frontend", StreamSpec::frontend_bound),
+    ];
+    for (name, spec) in regimes {
+        g.bench_function(format!("{name}/fast"), |bench| {
+            let mut core = core(spec, true);
+            bench.iter(|| black_box(core.advance(CYCLES)))
+        });
+        g.bench_function(format!("{name}/reference"), |bench| {
+            let mut core = core(spec, false);
+            bench.iter(|| black_box(core.advance(CYCLES)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fast_forward);
+criterion_main!(benches);

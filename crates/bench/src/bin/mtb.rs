@@ -39,6 +39,7 @@ USAGE:
     mtb tables [N|all]                regenerate paper tables (default: all)
     mtb sweep --app <APP>             sweep the priority difference
     mtb lint [OPTIONS]                static analysis of programs + priorities
+    mtb bench [OPTIONS]               fast-path vs reference perf report
     mtb help                          this text
 
 APPS:   metbench | btmz | siesta | synthetic
@@ -61,6 +62,10 @@ LINT OPTIONS:
     --deny <warnings>       exit nonzero on warnings too (default: errors)
     --selftest              determinism check: --jobs 1 vs --jobs N record hashes
     --jobs <n>              worker count the selftest compares against  [default: 8]
+
+BENCH OPTIONS:
+    --smoke                 CI-sized cycle counts (seconds, not minutes)
+    --out <path>            report destination        [default: BENCH_sim.json]
 ";
 
 fn main() -> ExitCode {
@@ -70,6 +75,7 @@ fn main() -> ExitCode {
         Some("tables") => cmd_tables(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
+        Some("bench") => cmd_bench(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -298,6 +304,33 @@ fn cmd_lint(args: &[String]) -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let (opts, flags) = match parse_opts(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let smoke = flags.iter().any(|f| f == "smoke");
+    let out = opts
+        .get("out")
+        .map(String::as_str)
+        .unwrap_or("BENCH_sim.json");
+    let report = mtb_bench::perf::run(smoke);
+    print!("{}", report.render());
+    if let Err(e) = report.write(std::path::Path::new(out)) {
+        eprintln!("bench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("report written to {out}");
+    if !report.all_identical() {
+        eprintln!("bench: DRIFT — fast path disagrees with reference output");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_sweep(args: &[String]) -> ExitCode {

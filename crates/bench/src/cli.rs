@@ -25,7 +25,7 @@ pub fn parse_opts(args: &[String]) -> Result<(HashMap<String, String>, Vec<Strin
         };
         match key {
             "dynamic" | "gantt" | "cycle-accurate" | "no-cache" | "json" | "all-cases"
-            | "selftest" => flags.push(key.to_string()),
+            | "selftest" | "smoke" => flags.push(key.to_string()),
             _ => {
                 let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
                 opts.insert(key.to_string(), v.clone());

@@ -31,13 +31,17 @@ use mtb_trace::paraver::CommEvent;
 use mtb_trace::{ProcState, RunMetrics, Timeline, TimelineBuilder};
 
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
 /// Bump when the engine or the record layout changes in a way that makes
 /// old cached records stale.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: anchor-based mesoscale progress accounting (fractional retire
+/// carry survives reconfiguration), which shifts low-order digits of
+/// meso results relative to v1 records.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// 64-bit FNV-1a — the cache's (and the per-case seed's) hash function.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
@@ -93,7 +97,7 @@ pub fn config_hash(case: &Case, programs: &[Program]) -> u64 {
 pub fn config_hash_static(run: &StaticRun<'_>) -> u64 {
     let mut key = format!("v{SCHEMA_VERSION}-static\x1f");
     key.push_str(&format!(
-        "{:?}\x1f{:?}\x1f{:?}\x1f{:?}\x1f{:?}\x1f{}\x1f{:?}\x1f{:?}\x1f",
+        "{:?}\x1f{:?}\x1f{:?}\x1f{:?}\x1f{:?}\x1f{}\x1f{:?}\x1f{:?}\x1f{:?}\x1f",
         run.placement,
         run.priorities,
         run.kernel,
@@ -101,7 +105,8 @@ pub fn config_hash_static(run: &StaticRun<'_>) -> u64 {
         run.fidelity,
         run.cores,
         run.topology,
-        run.wait_policy
+        run.wait_policy,
+        run.stepping
     ));
     push_programs(&mut key, run.programs);
     fnv1a(key.as_bytes())
@@ -593,7 +598,15 @@ impl SweepRunner {
             return;
         }
         let path = self.record_path(hash);
-        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        // Write-to-tmp + rename so a concurrently reading worker can
+        // never observe a half-written record. The tmp name carries both
+        // the pid and a process-wide nonce: two worker *threads* storing
+        // the same hash (or a recursive case collision) would otherwise
+        // share a tmp path and could interleave their writes before the
+        // rename publishes a torn file.
+        static TMP_NONCE: AtomicU64 = AtomicU64::new(0);
+        let nonce = TMP_NONCE.fetch_add(1, Ordering::Relaxed);
+        let tmp = path.with_extension(format!("tmp.{}.{nonce}", std::process::id()));
         if std::fs::write(&tmp, record.to_json()).is_ok() {
             let _ = std::fs::rename(&tmp, &path);
         }

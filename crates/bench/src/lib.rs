@@ -9,6 +9,7 @@ pub mod cli;
 pub mod harness;
 pub mod json;
 pub mod lint;
+pub mod perf;
 
 use harness::SweepRunner;
 use mtb_core::analysis::{improvements_over, render_case_table};

@@ -1,0 +1,482 @@
+//! The `mtb bench` performance layer: measures the simulator's fast
+//! paths against their reference implementations and emits
+//! `BENCH_sim.json`.
+//!
+//! Two sweep families:
+//!
+//! * **core sweeps** — [`SmtCore`] with `fast_forward` on vs off (the
+//!   per-cycle reference), over the Table-III priority ladder. The two
+//!   paths must produce bit-identical [`CtxStats`]; each entry records
+//!   whether they did.
+//! * **engine sweeps** — the meso paper cases (Tables IV-VI) under
+//!   [`Stepping::EventHorizon`] vs [`Stepping::Quantum`] (the historical
+//!   stepping). The two runs must produce identical `RunRecord` hashes.
+//!
+//! Every entry reports wall-clock for both paths, simulated
+//! cycles/second, and the speedup; sweep summaries aggregate by total
+//! wall-clock ratio and by geometric mean of the per-case speedups.
+//! A sweep with *any* drift (non-identical outputs) is a failure — the
+//! speedup of a wrong simulation is meaningless.
+
+use crate::json::Json;
+use crate::lint::record_hash;
+use mtb_core::balance::{execute, StaticRun};
+use mtb_core::paper_cases::{
+    btmz_cases, btmz_st_case, metbench_cases, siesta_cases, siesta_st_case, Case,
+};
+use mtb_mpisim::engine::Stepping;
+use mtb_mpisim::program::Program;
+use mtb_smtsim::inst::StreamSpec;
+use mtb_smtsim::model::{CoreModel, ThreadId, Workload};
+use mtb_smtsim::stats::CtxStats;
+use mtb_smtsim::{CoreConfig, HwPriority, SmtCore};
+use mtb_workloads::btmz::BtMzConfig;
+use mtb_workloads::siesta::SiestaConfig;
+use mtb_workloads::MetBenchConfig;
+
+use std::path::Path;
+use std::time::Instant;
+
+/// Simulated cycles per core-sweep row in the full run.
+const CORE_CYCLES: u64 = 2_000_000;
+/// Simulated cycles per core-sweep row under `--smoke`.
+const CORE_CYCLES_SMOKE: u64 = 150_000;
+
+/// The Table-III priority ladder the core sweeps walk: the normal-mode
+/// rows plus the special decode modes (background thread `(0,1)`,
+/// low-power `(1,1)`, thread stop `(0,0)`).
+const PRIORITY_ROWS: [(u8, u8); 6] = [(4, 4), (1, 4), (1, 1), (0, 4), (0, 1), (0, 0)];
+
+/// One measured case: the same simulation through the fast path and the
+/// reference path.
+#[derive(Debug, Clone)]
+pub struct BenchEntry {
+    /// Sweep this entry belongs to.
+    pub sweep: &'static str,
+    /// Case label within the sweep.
+    pub case: String,
+    /// Simulated cycles covered by one run.
+    pub sim_cycles: u64,
+    /// Fast-path wall-clock seconds.
+    pub wall_fast_s: f64,
+    /// Reference-path wall-clock seconds.
+    pub wall_ref_s: f64,
+    /// Did the two paths produce identical output (bit-identical stats /
+    /// equal record hashes)?
+    pub identical: bool,
+}
+
+impl BenchEntry {
+    /// Reference wall-clock over fast wall-clock.
+    pub fn speedup(&self) -> f64 {
+        self.wall_ref_s / self.wall_fast_s.max(1e-9)
+    }
+
+    /// Simulated megacycles per wall-clock second on the fast path.
+    pub fn mcycles_per_s_fast(&self) -> f64 {
+        self.sim_cycles as f64 / self.wall_fast_s.max(1e-9) / 1e6
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("sweep".into(), Json::Str(self.sweep.into())),
+            ("case".into(), Json::Str(self.case.clone())),
+            ("sim_cycles".into(), Json::UInt(self.sim_cycles)),
+            ("wall_fast_s".into(), Json::Float(self.wall_fast_s)),
+            ("wall_ref_s".into(), Json::Float(self.wall_ref_s)),
+            ("speedup".into(), Json::Float(self.speedup())),
+            (
+                "mcycles_per_s_fast".into(),
+                Json::Float(self.mcycles_per_s_fast()),
+            ),
+            ("identical".into(), Json::Bool(self.identical)),
+        ])
+    }
+}
+
+/// Aggregates over one sweep's entries.
+#[derive(Debug, Clone)]
+pub struct SweepSummary {
+    /// Sweep name.
+    pub name: &'static str,
+    /// Number of cases.
+    pub cases: usize,
+    /// Sum of fast-path wall-clock.
+    pub wall_fast_s: f64,
+    /// Sum of reference wall-clock.
+    pub wall_ref_s: f64,
+    /// Total-wall-clock speedup (sum ref / sum fast).
+    pub speedup_total: f64,
+    /// Geometric mean of the per-case speedups (the suite-level metric;
+    /// insensitive to which case dominates the wall-clock).
+    pub speedup_geomean: f64,
+    /// True only if every case in the sweep was drift-free.
+    pub all_identical: bool,
+}
+
+impl SweepSummary {
+    fn of(name: &'static str, entries: &[BenchEntry]) -> SweepSummary {
+        let mine: Vec<&BenchEntry> = entries.iter().filter(|e| e.sweep == name).collect();
+        let wall_fast_s: f64 = mine.iter().map(|e| e.wall_fast_s).sum();
+        let wall_ref_s: f64 = mine.iter().map(|e| e.wall_ref_s).sum();
+        let geomean = if mine.is_empty() {
+            1.0
+        } else {
+            (mine.iter().map(|e| e.speedup().ln()).sum::<f64>() / mine.len() as f64).exp()
+        };
+        SweepSummary {
+            name,
+            cases: mine.len(),
+            wall_fast_s,
+            wall_ref_s,
+            speedup_total: wall_ref_s / wall_fast_s.max(1e-9),
+            speedup_geomean: geomean,
+            all_identical: mine.iter().all(|e| e.identical),
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.into())),
+            ("cases".into(), Json::UInt(self.cases as u64)),
+            ("wall_fast_s".into(), Json::Float(self.wall_fast_s)),
+            ("wall_ref_s".into(), Json::Float(self.wall_ref_s)),
+            ("speedup_total".into(), Json::Float(self.speedup_total)),
+            ("speedup_geomean".into(), Json::Float(self.speedup_geomean)),
+            ("all_identical".into(), Json::Bool(self.all_identical)),
+        ])
+    }
+}
+
+/// The full benchmark report.
+#[derive(Debug, Clone)]
+pub struct BenchReport {
+    /// Smoke mode (reduced cycle counts)?
+    pub smoke: bool,
+    /// Every measured case.
+    pub entries: Vec<BenchEntry>,
+}
+
+impl BenchReport {
+    /// Per-sweep aggregates, in first-seen order.
+    pub fn sweeps(&self) -> Vec<SweepSummary> {
+        let mut names: Vec<&'static str> = Vec::new();
+        for e in &self.entries {
+            if !names.contains(&e.sweep) {
+                names.push(e.sweep);
+            }
+        }
+        names
+            .into_iter()
+            .map(|n| SweepSummary::of(n, &self.entries))
+            .collect()
+    }
+
+    /// True only if every case in every sweep was drift-free.
+    pub fn all_identical(&self) -> bool {
+        self.entries.iter().all(|e| e.identical)
+    }
+
+    /// Best sweep-level speedup (geometric mean) across sweeps.
+    pub fn best_sweep_speedup(&self) -> f64 {
+        self.sweeps()
+            .iter()
+            .map(|s| s.speedup_geomean)
+            .fold(0.0, f64::max)
+    }
+
+    /// The `BENCH_sim.json` document.
+    pub fn to_json(&self) -> String {
+        Json::Obj(vec![
+            ("schema".into(), Json::UInt(crate::harness::SCHEMA_VERSION)),
+            ("kind".into(), Json::Str("mtb-bench".into())),
+            ("smoke".into(), Json::Bool(self.smoke)),
+            ("all_identical".into(), Json::Bool(self.all_identical())),
+            (
+                "sweeps".into(),
+                Json::Arr(self.sweeps().iter().map(SweepSummary::to_json).collect()),
+            ),
+            (
+                "entries".into(),
+                Json::Arr(self.entries.iter().map(BenchEntry::to_json).collect()),
+            ),
+        ])
+        .render()
+    }
+
+    /// Human-readable summary table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:22} {:>6} {:>11} {:>11} {:>9} {:>9}  drift\n",
+            "sweep", "cases", "ref wall", "fast wall", "total", "geomean"
+        ));
+        for s in self.sweeps() {
+            out.push_str(&format!(
+                "{:22} {:>6} {:>9.2}ms {:>9.2}ms {:>8.1}x {:>8.1}x  {}\n",
+                s.name,
+                s.cases,
+                s.wall_ref_s * 1e3,
+                s.wall_fast_s * 1e3,
+                s.speedup_total,
+                s.speedup_geomean,
+                if s.all_identical { "none" } else { "DRIFT" }
+            ));
+        }
+        out
+    }
+
+    /// Write the report to `path` (atomically: tmp + rename).
+    pub fn write(&self, path: &Path) -> std::io::Result<()> {
+        let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, self.to_json())?;
+        std::fs::rename(&tmp, path)
+    }
+}
+
+fn core_workload(spec: StreamSpec, name: &str) -> Workload {
+    Workload::from_spec(name, spec)
+}
+
+/// Run one core configuration through both paths and time them.
+fn core_entry(
+    sweep: &'static str,
+    specs: [Option<StreamSpec>; 2],
+    (pa, pb): (u8, u8),
+    cycles: u64,
+) -> BenchEntry {
+    let run = |fast: bool| -> (f64, CtxStats, CtxStats, [u64; 2]) {
+        let cfg = CoreConfig {
+            fast_forward: fast,
+            ..CoreConfig::default()
+        };
+        let mut core = SmtCore::new(cfg);
+        if let Some(s) = specs[0] {
+            core.assign(ThreadId::A, core_workload(s, "a"));
+        }
+        if let Some(s) = specs[1] {
+            core.assign(ThreadId::B, core_workload(s, "b"));
+        }
+        core.set_priority(ThreadId::A, HwPriority::new(pa).expect("valid priority"));
+        core.set_priority(ThreadId::B, HwPriority::new(pb).expect("valid priority"));
+        let t0 = Instant::now();
+        let retired = core.advance(cycles);
+        let wall = t0.elapsed().as_secs_f64();
+        (
+            wall,
+            *core.stats(ThreadId::A),
+            *core.stats(ThreadId::B),
+            retired,
+        )
+    };
+    let (wall_fast, fa, fb, fr) = run(true);
+    let (wall_ref, ra, rb, rr) = run(false);
+    BenchEntry {
+        sweep,
+        case: format!("({pa},{pb})"),
+        sim_cycles: cycles,
+        wall_fast_s: wall_fast,
+        wall_ref_s: wall_ref,
+        identical: fa == ra && fb == rb && fr == rr,
+    }
+}
+
+/// Run one meso paper case through both stepping modes and time them.
+fn engine_entry(sweep: &'static str, programs: &[Program], case: &Case) -> BenchEntry {
+    let run = |stepping: Stepping| {
+        let t0 = Instant::now();
+        let result = execute(
+            StaticRun::new(programs, case.placement.clone())
+                .with_priorities(case.priorities.clone())
+                .with_stepping(stepping),
+        )
+        .unwrap_or_else(|e| panic!("bench case {} failed: {e}", case.name));
+        let wall = t0.elapsed().as_secs_f64();
+        let hash = record_hash(case, &result);
+        (wall, hash, result.total_cycles)
+    };
+    let (wall_fast, hash_fast, cycles) = run(Stepping::EventHorizon);
+    let (wall_ref, hash_ref, _) = run(Stepping::Quantum);
+    BenchEntry {
+        sweep,
+        case: case.name.to_string(),
+        sim_cycles: cycles,
+        wall_fast_s: wall_fast,
+        wall_ref_s: wall_ref,
+        identical: hash_fast == hash_ref,
+    }
+}
+
+fn core_sweep(
+    sweep: &'static str,
+    spec_of: impl Fn(u64) -> StreamSpec,
+    cycles: u64,
+    entries: &mut Vec<BenchEntry>,
+) {
+    for &(pa, pb) in &PRIORITY_ROWS {
+        entries.push(core_entry(
+            sweep,
+            [Some(spec_of(1)), Some(spec_of(2))],
+            (pa, pb),
+            cycles,
+        ));
+    }
+}
+
+/// Execute the full benchmark suite.
+///
+/// `smoke` shrinks the core sweeps to CI-friendly cycle counts; the
+/// engine sweeps run the real paper cases either way (they are
+/// millisecond-scale under both steppings).
+pub fn run(smoke: bool) -> BenchReport {
+    let cycles = if smoke {
+        CORE_CYCLES_SMOKE
+    } else {
+        CORE_CYCLES
+    };
+    let mut entries = Vec::new();
+
+    // Core sweeps: the Table-III priority ladder over three workload
+    // regimes. Latency-bound (serialized misses) is where cycle-skipping
+    // pays; streaming-memory is the middle ground; frontend-bound decodes
+    // every cycle, so it bounds the fast path's overhead instead.
+    core_sweep(
+        "table3-latency",
+        StreamSpec::pointer_chase,
+        cycles,
+        &mut entries,
+    );
+    core_sweep("table3-mem", StreamSpec::mem_bound, cycles, &mut entries);
+    core_sweep(
+        "table3-frontend",
+        StreamSpec::frontend_bound,
+        cycles,
+        &mut entries,
+    );
+
+    // Engine sweeps: every meso paper case, event-horizon vs quantum.
+    let mb = MetBenchConfig::default();
+    for case in metbench_cases() {
+        entries.push(engine_entry("table4-metbench", &mb.programs(), &case));
+    }
+    let bt = BtMzConfig::default();
+    let bt_st = BtMzConfig::st_mode();
+    entries.push(engine_entry(
+        "table5-btmz",
+        &bt_st.programs(),
+        &btmz_st_case(),
+    ));
+    for case in btmz_cases() {
+        entries.push(engine_entry("table5-btmz", &bt.programs(), &case));
+    }
+    let si = SiestaConfig::default();
+    let si_st = SiestaConfig::st_mode();
+    entries.push(engine_entry(
+        "table6-siesta",
+        &si_st.programs(),
+        &siesta_st_case(),
+    ));
+    for case in siesta_cases() {
+        entries.push(engine_entry("table6-siesta", &si.programs(), &case));
+    }
+
+    BenchReport { smoke, entries }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_entries_are_drift_free_and_positive() {
+        let e = core_entry(
+            "t",
+            [Some(StreamSpec::pointer_chase(1)), None],
+            (4, 0),
+            20_000,
+        );
+        assert!(e.identical, "fast path drifted from reference");
+        assert!(e.wall_fast_s > 0.0 && e.wall_ref_s > 0.0);
+        assert_eq!(e.sim_cycles, 20_000);
+    }
+
+    #[test]
+    fn engine_entries_hash_identical_on_a_paper_case() {
+        let cfg = MetBenchConfig::tiny();
+        let case = &metbench_cases()[0];
+        let e = engine_entry("t", &cfg.programs(), case);
+        assert!(e.identical, "stepping modes disagree on {}", case.name);
+        assert!(e.sim_cycles > 0);
+    }
+
+    #[test]
+    fn report_aggregates_and_serializes() {
+        let report = BenchReport {
+            smoke: true,
+            entries: vec![
+                BenchEntry {
+                    sweep: "s",
+                    case: "x".into(),
+                    sim_cycles: 100,
+                    wall_fast_s: 0.001,
+                    wall_ref_s: 0.010,
+                    identical: true,
+                },
+                BenchEntry {
+                    sweep: "s",
+                    case: "y".into(),
+                    sim_cycles: 100,
+                    wall_fast_s: 0.002,
+                    wall_ref_s: 0.002,
+                    identical: true,
+                },
+            ],
+        };
+        let sweeps = report.sweeps();
+        assert_eq!(sweeps.len(), 1);
+        let s = &sweeps[0];
+        assert_eq!(s.cases, 2);
+        assert!((s.speedup_total - 4.0).abs() < 1e-9);
+        assert!((s.speedup_geomean - (10.0f64).sqrt()).abs() < 1e-9);
+        assert!(s.all_identical);
+        let doc = crate::json::Json::parse(&report.to_json()).expect("valid json");
+        assert_eq!(doc.get("kind").and_then(|j| j.as_str()), Some("mtb-bench"));
+        assert_eq!(
+            doc.get("sweeps").and_then(|j| j.as_arr()).map(|a| a.len()),
+            Some(1)
+        );
+    }
+
+    // The proptest differential: fast vs reference stepping must agree
+    // (identical record hashes) over random priority pairs and
+    // placements of the tiny paper workload.
+    proptest::proptest! {
+        #[test]
+        fn prop_stepping_hash_identical(
+            pa in 1u8..=6, pb in 1u8..=6, pc in 1u8..=6, pd in 1u8..=6,
+            flip in 0u8..2,
+        ) {
+            use mtb_core::policy::PrioritySetting;
+            use mtb_oskernel::CtxAddr;
+            let cfg = MetBenchConfig::tiny();
+            let programs = cfg.programs();
+            // Two placements: ranks packed in cpu order, or core-paired
+            // the other way around.
+            let placement: Vec<CtxAddr> = if flip == 0 {
+                (0..4).map(CtxAddr::from_cpu).collect()
+            } else {
+                [2, 3, 0, 1].iter().map(|&c| CtxAddr::from_cpu(c)).collect()
+            };
+            let case = Case {
+                name: "prop",
+                placement,
+                priorities: [pa, pb, pc, pd]
+                    .iter()
+                    .map(|&p| PrioritySetting::ProcFs(p))
+                    .collect(),
+            };
+            let e = engine_entry("prop", &programs, &case);
+            proptest::prop_assert!(e.identical, "stepping drift at {:?}", case.priorities);
+        }
+    }
+}

@@ -6,7 +6,7 @@
 //! feedback observer (dynamic balancing, Section VIII).
 
 use crate::policy::{apply_priorities, PrioritySetting};
-use mtb_mpisim::engine::{Engine, Observer, RunResult, SimConfig, SimError};
+use mtb_mpisim::engine::{Engine, Observer, RunResult, SimConfig, SimError, Stepping};
 use mtb_mpisim::program::Program;
 use mtb_oskernel::{CtxAddr, KernelConfig, NoiseSource, PriorityError, Topology, WaitPolicy};
 use mtb_smtsim::chip::Fidelity;
@@ -82,6 +82,9 @@ pub struct StaticRun<'a> {
     pub topology: Topology,
     /// How ranks wait in MPI calls (stock-MPICH spinning by default).
     pub wait_policy: WaitPolicy,
+    /// Time-advance strategy ([`Stepping::Auto`] by default: event jumps
+    /// for mesoscale fidelity, quantum stepping for cycle fidelity).
+    pub stepping: Stepping,
 }
 
 impl<'a> StaticRun<'a> {
@@ -97,6 +100,7 @@ impl<'a> StaticRun<'a> {
             cores: 2,
             topology: Topology::single_node(),
             wait_policy: WaitPolicy::default(),
+            stepping: Stepping::default(),
         }
     }
 
@@ -146,6 +150,13 @@ impl<'a> StaticRun<'a> {
         self
     }
 
+    /// Override the engine's time-advance strategy (the benchmark layer
+    /// uses [`Stepping::Quantum`] as its reference mode).
+    pub fn with_stepping(mut self, s: Stepping) -> Self {
+        self.stepping = s;
+        self
+    }
+
     fn build_engine(&self) -> Result<Engine, SimError> {
         let mut cfg = SimConfig::power5(self.programs.len());
         cfg.cores = self.cores;
@@ -155,6 +166,7 @@ impl<'a> StaticRun<'a> {
         cfg.noise = self.noise.clone();
         cfg.fidelity = self.fidelity.clone();
         cfg.wait_policy = self.wait_policy;
+        cfg.stepping = self.stepping;
         if matches!(self.fidelity, Fidelity::Cycle(_)) {
             // The cycle model costs real time per simulated cycle; keep
             // event steps bounded so rate estimates stay fresh.

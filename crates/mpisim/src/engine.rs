@@ -272,6 +272,31 @@ impl Observer for NullObserver {
     fn on_epoch(&mut self, _: usize, _: &[RankWindow], _: &mut Machine) {}
 }
 
+/// How [`Engine::try_run_with`] advances simulated time between events.
+///
+/// Every externally visible state change — op dispatch, epoch release,
+/// message arrival, noise boundary — happens at an event time computed by
+/// `next_event`, and [`Observer`]s fire at epoch completions (which are
+/// events), so skipping straight to the next event visits exactly the
+/// same machine states as stepping up to it in quantum-sized slices.
+/// For the mesoscale core model the progress accounting is
+/// segmentation-invariant (anchor-based), making the two modes
+/// byte-identical; the cycle-level model's `cycles_to_retire` is a rate
+/// *estimate* that the quantum deliberately re-evaluates, so cycle
+/// fidelity keeps quantum stepping as its reference behavior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Stepping {
+    /// Event-horizon jumps for mesoscale fidelity, quantum stepping for
+    /// cycle fidelity (the right default for both).
+    #[default]
+    Auto,
+    /// Always jump to the next event, regardless of fidelity.
+    EventHorizon,
+    /// Always clamp each advance to `quantum` (the pre-fast-forward
+    /// behavior; the benchmark layer's reference mode).
+    Quantum,
+}
+
 /// Configuration of a system simulation.
 pub struct SimConfig {
     /// Number of SMT cores (the paper's machine has 2).
@@ -295,7 +320,11 @@ pub struct SimConfig {
     /// many cycles (deadlock/livelock guard).
     pub max_cycles: Cycles,
     /// Maximum advance per step (bounds rate drift for the cycle model).
+    /// Only binding under [`Stepping::Quantum`] (or [`Stepping::Auto`]
+    /// with cycle fidelity).
     pub quantum: Cycles,
+    /// Time-advance strategy; see [`Stepping`].
+    pub stepping: Stepping,
 }
 
 impl SimConfig {
@@ -313,6 +342,7 @@ impl SimConfig {
             noise: Vec::new(),
             max_cycles: 20_000_000_000_000,
             quantum: 1_000_000_000,
+            stepping: Stepping::default(),
         }
     }
 }
@@ -398,11 +428,18 @@ pub struct Engine {
     cfg_latency: LatencyModel,
     topology: Topology,
     quantum: Cycles,
+    /// Resolved from [`SimConfig::stepping`] and the fidelity: jump to
+    /// the next event instead of clamping each advance to `quantum`.
+    event_jump: bool,
     max_cycles: Cycles,
     n_ranks: usize,
     ops: Vec<Vec<FlatOp>>,
     pc: Vec<usize>,
     state: Vec<RankState>,
+    /// Dispatch worklist: ranks transitioned to [`RankState::Ready`] and
+    /// not yet dispatched. Kept in ascending rank order per batch so
+    /// dispatch order matches the historical full rescan.
+    ready: Vec<Rank>,
     phase: Vec<TracePhase>,
     comm: CommState,
     epochs: SyncEpochs,
@@ -510,16 +547,23 @@ impl Engine {
             }
         }
 
+        let event_jump = match cfg.stepping {
+            Stepping::Auto => matches!(cfg.fidelity, Fidelity::Meso(_)),
+            Stepping::EventHorizon => true,
+            Stepping::Quantum => false,
+        };
         Ok(Engine {
             machine,
             cfg_latency: cfg.latency,
             topology: cfg.topology,
             quantum: cfg.quantum.max(1),
+            event_jump,
             max_cycles: cfg.max_cycles,
             n_ranks: n,
             ops,
             pc: vec![0; n],
             state: vec![RankState::Ready; n],
+            ready: (0..n).collect(),
             phase: vec![TracePhase::Body; n],
             comm: CommState::new(n),
             epochs: SyncEpochs::new(n),
@@ -583,7 +627,16 @@ impl Engine {
             let Some(next) = self.next_event(now) else {
                 return Err(self.deadlock_error(now));
             };
-            let dt = (next.saturating_sub(now)).clamp(1, self.quantum);
+            let dt = if self.event_jump {
+                // Jump straight to the event horizon. Cap at one past the
+                // cycle budget: overrunning further changes nothing
+                // observable (the guard above fires first) and only
+                // wastes machine work.
+                let cap = self.max_cycles.saturating_add(1).saturating_sub(now);
+                (next.saturating_sub(now)).clamp(1, cap.max(1))
+            } else {
+                (next.saturating_sub(now)).clamp(1, self.quantum)
+            };
             self.machine.advance(dt);
             self.resolve_completions();
         }
@@ -646,13 +699,22 @@ impl Engine {
 
     /// Dispatch every ready rank into its next op; repeat until no rank is
     /// ready (epoch completions may cascade).
+    ///
+    /// Works off the `ready` worklist — ranks pushed by
+    /// [`Engine::resolve_completions`] when they transition to Ready — so
+    /// each batch costs only the ranks actually dispatched, not a full
+    /// `n_ranks` rescan per pass. `resolve_completions` pushes in
+    /// ascending rank order, so dispatch order matches the old rescan.
     fn dispatch_ready(&mut self, observer: &mut dyn Observer) {
-        let mut progress = true;
-        while progress {
-            progress = false;
-            for rank in 0..self.n_ranks {
+        let mut batch: Vec<Rank> = Vec::new();
+        while !self.ready.is_empty() {
+            // Double-buffer so both vectors keep their capacity across
+            // batches.
+            std::mem::swap(&mut batch, &mut self.ready);
+            for rank in batch.drain(..) {
+                // A rank can be re-queued only after being dispatched, so
+                // entries are never stale; the guard is belt-and-braces.
                 if self.state[rank] == RankState::Ready {
-                    progress = true;
                     self.dispatch_one(rank, observer);
                 }
             }
@@ -909,6 +971,7 @@ impl Engine {
             };
             if ready {
                 self.state[rank] = RankState::Ready;
+                self.ready.push(rank);
             }
         }
     }

@@ -35,16 +35,24 @@ impl Default for ChipConfig {
 pub struct Chip {
     cores: Vec<SmtCore>,
     l2: SharedCache,
+    /// Reused return buffer for [`Chip::advance_all`] (hot path: one call
+    /// per engine quantum — no per-call allocation).
+    retired_scratch: Vec<[u64; 2]>,
 }
 
 impl Chip {
     /// Build a chip from a configuration.
     pub fn new(cfg: ChipConfig) -> Chip {
         let l2: SharedCache = Rc::new(RefCell::new(Cache::new(cfg.core.l2)));
-        let cores = (0..cfg.cores)
+        let cores: Vec<SmtCore> = (0..cfg.cores)
             .map(|i| SmtCore::with_l2(cfg.core.clone(), i as u8, Rc::clone(&l2)))
             .collect();
-        Chip { cores, l2 }
+        let retired_scratch = Vec::with_capacity(cores.len());
+        Chip {
+            cores,
+            l2,
+            retired_scratch,
+        }
     }
 
     /// Number of cores.
@@ -68,9 +76,17 @@ impl Chip {
     }
 
     /// Advance every core by `cycles` in lockstep; returns per-core retired
-    /// instruction pairs.
-    pub fn advance_all(&mut self, cycles: Cycles) -> Vec<[u64; 2]> {
-        self.cores.iter_mut().map(|c| c.advance(cycles)).collect()
+    /// instruction pairs (borrowed from an internal scratch buffer that is
+    /// overwritten by the next call).
+    pub fn advance_all(&mut self, cycles: Cycles) -> &[[u64; 2]] {
+        let Chip {
+            cores,
+            retired_scratch,
+            ..
+        } = self;
+        retired_scratch.clear();
+        retired_scratch.extend(cores.iter_mut().map(|c| c.advance(cycles)));
+        retired_scratch
     }
 
     /// (hits, misses) of the shared L2 so far.

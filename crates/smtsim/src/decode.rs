@@ -160,6 +160,45 @@ pub fn grant_census(a: HwPriority, b: HwPriority, n: Cycles) -> (u64, u64) {
     (ca, cb)
 }
 
+/// Census over an arbitrary window `[from, to)` in O(1) scans: every
+/// arbitration pattern is periodic with a period dividing 64 (normal-mode
+/// slices are `2^(|X-Y|+1) <= 64` cycles, the special modes repeat every
+/// 1, 32 or 64), so the count decomposes into whole periods plus two
+/// partial prefixes of at most 64 scanned cycles each. This is what lets
+/// the cycle core's fast-forward path credit `slots_owned` for millions of
+/// skipped quiet cycles without walking them.
+pub fn grant_census_range(a: HwPriority, b: HwPriority, from: Cycles, to: Cycles) -> (u64, u64) {
+    if from >= to {
+        return (0, 0);
+    }
+    // Cycles in [0, n) congruent to `r` modulo `m` (patterns anchor at 0).
+    let residues = |n: Cycles, m: Cycles, r: Cycles| (n + m - 1 - r) / m;
+    let window = |m, r| residues(to, m, r) - residues(from, m, r);
+    let every = to - from;
+    let (pa, pb) = (a.value(), b.value());
+    match (pa, pb) {
+        (0, 0) => (0, 0),
+        (0, 1) => (0, window(32, 0)),
+        (1, 0) => (window(32, 0), 0),
+        (1, 1) => (window(64, 0), window(64, 32)),
+        // ST and leftover modes: one context owns every cycle.
+        (0, _) | (1, _) => (0, every),
+        (_, 0) | (_, 1) => (every, 0),
+        // Normal mode: the lower-priority context owns position 0 of each
+        // R-cycle slice (ties: B), the other context the rest.
+        _ => {
+            let r = Cycles::from(slice_len(a, b));
+            let low = window(r, 0);
+            // Ties: B takes the "low" slot, matching `slot_grant`.
+            if pa < pb {
+                (low, every - low)
+            } else {
+                (every - low, low)
+            }
+        }
+    }
+}
+
 /// Long-run decode share of each context, as exact fractions of the
 /// core's decode cycles. Pure closed form — no simulation. Covers every
 /// priority combination.
@@ -345,6 +384,43 @@ mod tests {
                     "share B mismatch for ({a},{b}): {sb} vs census {}",
                     cb as f64 / n as f64
                 );
+            }
+        }
+    }
+
+    /// The ranged closed form agrees with a cycle-by-cycle walk for every
+    /// priority pair over windows that straddle period boundaries.
+    #[test]
+    fn ranged_census_matches_naive_walk() {
+        let naive = |a: HwPriority, b: HwPriority, from: Cycles, to: Cycles| {
+            let (mut ca, mut cb) = (0u64, 0u64);
+            for cycle in from..to {
+                match slot_grant(a, b, cycle).owner {
+                    Some(ThreadId::A) => ca += 1,
+                    Some(ThreadId::B) => cb += 1,
+                    None => {}
+                }
+            }
+            (ca, cb)
+        };
+        let windows = [
+            (0u64, 0u64),
+            (0, 1),
+            (5, 5),
+            (3, 97),
+            (63, 65),
+            (31, 160),
+            (100, 421),
+        ];
+        for a in 0u8..=7 {
+            for b in 0u8..=7 {
+                for &(from, to) in &windows {
+                    assert_eq!(
+                        grant_census_range(p(a), p(b), from, to),
+                        naive(p(a), p(b), from, to),
+                        "window [{from},{to}) at priorities ({a},{b})"
+                    );
+                }
             }
         }
     }

@@ -143,6 +143,24 @@ impl StreamSpec {
         }
     }
 
+    /// Latency-bound pointer chase: serialized loads walking a large
+    /// working set (linked lists, sparse/irregular access). Almost no
+    /// instruction-level parallelism — each memory miss stalls the whole
+    /// context for the full memory latency, the regime where
+    /// latency-sensitive codes (like the paper's SIESTA) live.
+    pub fn pointer_chase(seed: u64) -> StreamSpec {
+        StreamSpec {
+            fx: 2,
+            fp: 0,
+            ls: 7,
+            br: 1,
+            dep_dist: 1,
+            working_set: 64 << 20,
+            code_kb: 4,
+            seed,
+        }
+    }
+
     /// MetBench `branch` load: branch-dense integer code.
     pub fn branch_bound(seed: u64) -> StreamSpec {
         StreamSpec {

@@ -83,12 +83,21 @@ impl Default for MesoConfig {
     }
 }
 
+/// Slack added before `floor` when converting fractional progress to whole
+/// instructions, so products like `0.3 * 700.0` that land an ulp below an
+/// integer still count it. Small enough to never span a real instruction.
+const FLOOR_EPS: f64 = 1e-9;
+
 #[derive(Debug, Clone)]
 struct MesoCtx {
     priority: HwPriority,
     workload: Option<Workload>,
-    /// Fractional instructions accumulated but not yet reported retired.
+    /// Fractional instructions at the last re-anchor, in `[0, 1)`.
     carry: f64,
+    /// Cycle of the last re-anchor (any configuration change).
+    anchor_cycle: Cycles,
+    /// Retired count at the last re-anchor.
+    anchor_retired: u64,
     retired: u64,
 }
 
@@ -98,12 +107,23 @@ impl MesoCtx {
             priority: HwPriority::MEDIUM,
             workload: None,
             carry: 0.0,
+            anchor_cycle: 0,
+            anchor_retired: 0,
             retired: 0,
         }
     }
 
     fn live(&self) -> bool {
         self.workload.is_some() && !self.priority.is_off()
+    }
+
+    /// Fractional progress since the anchor at absolute cycle `cycle`,
+    /// including the rounding slack. Evaluated as one expression of the
+    /// absolute elapsed time so that advancing in any segmentation — one
+    /// big event-horizon jump or many quantum steps — lands on the same
+    /// value at every intermediate cycle.
+    fn progress_at(&self, rate: f64, cycle: Cycles) -> f64 {
+        self.carry + rate * (cycle - self.anchor_cycle) as f64 + FLOOR_EPS
     }
 }
 
@@ -248,6 +268,24 @@ impl MesoCore {
             self.dirty = false;
         }
     }
+
+    /// Materialize both contexts' progress under the rates in force since
+    /// the last anchor, then re-anchor at the current cycle. Must run
+    /// *before* any configuration change; between changes the anchored
+    /// expression is a pure function of absolute time, which is what makes
+    /// `advance` segmentation-invariant.
+    fn reanchor(&mut self) {
+        self.refresh();
+        for (i, c) in self.ctx.iter_mut().enumerate() {
+            let rate = if c.live() { self.rates[i] } else { 0.0 };
+            let prog = c.progress_at(rate, self.cycle);
+            let whole = prog.floor();
+            c.anchor_retired += whole as u64;
+            c.carry = (prog - whole - FLOOR_EPS).clamp(0.0, 1.0);
+            c.anchor_cycle = self.cycle;
+            c.retired = c.anchor_retired;
+        }
+    }
 }
 
 impl Default for MesoCore {
@@ -258,6 +296,7 @@ impl Default for MesoCore {
 
 impl CoreModel for MesoCore {
     fn set_priority(&mut self, t: ThreadId, p: HwPriority) {
+        self.reanchor();
         self.ctx[t.index()].priority = p;
         self.dirty = true;
     }
@@ -267,6 +306,7 @@ impl CoreModel for MesoCore {
     }
 
     fn assign(&mut self, t: ThreadId, w: Workload) {
+        self.reanchor();
         let c = &mut self.ctx[t.index()];
         c.workload = Some(w);
         c.carry = 0.0;
@@ -274,6 +314,7 @@ impl CoreModel for MesoCore {
     }
 
     fn clear(&mut self, t: ThreadId) {
+        self.reanchor();
         let c = &mut self.ctx[t.index()];
         c.workload = None;
         c.carry = 0.0;
@@ -292,12 +333,9 @@ impl CoreModel for MesoCore {
             if !c.live() {
                 continue;
             }
-            c.carry += self.rates[i] * cycles as f64;
-            let whole = c.carry.floor();
-            c.carry -= whole;
-            let n = whole as u64;
-            c.retired += n;
-            out[i] = n;
+            let total = c.anchor_retired + c.progress_at(self.rates[i], self.cycle).floor() as u64;
+            out[i] = total - c.retired;
+            c.retired = total;
         }
         out
     }
@@ -319,11 +357,26 @@ impl CoreModel for MesoCore {
         if rate <= 0.0 {
             return None;
         }
-        let need = n as f64 - self.ctx[i].carry;
-        if need <= 0.0 {
-            return Some(1);
+        let c = &self.ctx[i];
+        // Whole-progress threshold at which `n` more instructions than the
+        // current count have retired.
+        let target = (c.retired - c.anchor_retired + n) as f64;
+        let elapsed = self.cycle - c.anchor_cycle;
+        let est = ((target - c.carry) / rate).ceil() - elapsed as f64;
+        if !est.is_finite() || est >= 9e18 {
+            return Some(9_000_000_000_000_000_000);
         }
-        Some((need / rate).ceil().max(1.0) as Cycles)
+        // Pin the estimate to the exact threshold of the expression
+        // `advance` evaluates, so the promised event time is identical no
+        // matter how the preceding cycles were segmented.
+        let mut dt = (est.max(1.0)) as Cycles;
+        while c.progress_at(rate, self.cycle + dt) < target {
+            dt += 1;
+        }
+        while dt > 1 && c.progress_at(rate, self.cycle + dt - 1) >= target {
+            dt -= 1;
+        }
+        Some(dt)
     }
 }
 
@@ -603,8 +656,43 @@ mod tests {
             }
             let mut whole = mk();
             let total_whole = whole.advance(total_cycles)[0];
-            // Carry rounding differs by at most 1 per step.
-            prop_assert!((total_split as i64 - total_whole as i64).abs() <= 1);
+            // Anchored accounting: segmentation never changes the count.
+            prop_assert_eq!(total_split, total_whole);
+        }
+
+        /// Segmentation invariance holds across mid-run reconfigurations
+        /// too: quantum-stepping to an event and jumping straight to it
+        /// retire the same totals (the event-horizon engine's contract).
+        #[test]
+        fn prop_segmented_advance_matches_jump_across_reconfig(
+            pa in 2u8..=6, pb in 2u8..=6,
+            first in 1u64..50_000, second in 1u64..50_000,
+            chunk in 1u64..997,
+        ) {
+            let run = |chunked: bool| {
+                let mut c = pair(2.5, 2.65, pa, pb);
+                let adv = |c: &mut MesoCore, mut n: u64| {
+                    let mut got = [0u64; 2];
+                    if chunked {
+                        while n > 0 {
+                            let step = n.min(chunk);
+                            let [a, b] = c.advance(step);
+                            got[0] += a;
+                            got[1] += b;
+                            n -= step;
+                        }
+                    } else {
+                        got = c.advance(n);
+                    }
+                    got
+                };
+                let g1 = adv(&mut c, first);
+                c.set_priority(ThreadId::A, p(pb));
+                c.set_priority(ThreadId::B, p(pa));
+                let g2 = adv(&mut c, second);
+                (g1, g2, c.retired(ThreadId::A), c.retired(ThreadId::B))
+            };
+            prop_assert_eq!(run(false), run(true));
         }
     }
 }
