@@ -1,0 +1,78 @@
+//! Sharded chip stepping: `Chip::advance_all` with one worker thread vs
+//! a pool, on the two workload regimes that bracket the win. Frontend-
+//! bound cores decode every cycle, so each shard carries maximal work
+//! and the pool's per-window barrier is best amortized; latency-bound
+//! cores fast-forward through quiet stretches, shrinking the work per
+//! shard and exposing the scatter/merge overhead instead.
+//!
+//! On a single-CPU host the pooled rows measure pure overhead (the
+//! workers time-slice one core); the interesting numbers come from
+//! multi-core runners. Output identity across thread counts is asserted
+//! by the `parallel_identity` test suite, not here.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mtb_pool::{Budget, Pool};
+use mtb_smtsim::chip::{Chip, ChipConfig};
+use mtb_smtsim::inst::StreamSpec;
+use mtb_smtsim::model::{CoreModel, ThreadId, Workload};
+use mtb_smtsim::{CoreConfig, HwPriority, SmtCore};
+use std::sync::Arc;
+
+/// Cores per chip: 8 cores in 4 L2 domains = 4 independent shards.
+const CORES: usize = 8;
+/// Advance window per iteration (one sharded scatter/merge round).
+const WINDOW: u64 = 20_000;
+
+type SpecFn = fn(u64) -> StreamSpec;
+
+fn loaded_chip(spec: SpecFn, threads: usize) -> Chip {
+    let mut chip = Chip::new(ChipConfig {
+        cores: CORES,
+        cores_per_l2: 2,
+        threads: 1,
+        core: CoreConfig::default(),
+    });
+    // Draw workers from a private budget so the bench measures the pool,
+    // not whatever MTB_JOBS happens to allow.
+    if threads > 1 {
+        chip.set_pool(Some(Pool::with_budget(
+            threads,
+            Arc::new(Budget::new(threads)),
+        )));
+    }
+    for i in 0..CORES {
+        let core: &mut SmtCore = chip.core_mut(i);
+        core.assign(
+            ThreadId::A,
+            Workload::from_spec("a", spec(2 * i as u64 + 1)),
+        );
+        core.assign(
+            ThreadId::B,
+            Workload::from_spec("b", spec(2 * i as u64 + 2)),
+        );
+        core.set_priority(ThreadId::A, HwPriority::MEDIUM);
+        core.set_priority(ThreadId::B, HwPriority::MEDIUM);
+    }
+    chip
+}
+
+fn bench_parallel_stepping(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_stepping");
+    g.throughput(Throughput::Elements(WINDOW * CORES as u64));
+    let regimes: [(&str, SpecFn); 2] = [
+        ("frontend", StreamSpec::frontend_bound),
+        ("latency", StreamSpec::pointer_chase),
+    ];
+    for (name, spec) in regimes {
+        for threads in [1usize, 2, 4] {
+            g.bench_function(format!("{name}/{threads}t"), |bench| {
+                let mut chip = loaded_chip(spec, threads);
+                bench.iter(|| black_box(chip.advance_all(WINDOW).len()))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel_stepping);
+criterion_main!(benches);

@@ -66,6 +66,15 @@ LINT OPTIONS:
 BENCH OPTIONS:
     --smoke                 CI-sized cycle counts (seconds, not minutes)
     --out <path>            report destination        [default: BENCH_sim.json]
+
+PARALLELISM:
+    MTB_JOBS=<n>            total worker-thread budget (default: CPU count).
+                            One shared permit pool: sweep-level run slots and
+                            intra-run core shards draw from the same budget,
+                            so <n> bounds live threads no matter how the work
+                            splits. Thread count never changes results — the
+                            bench scaling-2t/4t/8t sweeps verify bit-identical
+                            record hashes at every count and fail on drift.
 ";
 
 fn main() -> ExitCode {

@@ -41,7 +41,13 @@ use std::time::Instant;
 /// v2: anchor-based mesoscale progress accounting (fractional retire
 /// carry survives reconfiguration), which shifts low-order digits of
 /// meso results relative to v1 records.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: cycle-fidelity L2 domains follow the physical packaging (one L2
+/// per 2-core chip, never across node boundaries) instead of one L2
+/// shared by every core, which changes cycle-fidelity results on >2-core
+/// machines. Intra-run `threads` deliberately does NOT enter any hash:
+/// sharded stepping is bit-identical at every thread count.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// 64-bit FNV-1a — the cache's (and the per-case seed's) hash function.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
@@ -454,12 +460,18 @@ impl RunRecord {
 /// Harness configuration, normally parsed from the process arguments.
 #[derive(Debug, Clone)]
 pub struct SweepOptions {
-    /// Worker threads for [`SweepRunner::run_sweep`].
+    /// Target worker threads for [`SweepRunner::run_sweep`]. `--jobs N`
+    /// is a *total* thread budget: sweep-level run slots and intra-run
+    /// stepping threads draw from the same permit pool (`budget`), so
+    /// their product never oversubscribes the machine.
     pub jobs: usize,
     /// Whether to read/write the on-disk record cache.
     pub cache: bool,
     /// Record directory.
     pub dir: PathBuf,
+    /// The permit budget sweep workers are drawn from (the process-wide
+    /// budget by default; tests inject private ones).
+    pub budget: std::sync::Arc<mtb_pool::Budget>,
 }
 
 fn default_run_dir() -> PathBuf {
@@ -478,9 +490,11 @@ fn default_run_dir() -> PathBuf {
 impl Default for SweepOptions {
     fn default() -> SweepOptions {
         SweepOptions {
-            jobs: std::thread::available_parallelism().map_or(1, usize::from),
+            // The budget total already folds in MTB_JOBS/parallelism.
+            jobs: mtb_pool::global_budget().total(),
             cache: true,
             dir: default_run_dir(),
+            budget: std::sync::Arc::clone(mtb_pool::global_budget()),
         }
     }
 }
@@ -560,10 +574,15 @@ impl SweepRunner {
     }
 
     /// The process-wide runner, configured from the command line on
-    /// first use.
+    /// first use. `--jobs N` re-targets the global permit budget, so the
+    /// flag caps sweep workers and intra-run stepping threads *combined*.
     pub fn global() -> &'static SweepRunner {
         static GLOBAL: OnceLock<SweepRunner> = OnceLock::new();
-        GLOBAL.get_or_init(|| SweepRunner::new(SweepOptions::from_env()))
+        GLOBAL.get_or_init(|| {
+            let opts = SweepOptions::from_env();
+            opts.budget.set_total(opts.jobs);
+            SweepRunner::new(opts)
+        })
     }
 
     /// The options this runner was built with.
@@ -689,19 +708,26 @@ impl SweepRunner {
         }
         let slots: Vec<Mutex<Option<RunResult>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
-        std::thread::scope(|scope| {
-            for _ in 0..jobs {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let progs = programs_for(&cases[i]);
-                    let result = self.run_case(&progs, &cases[i]);
-                    *slots[i].lock().unwrap() = Some(result);
-                });
+        let worker = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
             }
+            let progs = programs_for(&cases[i]);
+            let result = self.run_case(&progs, &cases[i]);
+            *slots[i].lock().unwrap() = Some(result);
+        };
+        // The caller is one run slot; extra slots hold permits from the
+        // shared budget, so sweep workers plus any intra-run stepping
+        // threads they spawn can never exceed `--jobs` live threads.
+        let extra = self.opts.budget.try_acquire(jobs - 1);
+        std::thread::scope(|scope| {
+            for _ in 0..extra {
+                scope.spawn(worker);
+            }
+            worker();
         });
+        self.opts.budget.release(extra);
         cases
             .into_iter()
             .zip(slots)
@@ -747,7 +773,15 @@ mod tests {
             std::process::id(),
             NONCE.fetch_add(1, Ordering::Relaxed)
         ));
-        SweepRunner::new(SweepOptions { jobs, cache, dir })
+        SweepRunner::new(SweepOptions {
+            jobs,
+            cache,
+            dir,
+            // A roomy private budget: these tests exercise worker-count
+            // behaviour and must not be clamped by (or interfere with)
+            // the process-wide budget shared with other tests.
+            budget: std::sync::Arc::new(mtb_pool::Budget::new(64)),
+        })
     }
 
     fn tiny_runs(runner: &SweepRunner) -> Vec<(Case, RunResult)> {
@@ -809,6 +843,57 @@ mod tests {
             assert_eq!(c1.name, c2.name, "case order is preserved");
             assert_eq!(r1, r2, "case {}", c1.name);
         }
+    }
+
+    /// Regression test for harness oversubscription: `SweepRunner` used
+    /// to spawn `--jobs` threads unconditionally, assuming it owned every
+    /// core. Now sweep run-slots and intra-run pools draw from one permit
+    /// budget, so total live threads never exceed the budget even when
+    /// each case also asks for stepping threads.
+    #[test]
+    fn sweep_and_intra_run_workers_share_one_budget() {
+        let budget = std::sync::Arc::new(mtb_pool::Budget::new(3));
+        let runner = SweepRunner::new(SweepOptions {
+            jobs: 8, // asks for far more than the budget allows
+            cache: false,
+            dir: std::env::temp_dir().join("mtb-harness-budget-test"),
+            budget: std::sync::Arc::clone(&budget),
+        });
+        let cfg = MetBenchConfig::tiny();
+        let sweep_threads = Mutex::new(std::collections::HashSet::new());
+        let mut cases = metbench_cases();
+        cases.extend(metbench_cases().into_iter().map(|mut c| {
+            c.name = "again";
+            c
+        }));
+        let runs = runner.run_sweep(cases, |_| {
+            sweep_threads
+                .lock()
+                .unwrap()
+                .insert(std::thread::current().id());
+            // Each case also wants intra-run stepping threads; the pool
+            // must only be granted what the sweep workers left over.
+            let pool = mtb_pool::Pool::with_budget(8, std::sync::Arc::clone(&budget));
+            assert!(
+                budget.live() <= budget.total(),
+                "live {} > budget {}",
+                budget.live(),
+                budget.total()
+            );
+            drop(pool);
+            cfg.programs()
+        });
+        assert_eq!(runs.len(), 8);
+        assert!(
+            sweep_threads.lock().unwrap().len() <= 3,
+            "sweep run-slots exceed the budget"
+        );
+        assert!(
+            budget.peak() <= 3,
+            "peak live threads {} exceed the budget",
+            budget.peak()
+        );
+        assert_eq!(budget.live(), 1, "all permits returned");
     }
 
     #[test]

@@ -229,6 +229,7 @@ pub fn selftest(jobs: usize) -> Result<Vec<String>, String> {
         jobs,
         cache: false,
         dir: std::env::temp_dir(),
+        ..SweepOptions::default()
     };
     let serial = SweepRunner::new(opts(1)).run_sweep(cases.clone(), |_| cfg.programs());
     let parallel = SweepRunner::new(opts(jobs.max(1))).run_sweep(cases, |_| cfg.programs());

@@ -24,13 +24,15 @@ use mtb_core::balance::{execute, StaticRun};
 use mtb_core::paper_cases::{
     btmz_cases, btmz_st_case, metbench_cases, siesta_cases, siesta_st_case, Case,
 };
+use mtb_core::policy::PrioritySetting;
 use mtb_mpisim::engine::Stepping;
 use mtb_mpisim::program::Program;
+use mtb_oskernel::CtxAddr;
 use mtb_smtsim::inst::StreamSpec;
 use mtb_smtsim::model::{CoreModel, ThreadId, Workload};
 use mtb_smtsim::stats::CtxStats;
 use mtb_smtsim::{CoreConfig, HwPriority, SmtCore};
-use mtb_workloads::btmz::BtMzConfig;
+use mtb_workloads::btmz::{contiguous_partition, BtMzConfig};
 use mtb_workloads::siesta::SiestaConfig;
 use mtb_workloads::MetBenchConfig;
 
@@ -41,6 +43,11 @@ use std::time::Instant;
 const CORE_CYCLES: u64 = 2_000_000;
 /// Simulated cycles per core-sweep row under `--smoke`.
 const CORE_CYCLES_SMOKE: u64 = 150_000;
+
+/// Intra-run worker-thread counts the scaling sweeps measure, and the
+/// sweep each lands in. The reference is always the same run at 1 thread.
+const SCALING_THREADS: [(usize, &str); 3] =
+    [(2, "scaling-2t"), (4, "scaling-4t"), (8, "scaling-8t")];
 
 /// The Table-III priority ladder the core sweeps walk: the normal-mode
 /// rows plus the special decode modes (background thread `(0,1)`,
@@ -307,6 +314,114 @@ fn engine_entry(sweep: &'static str, programs: &[Program], case: &Case) -> Bench
     }
 }
 
+/// Run one cycle-fidelity paper case at every [`SCALING_THREADS`] worker
+/// count against its 1-thread reference. `wall_ref_s` is always the
+/// 1-thread wall-clock; `identical` compares the full record hash — the
+/// sharding contract says intra-run parallelism must be invisible in the
+/// output, so any drift here is a bug, not noise.
+fn scaling_case(
+    label: &str,
+    programs: &[Program],
+    case: &Case,
+    (nodes, cores_per_node): (usize, usize),
+    entries: &mut Vec<BenchEntry>,
+) {
+    let run = |threads: usize| {
+        let t0 = Instant::now();
+        let result = execute(
+            StaticRun::new(programs, case.placement.clone())
+                .with_priorities(case.priorities.clone())
+                .cycle_accurate()
+                .on_cluster(nodes, cores_per_node)
+                .with_threads(threads),
+        )
+        .unwrap_or_else(|e| panic!("scaling case {label} failed: {e}"));
+        let wall = t0.elapsed().as_secs_f64();
+        (wall, record_hash(case, &result), result.total_cycles)
+    };
+    let (wall_1, hash_1, cycles) = run(1);
+    for &(threads, sweep) in &SCALING_THREADS {
+        let (wall_t, hash_t, _) = run(threads);
+        entries.push(BenchEntry {
+            sweep,
+            case: label.to_string(),
+            sim_cycles: cycles,
+            wall_fast_s: wall_t,
+            wall_ref_s: wall_1,
+            identical: hash_t == hash_1,
+        });
+    }
+}
+
+/// One rank per physical core: rank `r` on the A context of core `r`.
+fn one_rank_per_core(ranks: usize) -> Vec<CtxAddr> {
+    (0..ranks).map(|r| CtxAddr::from_cpu(2 * r)).collect()
+}
+
+/// The intra-run scaling sweeps: the three paper workloads pinned
+/// one-rank-per-core on a small cluster so every core is an independent
+/// shard, run cycle-accurately at 1/2/4/8 worker threads. Worker threads
+/// are drawn from the global permit budget, so the budget total is
+/// temporarily raised to the largest requested count (and restored
+/// after) — otherwise a `--jobs 1` invocation would measure 1-thread
+/// runs four times over.
+fn scaling_sweeps(smoke: bool, entries: &mut Vec<BenchEntry>) {
+    let budget = mtb_pool::global_budget();
+    let prev_total = budget.total();
+    let max_threads = SCALING_THREADS.iter().map(|&(t, _)| t).max().unwrap_or(1);
+    budget.set_total(prev_total.max(max_threads));
+
+    // Work scales calibrated per workload so the heaviest rank executes
+    // ~1M instructions under --smoke (~5M in the full run): enough for
+    // the per-window barrier cost to amortize, small enough for CI.
+    let boost = if smoke { 1.0 } else { 5.0 };
+
+    let mb = MetBenchConfig {
+        iterations: 10,
+        scale: 3e-6 * boost,
+        ..MetBenchConfig::default()
+    };
+    let mb_case = Case {
+        name: "scaling-metbench",
+        placement: one_rank_per_core(4),
+        priorities: vec![PrioritySetting::ProcFs(4); 4],
+    };
+    scaling_case("metbench-4c", &mb.programs(), &mb_case, (4, 1), entries);
+
+    let bt = BtMzConfig {
+        ranks: 8,
+        iterations: 10,
+        scale: 6e-6 * boost,
+        // Shrink the boundary exchanges to match the shrunken compute:
+        // at paper-size payloads the run is network-bound and measures
+        // the (serial) coordinator, not the sharded cores.
+        exchange_bytes: 8 << 10,
+        ..BtMzConfig::default()
+    }
+    .with_partition(contiguous_partition(8));
+    let bt_case = Case {
+        name: "scaling-btmz",
+        placement: one_rank_per_core(8),
+        priorities: vec![PrioritySetting::ProcFs(4); 8],
+    };
+    scaling_case("btmz-8c", &bt.programs(), &bt_case, (4, 2), entries);
+
+    let si = SiestaConfig {
+        iterations: 6,
+        scale: 6e-7 * boost,
+        exchange_bytes: 8 << 10,
+        ..SiestaConfig::default()
+    };
+    let si_case = Case {
+        name: "scaling-siesta",
+        placement: one_rank_per_core(4),
+        priorities: vec![PrioritySetting::ProcFs(4); 4],
+    };
+    scaling_case("siesta-4c", &si.programs(), &si_case, (4, 1), entries);
+
+    budget.set_total(prev_total);
+}
+
 fn core_sweep(
     sweep: &'static str,
     spec_of: impl Fn(u64) -> StreamSpec,
@@ -380,6 +495,10 @@ pub fn run(smoke: bool) -> BenchReport {
         entries.push(engine_entry("table6-siesta", &si.programs(), &case));
     }
 
+    // Scaling sweeps: sharded stepping at 2/4/8 intra-run worker threads
+    // vs the 1-thread reference, bit-identical records required.
+    scaling_sweeps(smoke, &mut entries);
+
     BenchReport { smoke, entries }
 }
 
@@ -407,6 +526,32 @@ mod tests {
         let e = engine_entry("t", &cfg.programs(), case);
         assert!(e.identical, "stepping modes disagree on {}", case.name);
         assert!(e.sim_cycles > 0);
+    }
+
+    #[test]
+    fn scaling_case_is_identical_at_every_thread_count() {
+        let cfg = MetBenchConfig {
+            iterations: 3,
+            scale: 1e-6,
+            ..MetBenchConfig::default()
+        };
+        let case = Case {
+            name: "scaling-test",
+            placement: one_rank_per_core(4),
+            priorities: vec![PrioritySetting::ProcFs(4); 4],
+        };
+        let mut entries = Vec::new();
+        scaling_case("metbench-4c", &cfg.programs(), &case, (4, 1), &mut entries);
+        assert_eq!(entries.len(), SCALING_THREADS.len());
+        for e in &entries {
+            assert!(
+                e.identical,
+                "{}: record hash drifted at {}",
+                e.case, e.sweep
+            );
+            assert!(e.sim_cycles > 0);
+            assert!(e.wall_fast_s > 0.0 && e.wall_ref_s > 0.0);
+        }
     }
 
     #[test]

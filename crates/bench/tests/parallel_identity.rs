@@ -1,0 +1,148 @@
+//! The intra-run parallelism determinism contract, property-tested:
+//! for any workload, priority assignment, and stepping mode, the full
+//! `RunRecord` hash is identical at 1, 2, 4, and 8 worker threads.
+//!
+//! This is the load-bearing guarantee of the sharded stepping layer —
+//! worker threads may only change wall-clock, never output. The sharder
+//! assigns whole L2 domains to workers and merges retirement counts into
+//! pre-sized slots, so there is no order in which threads can interleave
+//! that is visible to the simulation. A failure here means a shard
+//! boundary leaked (e.g. two cores sharing an L2 landed on different
+//! workers) and would show up as irreproducible paper tables.
+
+use mtb_bench::lint::record_hash;
+use mtb_core::balance::{execute, StaticRun};
+use mtb_core::paper_cases::Case;
+use mtb_core::policy::PrioritySetting;
+use mtb_mpisim::engine::Stepping;
+use mtb_oskernel::CtxAddr;
+use mtb_workloads::MetBenchConfig;
+
+use proptest::prelude::*;
+
+/// Thread counts every configuration is replayed at.
+const JOBS: [usize; 4] = [1, 2, 4, 8];
+
+/// Make sure the global permit budget can actually grant workers: on a
+/// small CI runner (or with `MTB_JOBS=1`) the default total would be 1
+/// and every pool would degrade to the inline path, testing nothing.
+/// Identity must hold at any grant, but the point of this suite is to
+/// exercise the threaded path.
+fn ensure_workers() {
+    let budget = mtb_pool::global_budget();
+    budget.set_total(budget.total().max(8));
+}
+
+/// Run one configuration at every [`JOBS`] count and return the hashes.
+fn hashes_across_jobs(
+    cfg: &MetBenchConfig,
+    placement: &[CtxAddr],
+    priorities: &[PrioritySetting],
+    stepping: Stepping,
+    cycle: bool,
+) -> Vec<u64> {
+    ensure_workers();
+    let programs = cfg.programs();
+    let case = Case {
+        name: "parallel-identity",
+        placement: placement.to_vec(),
+        priorities: priorities.to_vec(),
+    };
+    JOBS.iter()
+        .map(|&jobs| {
+            let mut run = StaticRun::new(&programs, placement.to_vec())
+                .with_priorities(priorities.to_vec())
+                // 4 cores over 2 nodes: two L2 domains of two cores each,
+                // so the sharder must keep core pairs together.
+                .on_cluster(2, 2)
+                .with_stepping(stepping)
+                .with_threads(jobs);
+            if cycle {
+                run = run.cycle_accurate();
+            }
+            let result = execute(run).expect("run failed");
+            record_hash(&case, &result)
+        })
+        .collect()
+}
+
+proptest! {
+    // Cycle-fidelity runs cost ~0.2s each in debug builds and every
+    // configuration replays at four thread counts, so keep the case
+    // count small; the randomized dimensions (seed, priorities, heavy
+    // rank, placement) still vary across runs of the suite.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Cycle fidelity (the sharded `SmtCore` path), event-horizon
+    /// stepping, one rank per core.
+    #[test]
+    fn cycle_event_horizon_identical_across_jobs(
+        seed in 0u64..u64::MAX,
+        pa in 1u8..=6, pb in 1u8..=6, pc in 1u8..=6, pd in 1u8..=6,
+        heavy in 0usize..4,
+    ) {
+        let cfg = MetBenchConfig {
+            iterations: 2,
+            scale: 2e-7,
+            heavy_ranks: vec![heavy],
+            seed,
+            ..MetBenchConfig::default()
+        };
+        let placement: Vec<CtxAddr> = (0..4).map(|r| CtxAddr::from_cpu(2 * r)).collect();
+        let prios: Vec<PrioritySetting> =
+            [pa, pb, pc, pd].iter().map(|&p| PrioritySetting::ProcFs(p)).collect();
+        let hashes = hashes_across_jobs(&cfg, &placement, &prios, Stepping::EventHorizon, true);
+        prop_assert!(
+            hashes.iter().all(|h| *h == hashes[0]),
+            "cycle/event-horizon record hash drifted across jobs {JOBS:?}: {hashes:x?}"
+        );
+    }
+
+    /// Cycle fidelity under quantum stepping, SMT-paired placement (two
+    /// ranks per core, so both hardware contexts are live).
+    #[test]
+    fn cycle_quantum_identical_across_jobs(
+        seed in 0u64..u64::MAX,
+        pa in 1u8..=6, pb in 1u8..=6, pc in 1u8..=6, pd in 1u8..=6,
+    ) {
+        let cfg = MetBenchConfig {
+            iterations: 2,
+            scale: 2e-7,
+            seed,
+            ..MetBenchConfig::default()
+        };
+        let placement: Vec<CtxAddr> = (0..4).map(CtxAddr::from_cpu).collect();
+        let prios: Vec<PrioritySetting> =
+            [pa, pb, pc, pd].iter().map(|&p| PrioritySetting::ProcFs(p)).collect();
+        let hashes = hashes_across_jobs(&cfg, &placement, &prios, Stepping::Quantum, true);
+        prop_assert!(
+            hashes.iter().all(|h| *h == hashes[0]),
+            "cycle/quantum record hash drifted across jobs {JOBS:?}: {hashes:x?}"
+        );
+    }
+
+    /// Mesoscale fidelity (independent cores, no shared L2) under both
+    /// stepping modes.
+    #[test]
+    fn meso_identical_across_jobs(
+        seed in 0u64..u64::MAX,
+        pa in 1u8..=6, pb in 1u8..=6, pc in 1u8..=6, pd in 1u8..=6,
+        flip in 0u8..2,
+    ) {
+        let cfg = MetBenchConfig {
+            iterations: 4,
+            scale: 1e-4,
+            seed,
+            ..MetBenchConfig::default()
+        };
+        let placement: Vec<CtxAddr> = (0..4).map(|r| CtxAddr::from_cpu(2 * r)).collect();
+        let prios: Vec<PrioritySetting> =
+            [pa, pb, pc, pd].iter().map(|&p| PrioritySetting::ProcFs(p)).collect();
+        let stepping = if flip == 0 { Stepping::EventHorizon } else { Stepping::Quantum };
+        let hashes = hashes_across_jobs(&cfg, &placement, &prios, stepping, false);
+        prop_assert!(
+            hashes.iter().all(|h| *h == hashes[0]),
+            "meso record hash drifted across jobs {JOBS:?}: {hashes:x?}"
+        );
+    }
+}

@@ -85,6 +85,10 @@ pub struct StaticRun<'a> {
     /// Time-advance strategy ([`Stepping::Auto`] by default: event jumps
     /// for mesoscale fidelity, quantum stepping for cycle fidelity).
     pub stepping: Stepping,
+    /// Intra-run worker threads for machine stepping (default 1). Results
+    /// are bit-identical at any setting, so this is deliberately excluded
+    /// from config/record hashing.
+    pub threads: usize,
 }
 
 impl<'a> StaticRun<'a> {
@@ -101,6 +105,7 @@ impl<'a> StaticRun<'a> {
             topology: Topology::single_node(),
             wait_policy: WaitPolicy::default(),
             stepping: Stepping::default(),
+            threads: 1,
         }
     }
 
@@ -157,6 +162,14 @@ impl<'a> StaticRun<'a> {
         self
     }
 
+    /// Request intra-run worker threads for machine stepping (drawn from
+    /// the global permit budget; the grant may be smaller). Pure
+    /// wall-clock knob: results are bit-identical at any value.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
     fn build_engine(&self) -> Result<Engine, SimError> {
         let mut cfg = SimConfig::power5(self.programs.len());
         cfg.cores = self.cores;
@@ -167,6 +180,7 @@ impl<'a> StaticRun<'a> {
         cfg.fidelity = self.fidelity.clone();
         cfg.wait_policy = self.wait_policy;
         cfg.stepping = self.stepping;
+        cfg.threads = self.threads;
         if matches!(self.fidelity, Fidelity::Cycle(_)) {
             // The cycle model costs real time per simulated cycle; keep
             // event steps bounded so rate estimates stay fresh.

@@ -30,7 +30,7 @@ use crate::program::{Program, Rank, TracePhase};
 use mtb_oskernel::{
     CtxAddr, KernelConfig, Machine, MachineError, NoiseSource, Topology, WaitPolicy,
 };
-use mtb_smtsim::chip::{build_cores_fidelity, Fidelity};
+use mtb_smtsim::chip::{build_cores_grouped, Fidelity};
 use mtb_trace::paraver::CommEvent;
 use mtb_trace::Cycles;
 use mtb_trace::{ProcState, RunMetrics, Timeline, TimelineBuilder};
@@ -325,6 +325,15 @@ pub struct SimConfig {
     pub quantum: Cycles,
     /// Time-advance strategy; see [`Stepping`].
     pub stepping: Stepping,
+    /// Intra-run worker threads for machine stepping (1 = sequential).
+    /// Between events the machines/cores are independent, so each advance
+    /// window shards them across workers; message delivery and collective
+    /// release stay on the coordinating thread at the barrier. Extra
+    /// threads are drawn from the global permit budget (so sweep-level and
+    /// run-level parallelism compose without oversubscription) and results
+    /// are bit-identical at any setting — `threads` therefore does *not*
+    /// enter any record/config hash.
+    pub threads: usize,
 }
 
 impl SimConfig {
@@ -343,6 +352,7 @@ impl SimConfig {
             max_cycles: 20_000_000_000_000,
             quantum: 1_000_000_000,
             stepping: Stepping::default(),
+            threads: 1,
         }
     }
 }
@@ -478,7 +488,14 @@ impl Engine {
                 contexts: cfg.placement.len(),
             });
         }
-        let mut machine = Machine::new(build_cores_fidelity(cfg.cores, &cfg.fidelity), cfg.kernel);
+        // L2 domains follow the physical packaging: cores of one POWER5
+        // chip (2) share an L2, but never across node boundaries.
+        let cores_per_l2 = cfg.topology.cores_per_node.min(2);
+        let mut machine = Machine::new(
+            build_cores_grouped(cfg.cores, &cfg.fidelity, cores_per_l2),
+            cfg.kernel,
+        );
+        machine.set_parallelism(cfg.threads);
         machine.set_wait_policy(cfg.wait_policy);
         for src in cfg.noise {
             machine.add_noise(src);

@@ -18,6 +18,7 @@ use crate::kernel::KernelConfig;
 use crate::noise::NoiseSource;
 use crate::priority_iface::{validate, PriorityError, SetVia};
 use crate::process::{CtxAddr, Pcb, ProcRunState};
+use mtb_pool::Pool;
 use mtb_smtsim::model::{CoreModel, Workload};
 use mtb_smtsim::{HwPriority, PrivilegeLevel, ThreadId};
 use mtb_trace::Cycles;
@@ -131,6 +132,10 @@ pub struct Machine {
     noise: Vec<NoiseSource>,
     wait_policy: WaitPolicy,
     now: Cycles,
+    /// Worker pool for sharded core stepping (None = sequential).
+    pool: Option<Pool>,
+    /// Reused per-core retire buffer for [`Machine::advance`].
+    retired_scratch: Vec<[u64; 2]>,
 }
 
 impl Machine {
@@ -148,6 +153,8 @@ impl Machine {
             noise: Vec::new(),
             wait_policy: WaitPolicy::default(),
             now: 0,
+            pool: None,
+            retired_scratch: Vec::with_capacity(n),
         };
         // Idle contexts start at the kernel's idle priority so they donate
         // their decode bandwidth (Section VI-A case 3).
@@ -162,6 +169,19 @@ impl Machine {
     /// Current simulated time.
     pub fn now(&self) -> Cycles {
         self.now
+    }
+
+    /// Request `threads` executors for core stepping, drawn from the
+    /// global permit budget (1 = sequential, drop any pool). Results are
+    /// bit-identical at any setting — see [`Machine::advance`].
+    pub fn set_parallelism(&mut self, threads: usize) {
+        self.pool = (threads > 1).then(|| Pool::new(threads));
+    }
+
+    /// As [`Machine::set_parallelism`] but with an explicit pool (tests
+    /// with private budgets).
+    pub fn set_pool(&mut self, pool: Option<Pool>) {
+        self.pool = pool;
     }
 
     /// The kernel configuration in force.
@@ -481,6 +501,16 @@ impl Machine {
 
     /// Advance simulated time by `dt` cycles, delivering noise windows and
     /// accumulating per-process progress.
+    ///
+    /// Within each noise-free segment the cores are independent except
+    /// through their advertised [`CoreModel::share_group`]s, so with a
+    /// pool attached ([`Machine::set_parallelism`]) the segment is sharded
+    /// across workers: each shard advances its cores in index order and
+    /// writes into its own pre-sized slice of a scratch buffer. All
+    /// bookkeeping that crosses cores — noise-handler transitions and the
+    /// per-process accounting below — runs on the coordinating thread in
+    /// core order, so the observable state is bit-identical at any worker
+    /// count.
     pub fn advance(&mut self, dt: Cycles) {
         let end = self.now + dt;
         while self.now < end {
@@ -491,8 +521,9 @@ impl Machine {
                 .max(self.now + 1);
             let seg = nb - self.now;
 
+            Self::advance_cores(&mut self.cores, &mut self.retired_scratch, &self.pool, seg);
             for core_idx in 0..self.cores.len() {
-                let retired = self.cores[core_idx].advance(seg);
+                let retired = self.retired_scratch[core_idx];
                 for t in ThreadId::BOTH {
                     if let Some(pid) = self.ctx_owner[core_idx][t.index()] {
                         let st = &self.ctx_state[core_idx][t.index()];
@@ -518,6 +549,80 @@ impl Machine {
             self.now = nb;
         }
         self.sync_handler_state();
+    }
+
+    /// Advance every core by `seg`, writing per-core retire counts into
+    /// `out[core]`. Cores are grouped into shards by
+    /// [`CoreModel::share_group`] (shared-resource domains stay together
+    /// and advance in index order) and the shards scatter over the pool;
+    /// without a pool — or when everything shares one domain — this is the
+    /// plain sequential loop.
+    #[allow(clippy::type_complexity)]
+    fn advance_cores(
+        cores: &mut [Box<dyn CoreModel>],
+        out: &mut Vec<[u64; 2]>,
+        pool: &Option<Pool>,
+        seg: Cycles,
+    ) {
+        out.clear();
+        out.resize(cores.len(), [0, 0]);
+        let sequential = |cores: &mut [Box<dyn CoreModel>], out: &mut [[u64; 2]]| {
+            for (core, slot) in cores.iter_mut().zip(out.iter_mut()) {
+                *slot = core.advance(seg);
+            }
+        };
+        match pool {
+            Some(pool) if pool.threads() > 1 => {
+                let bounds = Self::shard_bounds(cores);
+                if bounds.len() <= 2 {
+                    sequential(cores, out);
+                    return;
+                }
+                let mut shards: Vec<(&mut [Box<dyn CoreModel>], &mut [[u64; 2]])> = Vec::new();
+                let (mut cs, mut os): (&mut [Box<dyn CoreModel>], &mut [[u64; 2]]) =
+                    (cores, &mut out[..]);
+                for w in bounds.windows(2) {
+                    let len = w[1] - w[0];
+                    let (ch, cr) = cs.split_at_mut(len);
+                    let (oh, or) = os.split_at_mut(len);
+                    shards.push((ch, oh));
+                    cs = cr;
+                    os = or;
+                }
+                pool.scatter(shards, |_, (shard, slots)| {
+                    for (core, slot) in shard.iter_mut().zip(slots.iter_mut()) {
+                        *slot = core.advance(seg);
+                    }
+                });
+            }
+            _ => sequential(cores, out),
+        }
+    }
+
+    /// Shard boundaries (as a fencepost list `[0, ..., n]`) grouping
+    /// consecutive cores of the same share group. If a share group ever
+    /// appeared non-contiguously the whole machine collapses to one shard
+    /// — correctness over speed.
+    fn shard_bounds(cores: &[Box<dyn CoreModel>]) -> Vec<usize> {
+        let mut bounds = vec![0];
+        let mut seen: Vec<usize> = Vec::new();
+        for i in 1..cores.len() {
+            let prev = cores[i - 1].share_group();
+            let cur = cores[i].share_group();
+            if cur.is_none() || cur != prev {
+                if let Some(g) = prev {
+                    seen.push(g);
+                }
+                if let Some(g) = cur {
+                    if seen.contains(&g) {
+                        return vec![0, cores.len()];
+                    }
+                }
+                bounds.push(i);
+            }
+        }
+        bounds.push(cores.len());
+        bounds
     }
 
     /// Enter/exit noise windows according to the current time.
@@ -764,6 +869,49 @@ mod tests {
             (m.retired(1), m.retired(2))
         };
         assert_eq!(run(), run());
+    }
+
+    /// Sharded stepping must be bit-identical to sequential stepping for
+    /// both fidelities, including across noise-boundary segmentation.
+    #[test]
+    fn parallel_advance_matches_sequential() {
+        use mtb_pool::Budget;
+        use mtb_smtsim::chip::{build_cores_grouped, Fidelity};
+        use mtb_smtsim::CoreConfig;
+        use std::sync::Arc;
+
+        for fidelity in [
+            Fidelity::Meso(Default::default()),
+            Fidelity::Cycle(CoreConfig::default()),
+        ] {
+            let run = |threads: usize| {
+                let cores = build_cores_grouped(4, &fidelity, 2);
+                let mut m = Machine::new(cores, KernelConfig::patched());
+                if threads > 1 {
+                    m.set_pool(Some(Pool::with_budget(threads, Arc::new(Budget::new(16)))));
+                }
+                for cpu in 0..8 {
+                    m.spawn(cpu, format!("P{cpu}"), CtxAddr::from_cpu(cpu))
+                        .unwrap();
+                    m.run_workload(
+                        cpu,
+                        Workload::from_spec("w", StreamSpec::balanced(cpu as u64 + 1)),
+                    )
+                    .unwrap();
+                    m.set_priority_procfs(cpu, 2 + (cpu % 5) as u8).unwrap();
+                }
+                m.add_noise(NoiseSource::timer(CtxAddr::from_cpu(2), 997, 61));
+                for dt in [1, 500, 64, 10_000, 3] {
+                    m.advance(dt);
+                }
+                (0..8).map(|pid| m.retired(pid)).collect::<Vec<_>>()
+            };
+            let base = run(1);
+            assert!(base.iter().all(|&r| r > 0), "all ranks progress");
+            for t in [2, 4] {
+                assert_eq!(run(t), base, "drift at {t} threads ({fidelity:?})");
+            }
+        }
     }
 
     #[test]

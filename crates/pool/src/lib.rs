@@ -1,0 +1,468 @@
+//! Deterministic work-sharding pool for intra-run parallelism.
+//!
+//! The build environment has no registry access (no rayon), so this crate
+//! hand-rolls the two pieces the simulators need, mirroring the offline-stub
+//! pattern used for `proptest`/`criterion`:
+//!
+//! * [`Pool`] — a persistent worker pool whose [`Pool::scatter`] runs a set
+//!   of *disjoint* work items (each item owns its inputs and its output
+//!   slot) and returns once all of them finished. The caller thread
+//!   participates, so `Pool::new(1)` degrades to plain sequential
+//!   execution with zero synchronization. Workers are long-lived: a
+//!   simulation performs one scatter per advance window — thousands per
+//!   run — and spawning threads per window would dominate the win.
+//!
+//! * [`Budget`] — a process-wide permit budget composing sweep-level
+//!   parallelism (`SweepRunner --jobs`) with run-level parallelism
+//!   (intra-run stepping threads) so the two layers never oversubscribe
+//!   the machine: every live simulation-executing thread beyond the first
+//!   holds a permit, and `try_acquire` never grants past the total.
+//!
+//! Determinism contract: `scatter` assigns each item index to exactly one
+//! executor and every item writes only into state it owns, so results are
+//! bit-identical for *any* worker count — including zero extra workers
+//! when the budget is exhausted. Scheduling affects only wall-clock time.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// A shared permit budget for simulation-executing threads.
+///
+/// The budget counts *live executors*: the calling thread is always one,
+/// and each extra worker (sweep-level or intra-run) holds one permit.
+/// `try_acquire` is non-blocking — callers take what is available and run
+/// the remainder of their work inline, which keeps the composition
+/// deadlock-free and the results (by the scatter contract) unchanged.
+#[derive(Debug)]
+pub struct Budget {
+    total: AtomicUsize,
+    extra_in_use: AtomicUsize,
+    peak: AtomicUsize,
+}
+
+impl Budget {
+    /// A budget allowing at most `total` live executor threads
+    /// (clamped to ≥ 1: the caller itself always runs).
+    pub fn new(total: usize) -> Budget {
+        Budget {
+            total: AtomicUsize::new(total.max(1)),
+            extra_in_use: AtomicUsize::new(0),
+            peak: AtomicUsize::new(1),
+        }
+    }
+
+    /// Maximum number of live executor threads.
+    pub fn total(&self) -> usize {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Replace the budget total (e.g. from `--jobs`). Already-granted
+    /// permits are unaffected; future acquisitions see the new cap.
+    pub fn set_total(&self, total: usize) {
+        self.total.store(total.max(1), Ordering::Relaxed);
+    }
+
+    /// Currently live executors (1 caller + granted extra permits).
+    pub fn live(&self) -> usize {
+        1 + self.extra_in_use.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`Budget::live`] as seen by `try_acquire`.
+    pub fn peak(&self) -> usize {
+        self.peak.load(Ordering::Relaxed)
+    }
+
+    /// Grant up to `want` extra-thread permits, returning how many were
+    /// granted (possibly 0). Never blocks; never exceeds `total - 1`
+    /// extra permits in flight.
+    pub fn try_acquire(&self, want: usize) -> usize {
+        let cap = self.total().saturating_sub(1);
+        let mut cur = self.extra_in_use.load(Ordering::Relaxed);
+        loop {
+            let grant = want.min(cap.saturating_sub(cur));
+            if grant == 0 {
+                return 0;
+            }
+            match self.extra_in_use.compare_exchange(
+                cur,
+                cur + grant,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.peak.fetch_max(1 + cur + grant, Ordering::Relaxed);
+                    return grant;
+                }
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Return `n` previously granted permits.
+    pub fn release(&self, n: usize) {
+        if n > 0 {
+            let prev = self.extra_in_use.fetch_sub(n, Ordering::AcqRel);
+            debug_assert!(prev >= n, "budget release without matching acquire");
+        }
+    }
+}
+
+/// The process-wide budget. Total defaults to the `MTB_JOBS` environment
+/// variable when set (the CI matrix knob), else `available_parallelism`.
+pub fn global_budget() -> &'static Arc<Budget> {
+    static GLOBAL: OnceLock<Arc<Budget>> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let total = std::env::var("MTB_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+            });
+        Arc::new(Budget::new(total))
+    })
+}
+
+/// Type-erased per-index job published to the workers. The pointee lives
+/// on the `scatter` caller's stack; `scatter` does not return until every
+/// index completed, so the pointer never dangles while reachable.
+#[derive(Clone, Copy)]
+struct Job(*const (dyn Fn(usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared invocation from many threads is
+// its contract) and outlives every dereference per the scatter protocol.
+unsafe impl Send for Job {}
+
+struct State {
+    job: Option<Job>,
+    next: usize,
+    total: usize,
+    running: usize,
+    panicked: bool,
+    shutdown: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    work: Condvar,
+    done: Condvar,
+}
+
+/// A persistent pool of `threads - 1` extra workers (as granted by the
+/// budget) plus the participating caller.
+pub struct Pool {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    granted: usize,
+    budget: Arc<Budget>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.threads())
+            .finish()
+    }
+}
+
+impl Pool {
+    /// A pool targeting `threads` executors, drawing extra-thread permits
+    /// from the global budget. The grant may be smaller (down to the
+    /// caller alone) — results are identical either way.
+    pub fn new(threads: usize) -> Pool {
+        Pool::with_budget(threads, Arc::clone(global_budget()))
+    }
+
+    /// As [`Pool::new`] but against an explicit budget (tests, nested
+    /// harnesses).
+    pub fn with_budget(threads: usize, budget: Arc<Budget>) -> Pool {
+        let granted = budget.try_acquire(threads.saturating_sub(1));
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                job: None,
+                next: 0,
+                total: 0,
+                running: 0,
+                panicked: false,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..granted)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("mtb-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        Pool {
+            shared,
+            handles,
+            granted,
+            budget,
+        }
+    }
+
+    /// Executors available to `scatter` (extra workers + the caller).
+    pub fn threads(&self) -> usize {
+        self.granted + 1
+    }
+
+    /// Run `f(i, item)` for every item, each exactly once, distributed
+    /// over the workers and the calling thread; returns when all items
+    /// finished. Items must be self-contained (own their inputs and
+    /// output destinations) — that is what makes the result independent
+    /// of the schedule. Panics from `f` are re-raised on the caller after
+    /// the batch drains. Must not be called re-entrantly from within `f`.
+    pub fn scatter<T: Send>(&self, items: Vec<T>, f: impl Fn(usize, T) + Sync) {
+        let n = items.len();
+        if n == 0 {
+            return;
+        }
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let call = |i: usize| {
+            let item = slots[i]
+                .lock()
+                .unwrap()
+                .take()
+                .expect("scatter index dispatched twice");
+            f(i, item);
+        };
+        if self.granted == 0 || n == 1 {
+            for i in 0..n {
+                call(i);
+            }
+            return;
+        }
+
+        let erased: &(dyn Fn(usize) + Sync) = &call;
+        // SAFETY: lifetime erasure only — the completion wait below keeps
+        // `call` (and everything it borrows) alive past the last use.
+        let job = Job(unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(erased)
+        });
+
+        {
+            let mut s = self.shared.state.lock().unwrap();
+            assert!(s.job.is_none(), "Pool::scatter is not re-entrant");
+            s.job = Some(job);
+            s.next = 0;
+            s.total = n;
+            s.panicked = false;
+            self.shared.work.notify_all();
+        }
+
+        // The caller participates like a worker.
+        loop {
+            let i = {
+                let mut s = self.shared.state.lock().unwrap();
+                if s.next >= s.total {
+                    break;
+                }
+                let i = s.next;
+                s.next += 1;
+                s.running += 1;
+                i
+            };
+            let ok = catch_unwind(AssertUnwindSafe(|| call(i))).is_ok();
+            let mut s = self.shared.state.lock().unwrap();
+            s.running -= 1;
+            if !ok {
+                s.panicked = true;
+            }
+            if s.next >= s.total && s.running == 0 {
+                self.shared.done.notify_all();
+            }
+        }
+
+        let panicked = {
+            let mut s = self.shared.state.lock().unwrap();
+            while s.next < s.total || s.running > 0 {
+                s = self.shared.done.wait(s).unwrap();
+            }
+            s.job = None;
+            let p = s.panicked;
+            s.panicked = false;
+            p
+        };
+        if panicked {
+            panic!("mtb-pool: a scatter item panicked");
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let (i, job) = {
+            let mut s = shared.state.lock().unwrap();
+            loop {
+                if s.shutdown {
+                    return;
+                }
+                match s.job {
+                    Some(job) if s.next < s.total => {
+                        let i = s.next;
+                        s.next += 1;
+                        s.running += 1;
+                        break (i, job);
+                    }
+                    _ => s = shared.work.wait(s).unwrap(),
+                }
+            }
+        };
+        // SAFETY: `job` remains valid until the caller observes this
+        // item's completion (running bookkeeping below), per the scatter
+        // protocol.
+        let ok = catch_unwind(AssertUnwindSafe(|| unsafe { (*job.0)(i) })).is_ok();
+        let mut s = shared.state.lock().unwrap();
+        s.running -= 1;
+        if !ok {
+            s.panicked = true;
+        }
+        if s.next >= s.total && s.running == 0 {
+            shared.done.notify_all();
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        {
+            let mut s = self.shared.state.lock().unwrap();
+            s.shutdown = true;
+            self.shared.work.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+        self.budget.release(self.granted);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    fn big_budget() -> Arc<Budget> {
+        Arc::new(Budget::new(64))
+    }
+
+    #[test]
+    fn scatter_runs_every_item_exactly_once() {
+        let pool = Pool::with_budget(4, big_budget());
+        assert_eq!(pool.threads(), 4);
+        let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        let items: Vec<usize> = (0..100).collect();
+        pool.scatter(items, |i, item| {
+            assert_eq!(i, item);
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn scatter_moves_results_through_owned_slots() {
+        let pool = Pool::with_budget(3, big_budget());
+        let mut out = vec![0u64; 37];
+        let items: Vec<(usize, &mut u64)> = out.iter_mut().enumerate().collect();
+        pool.scatter(items, |_, (i, slot)| *slot = (i as u64) * 3 + 1);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, (i as u64) * 3 + 1);
+        }
+    }
+
+    #[test]
+    fn zero_extra_workers_degrades_to_sequential() {
+        let budget = Arc::new(Budget::new(1));
+        let pool = Pool::with_budget(8, Arc::clone(&budget));
+        assert_eq!(pool.threads(), 1);
+        let mut out = vec![0usize; 10];
+        let items: Vec<(usize, &mut usize)> = out.iter_mut().enumerate().collect();
+        pool.scatter(items, |_, (i, slot)| *slot = i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+        assert_eq!(budget.live(), 1);
+    }
+
+    #[test]
+    fn budget_grants_never_exceed_total() {
+        let budget = Arc::new(Budget::new(3));
+        let a = Pool::with_budget(4, Arc::clone(&budget));
+        assert_eq!(a.threads(), 3); // caller + 2 extra
+        let b = Pool::with_budget(4, Arc::clone(&budget));
+        assert_eq!(b.threads(), 1); // budget exhausted
+        assert_eq!(budget.live(), 3);
+        assert_eq!(budget.peak(), 3);
+        drop(a);
+        assert_eq!(budget.live(), 1);
+        let c = Pool::with_budget(2, Arc::clone(&budget));
+        assert_eq!(c.threads(), 2);
+        drop(c);
+        drop(b);
+        assert_eq!(budget.live(), 1);
+        assert_eq!(budget.peak(), 3);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let run = |threads: usize| {
+            let pool = Pool::with_budget(threads, big_budget());
+            let mut out = vec![0u64; 64];
+            let items: Vec<(usize, &mut u64)> = out.iter_mut().enumerate().collect();
+            pool.scatter(items, |_, (i, slot)| {
+                // A mildly stateful computation per item.
+                let mut x = i as u64 + 1;
+                for _ in 0..1000 {
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                }
+                *slot = x;
+            });
+            out
+        };
+        let base = run(1);
+        for t in [2, 4, 8] {
+            assert_eq!(run(t), base, "scatter output differs at {t} threads");
+        }
+    }
+
+    #[test]
+    fn pool_survives_item_panic() {
+        let pool = Pool::with_budget(4, big_budget());
+        let items: Vec<usize> = (0..16).collect();
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.scatter(items, |i, _| {
+                if i == 7 {
+                    panic!("boom");
+                }
+            });
+        }));
+        assert!(r.is_err());
+        // The pool remains usable after a panicked batch.
+        let mut out = vec![0usize; 8];
+        let items: Vec<(usize, &mut usize)> = out.iter_mut().enumerate().collect();
+        pool.scatter(items, |_, (i, slot)| *slot = i);
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_reuse_many_batches() {
+        let pool = Pool::with_budget(4, big_budget());
+        for round in 0..50u64 {
+            let mut out = [0u64; 9];
+            let items: Vec<(usize, &mut u64)> = out.iter_mut().enumerate().collect();
+            pool.scatter(items, |_, (i, slot)| *slot = round * 100 + i as u64);
+            for (i, v) in out.iter().enumerate() {
+                assert_eq!(*v, round * 100 + i as u64);
+            }
+        }
+    }
+}

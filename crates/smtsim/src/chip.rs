@@ -3,9 +3,17 @@
 //! A POWER5 chip packages two SMT cores behind a shared L2 (the paper's
 //! OpenPower 710 has one such chip, giving four hardware contexts). The
 //! chip is the unit the OS machine layer schedules onto.
+//!
+//! Larger configurations ([`ChipConfig::cores`] > 2) model a board of
+//! such chips: cores are grouped into L2 domains of
+//! [`ChipConfig::cores_per_l2`] cores each. Domains are independent, so
+//! [`Chip::advance_all`] can shard them across an [`mtb_pool::Pool`];
+//! cores *inside* a domain always advance sequentially in index order,
+//! which keeps every statistic bit-identical at any thread count.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+
+use mtb_pool::Pool;
 
 use crate::cache::Cache;
 use crate::core::{CoreConfig, SharedCache, SmtCore};
@@ -18,6 +26,13 @@ use crate::Cycles;
 pub struct ChipConfig {
     /// Number of cores (the POWER5 has 2).
     pub cores: usize,
+    /// Cores sharing one L2 (the POWER5 chip pairs 2; board-level
+    /// configurations keep the pairing per physical chip).
+    pub cores_per_l2: usize,
+    /// Worker threads for [`Chip::advance_all`] (1 = sequential). Extra
+    /// threads are drawn from the global permit budget and sharded over
+    /// L2 domains; results are identical at any setting.
+    pub threads: usize,
     /// Per-core configuration.
     pub core: CoreConfig,
 }
@@ -26,15 +41,20 @@ impl Default for ChipConfig {
     fn default() -> Self {
         ChipConfig {
             cores: 2,
+            cores_per_l2: 2,
+            threads: 1,
             core: CoreConfig::default(),
         }
     }
 }
 
-/// A chip of cycle-level cores sharing one L2.
+/// A chip (or board of chips) of cycle-level cores, one shared L2 per
+/// [`ChipConfig::cores_per_l2`]-core domain.
 pub struct Chip {
     cores: Vec<SmtCore>,
-    l2: SharedCache,
+    l2s: Vec<SharedCache>,
+    cores_per_l2: usize,
+    pool: Option<Pool>,
     /// Reused return buffer for [`Chip::advance_all`] (hot path: one call
     /// per engine quantum — no per-call allocation).
     retired_scratch: Vec<[u64; 2]>,
@@ -43,21 +63,42 @@ pub struct Chip {
 impl Chip {
     /// Build a chip from a configuration.
     pub fn new(cfg: ChipConfig) -> Chip {
-        let l2: SharedCache = Rc::new(RefCell::new(Cache::new(cfg.core.l2)));
+        let group = cfg.cores_per_l2.max(1);
+        let mut l2s: Vec<SharedCache> = Vec::new();
         let cores: Vec<SmtCore> = (0..cfg.cores)
-            .map(|i| SmtCore::with_l2(cfg.core.clone(), i as u8, Rc::clone(&l2)))
+            .map(|i| {
+                if i % group == 0 {
+                    l2s.push(Arc::new(Mutex::new(Cache::new(cfg.core.l2))));
+                }
+                let l2 = l2s.last().expect("domain cache exists");
+                SmtCore::with_l2(cfg.core.clone(), i as u8, Arc::clone(l2))
+            })
             .collect();
         let retired_scratch = Vec::with_capacity(cores.len());
+        let pool = (cfg.threads > 1).then(|| Pool::new(cfg.threads));
         Chip {
             cores,
-            l2,
+            l2s,
+            cores_per_l2: group,
+            pool,
             retired_scratch,
         }
+    }
+
+    /// Attach (or detach) a worker pool for [`Chip::advance_all`]. Results
+    /// are identical with or without one; only wall-clock time changes.
+    pub fn set_pool(&mut self, pool: Option<Pool>) {
+        self.pool = pool;
     }
 
     /// Number of cores.
     pub fn num_cores(&self) -> usize {
         self.cores.len()
+    }
+
+    /// Number of independent L2 domains.
+    pub fn num_l2_domains(&self) -> usize {
+        self.l2s.len()
     }
 
     /// Total hardware contexts (2 per core).
@@ -78,25 +119,57 @@ impl Chip {
     /// Advance every core by `cycles` in lockstep; returns per-core retired
     /// instruction pairs (borrowed from an internal scratch buffer that is
     /// overwritten by the next call).
+    ///
+    /// With a pool attached, independent L2 domains advance on separate
+    /// workers; each domain writes into its own pre-sized slice of the
+    /// scratch buffer, so the merge order — and therefore every statistic
+    /// and record hash — is fixed regardless of worker count or schedule.
     pub fn advance_all(&mut self, cycles: Cycles) -> &[[u64; 2]] {
         let Chip {
             cores,
             retired_scratch,
+            cores_per_l2,
+            pool,
             ..
         } = self;
         retired_scratch.clear();
-        retired_scratch.extend(cores.iter_mut().map(|c| c.advance(cycles)));
+        retired_scratch.resize(cores.len(), [0, 0]);
+        match pool {
+            Some(pool) if pool.threads() > 1 && cores.len() > *cores_per_l2 => {
+                let shards: Vec<(&mut [SmtCore], &mut [[u64; 2]])> = cores
+                    .chunks_mut(*cores_per_l2)
+                    .zip(retired_scratch.chunks_mut(*cores_per_l2))
+                    .collect();
+                pool.scatter(shards, |_, (domain, out)| {
+                    for (core, slot) in domain.iter_mut().zip(out.iter_mut()) {
+                        *slot = core.advance(cycles);
+                    }
+                });
+            }
+            _ => {
+                for (core, slot) in cores.iter_mut().zip(retired_scratch.iter_mut()) {
+                    *slot = core.advance(cycles);
+                }
+            }
+        }
         retired_scratch
     }
 
-    /// (hits, misses) of the shared L2 so far.
+    /// (hits, misses) of the shared L2s so far, summed over domains.
     pub fn l2_stats(&self) -> (u64, u64) {
-        self.l2.borrow().stats()
+        self.l2s.iter().fold((0, 0), |(h, m), l2| {
+            let (dh, dm) = l2.lock().unwrap().stats();
+            (h + dh, m + dm)
+        })
     }
 
-    /// Cross-core/context evictions in the shared L2 (interference meter).
+    /// Cross-core/context evictions in the shared L2s (interference
+    /// meter), summed over domains.
     pub fn l2_cross_evictions(&self) -> u64 {
-        self.l2.borrow().cross_evictions()
+        self.l2s
+            .iter()
+            .map(|l2| l2.lock().unwrap().cross_evictions())
+            .sum()
     }
 }
 
@@ -105,7 +178,7 @@ impl Chip {
 pub enum Fidelity {
     /// The fast calibrated mesoscale model.
     Meso(MesoConfig),
-    /// The cycle-level model (shared chip-wide L2).
+    /// The cycle-level model (L2 shared per 2-core chip).
     Cycle(CoreConfig),
 }
 
@@ -129,14 +202,33 @@ pub fn build_cores(n_cores: usize, cycle_accurate: bool) -> Vec<Box<dyn CoreMode
     build_cores_fidelity(n_cores, &f)
 }
 
-/// [`build_cores`] with explicit model configuration.
+/// [`build_cores`] with explicit model configuration. Cycle-level cores
+/// share an L2 per 2-core chip (the POWER5 package); use
+/// [`build_cores_grouped`] for other domain sizes.
 pub fn build_cores_fidelity(n_cores: usize, fidelity: &Fidelity) -> Vec<Box<dyn CoreModel>> {
+    build_cores_grouped(n_cores, fidelity, 2)
+}
+
+/// [`build_cores_fidelity`] with an explicit L2-domain size: every
+/// `cores_per_l2` consecutive cycle-level cores share one L2 (a cluster
+/// node of single-core chips uses 1; the POWER5 package uses 2).
+/// Mesoscale cores carry no shared state and ignore the grouping.
+pub fn build_cores_grouped(
+    n_cores: usize,
+    fidelity: &Fidelity,
+    cores_per_l2: usize,
+) -> Vec<Box<dyn CoreModel>> {
     match fidelity {
         Fidelity::Cycle(cfg) => {
-            let l2: SharedCache = Rc::new(RefCell::new(Cache::new(cfg.l2)));
+            let group = cores_per_l2.max(1);
+            let mut l2: Option<SharedCache> = None;
             (0..n_cores)
                 .map(|i| {
-                    Box::new(SmtCore::with_l2(cfg.clone(), i as u8, Rc::clone(&l2)))
+                    if i % group == 0 {
+                        l2 = Some(Arc::new(Mutex::new(Cache::new(cfg.l2))));
+                    }
+                    let l2 = l2.as_ref().expect("domain cache exists");
+                    Box::new(SmtCore::with_l2(cfg.clone(), i as u8, Arc::clone(l2)))
                         as Box<dyn CoreModel>
                 })
                 .collect()
@@ -153,12 +245,15 @@ mod tests {
     use crate::inst::StreamSpec;
     use crate::model::{ThreadId, Workload};
     use crate::priority::HwPriority;
+    use crate::stats::CtxStats;
+    use mtb_pool::Budget;
 
     #[test]
     fn default_chip_is_power5_shaped() {
         let chip = Chip::new(ChipConfig::default());
         assert_eq!(chip.num_cores(), 2);
         assert_eq!(chip.num_contexts(), 4);
+        assert_eq!(chip.num_l2_domains(), 1);
     }
 
     #[test]
@@ -243,6 +338,72 @@ mod tests {
             );
             let [a, _] = core.advance(2_000);
             assert!(a > 0, "every fidelity must make progress");
+        }
+    }
+
+    #[test]
+    fn grouped_cycle_cores_share_l2_per_domain() {
+        let f = Fidelity::Cycle(CoreConfig::default());
+        let cores = build_cores_grouped(8, &f, 2);
+        let groups: Vec<Option<usize>> = cores.iter().map(|c| c.share_group()).collect();
+        // Pairs share, distinct pairs do not.
+        for i in (0..8).step_by(2) {
+            assert_eq!(groups[i], groups[i + 1], "cores {i},{} pair up", i + 1);
+        }
+        let distinct: std::collections::BTreeSet<_> = groups.iter().flatten().collect();
+        assert_eq!(distinct.len(), 4, "8 cores form 4 L2 domains");
+    }
+
+    /// An 8-core chip driven with and without pool workers, in several
+    /// advance-window patterns: every statistic must be bit-identical.
+    #[test]
+    fn parallel_advance_all_is_bit_identical() {
+        let run = |threads: usize| -> Vec<(CtxStats, CtxStats, Vec<[u64; 2]>)> {
+            let mut cfg = ChipConfig {
+                cores: 8,
+                ..Default::default()
+            };
+            cfg.core.l2 = crate::cache::CacheConfig {
+                bytes: 128 << 10,
+                line_size: 128,
+                assoc: 8,
+                hit_latency: 13,
+            };
+            let mut chip = Chip::new(cfg);
+            // Workers must actually exist even on a loaded machine: draw
+            // from a private, roomy budget.
+            if threads > 1 {
+                chip.set_pool(Some(Pool::with_budget(
+                    threads,
+                    std::sync::Arc::new(Budget::new(16)),
+                )));
+            }
+            for i in 0..8 {
+                chip.core_mut(i).assign(
+                    ThreadId::A,
+                    Workload::from_spec("a", StreamSpec::balanced(i as u64 + 1)),
+                );
+                chip.core_mut(i).assign(
+                    ThreadId::B,
+                    Workload::from_spec("b", StreamSpec::pointer_chase(i as u64 + 100)),
+                );
+                chip.core_mut(i)
+                    .set_priority(ThreadId::A, HwPriority::new((i % 6 + 2) as u8).unwrap());
+            }
+            let mut log = Vec::new();
+            for window in [1, 63, 64, 1000, 7, 4096] {
+                let retired = chip.advance_all(window).to_vec();
+                log.push((
+                    *chip.core(0).stats(ThreadId::A),
+                    *chip.core(7).stats(ThreadId::B),
+                    retired,
+                ));
+            }
+            log
+        };
+        let base = run(1);
+        for t in [2, 4, 8] {
+            assert_eq!(run(t), base, "chip statistics drift at {t} threads");
         }
     }
 }

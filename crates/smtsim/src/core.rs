@@ -23,14 +23,13 @@
 //! DESIGN.md §5 for why this preserves the decode-share response curve the
 //! paper's experiments measure.
 
-use std::cell::RefCell;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 use crate::branch::BranchPredictor;
 use crate::cache::{Cache, CacheConfig};
-use crate::decode::slot_grant;
+use crate::decode::GrantLut;
 use crate::inst::{Inst, InstClass, StreamGen};
 use crate::model::{CoreModel, ThreadId, Workload};
 use crate::priority::{HwPriority, Tsr};
@@ -39,7 +38,12 @@ use crate::units::{UnitConfig, UnitPool};
 use crate::Cycles;
 
 /// A cache shared between cores (the chip's L2).
-pub type SharedCache = Rc<RefCell<Cache>>;
+///
+/// `Arc<Mutex>` rather than `Rc<RefCell>` so cores of *different* L2
+/// domains can be advanced on pool workers. Cores sharing one L2 are
+/// never advanced concurrently (see [`CoreModel::share_group`]), so the
+/// mutex is uncontended and exists only to make the sharing `Send`.
+pub type SharedCache = Arc<Mutex<Cache>>;
 
 /// Static configuration of a core.
 #[derive(Debug, Clone)]
@@ -171,12 +175,16 @@ pub struct SmtCore {
     l1d: Cache,
     l1i: Cache,
     l2: SharedCache,
+    /// Precomputed Table-II/III grant patterns (process-wide singleton,
+    /// resolved once at construction so `step` avoids both the per-cycle
+    /// branch recomputation and the `OnceLock` load).
+    lut: &'static GrantLut,
 }
 
 impl SmtCore {
     /// Build a core that owns a private L2 (single-core experiments).
     pub fn new(cfg: CoreConfig) -> SmtCore {
-        let l2 = Rc::new(RefCell::new(Cache::new(cfg.l2)));
+        let l2 = Arc::new(Mutex::new(Cache::new(cfg.l2)));
         SmtCore::with_l2(cfg, 0, l2)
     }
 
@@ -191,6 +199,7 @@ impl SmtCore {
             core_id,
             cycle: 0,
             l2,
+            lut: GrantLut::global(),
         }
     }
 
@@ -246,7 +255,7 @@ impl SmtCore {
         let pb = self.ctx[1].tsr.read();
 
         // --- Decode ---------------------------------------------------
-        let grant = slot_grant(pa, pb, now);
+        let grant = self.lut.grant(pa, pb, now);
         if let Some(owner) = grant.owner {
             self.ctx[owner.index()].stats.slots_owned += 1;
         }
@@ -430,7 +439,7 @@ impl SmtCore {
         }
         for off in 0..64.min(h - self.cycle) {
             let t = self.cycle + off;
-            let g = slot_grant(pa, pb, t);
+            let g = self.lut.grant(pa, pb, t);
             if let Some(owner) = g.owner {
                 let may_steal = g.leftover_allowed || self.cfg.slot_stealing;
                 if elig[owner.index()] || (may_steal && elig[owner.other().index()]) {
@@ -459,7 +468,7 @@ impl SmtCore {
                 if self.l1d.access(tagged, owner) {
                     stats.l1_hits += 1;
                     self.cfg.l1d.hit_latency
-                } else if self.l2.borrow_mut().access(tagged, owner) {
+                } else if self.l2.lock().unwrap().access(tagged, owner) {
                     stats.l2_hits += 1;
                     self.cfg.l1d.hit_latency + self.cfg.l2.hit_latency
                 } else {
@@ -483,6 +492,12 @@ impl CoreModel for SmtCore {
 
     fn priority(&self, t: ThreadId) -> HwPriority {
         self.ctx[t.index()].tsr.read()
+    }
+
+    fn share_group(&self) -> Option<usize> {
+        // Cores attached to the same L2 must never advance concurrently;
+        // the Arc address identifies the domain.
+        Some(Arc::as_ptr(&self.l2) as usize)
     }
 
     fn assign(&mut self, t: ThreadId, w: Workload) {

@@ -223,6 +223,60 @@ pub fn decode_share(a: HwPriority, b: HwPriority) -> (f64, f64) {
     }
 }
 
+/// The grant period: every Table-II/III arbitration pattern repeats with
+/// a period dividing 64 cycles (normal-mode slices are
+/// `R = 2^(|X-Y|+1) <= 64`; the special modes repeat every 1, 32 or 64).
+pub const GRANT_PERIOD: Cycles = 64;
+
+/// Precomputed Table-II/III decode-grant patterns: an 8×8 LUT (one entry
+/// per `(prio_a, prio_b)` pair) of [`GRANT_PERIOD`]-cycle slice templates.
+///
+/// The cycle core's reference (non-fast-forward) path queries the grant
+/// every simulated cycle; the LUT turns the per-cycle branch cascade of
+/// [`slot_grant`] into a single indexed load. Built once per process
+/// ([`GrantLut::global`]) and shared by every core; differential-tested
+/// against `slot_grant` over all 64 pairs.
+#[derive(Debug)]
+pub struct GrantLut {
+    table: [[[SlotGrant; GRANT_PERIOD as usize]; 8]; 8],
+}
+
+impl GrantLut {
+    /// Build the full table by sampling [`slot_grant`] over one period of
+    /// every priority pair.
+    pub fn new() -> GrantLut {
+        let mut table = [[[SlotGrant::NONE; GRANT_PERIOD as usize]; 8]; 8];
+        for a in HwPriority::ALL {
+            for b in HwPriority::ALL {
+                for cycle in 0..GRANT_PERIOD {
+                    table[a.value() as usize][b.value() as usize][cycle as usize] =
+                        slot_grant(a, b, cycle);
+                }
+            }
+        }
+        GrantLut { table }
+    }
+
+    /// The process-wide instance (the pattern depends on nothing but the
+    /// architecture tables, so one copy serves every chip).
+    pub fn global() -> &'static GrantLut {
+        static LUT: std::sync::OnceLock<GrantLut> = std::sync::OnceLock::new();
+        LUT.get_or_init(GrantLut::new)
+    }
+
+    /// LUT-backed equivalent of [`slot_grant`].
+    #[inline]
+    pub fn grant(&self, a: HwPriority, b: HwPriority, cycle: Cycles) -> SlotGrant {
+        self.table[a.value() as usize][b.value() as usize][(cycle % GRANT_PERIOD) as usize]
+    }
+}
+
+impl Default for GrantLut {
+    fn default() -> Self {
+        GrantLut::new()
+    }
+}
+
 /// A hypothetical *linear* priority law used by the EXT-5 ablation: the
 /// higher-priority context receives `0.5 + d/10` of the decode cycles at
 /// difference `d` (capped at 0.9), instead of the POWER5's exponential
@@ -251,6 +305,29 @@ mod tests {
 
     fn p(v: u8) -> HwPriority {
         HwPriority::new(v).unwrap()
+    }
+
+    /// The LUT is a pure cache of `slot_grant`: differential check over
+    /// all 64 priority pairs, across several periods and with cycle
+    /// offsets that are not period-aligned.
+    #[test]
+    fn grant_lut_matches_slot_grant_on_all_64_pairs() {
+        let lut = GrantLut::global();
+        for a in HwPriority::ALL {
+            for b in HwPriority::ALL {
+                for cycle in 0..(GRANT_PERIOD * 5) {
+                    assert_eq!(
+                        lut.grant(a, b, cycle),
+                        slot_grant(a, b, cycle),
+                        "pair ({a:?},{b:?}) cycle {cycle}"
+                    );
+                }
+                // Far-from-zero cycles exercise the modular reduction.
+                for cycle in [1_000_003, 4_294_967_295, 12_345_678_901_234] {
+                    assert_eq!(lut.grant(a, b, cycle), slot_grant(a, b, cycle));
+                }
+            }
+        }
     }
 
     /// Table II verbatim: priority difference -> (R, cycles for A, cycles

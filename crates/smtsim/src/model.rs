@@ -124,7 +124,14 @@ impl Workload {
 }
 
 /// A 2-way SMT core as seen by the machine layer.
-pub trait CoreModel {
+///
+/// `Send` is a supertrait: the machine layer shards independent cores
+/// across pool workers per advance window, so every implementation must
+/// be movable between threads. Cores that *share* a resource (an L2
+/// domain) advertise it through [`CoreModel::share_group`] and are kept
+/// on one worker, advanced sequentially in index order — which is what
+/// makes the parallel schedule bit-identical to the serial one.
+pub trait CoreModel: Send {
     /// Set the hardware priority of a context.
     fn set_priority(&mut self, t: ThreadId, p: HwPriority);
 
@@ -151,6 +158,15 @@ pub trait CoreModel {
     /// discrete-event engine to pick step sizes; may be approximate for the
     /// cycle-level model.
     fn retire_rate(&self, t: ThreadId) -> f64;
+
+    /// Identity of the shared-resource domain this core belongs to (e.g.
+    /// the address of its shared L2), or `None` when the core touches no
+    /// cross-core state and may be advanced concurrently with any other
+    /// core. Cores reporting the same group are advanced sequentially, in
+    /// index order, on a single worker.
+    fn share_group(&self) -> Option<usize> {
+        None
+    }
 
     /// Cycles needed for context `t` to retire `n` more instructions under
     /// current conditions, or `None` when it makes no progress at all.

@@ -51,6 +51,9 @@ pub struct SiestaConfig {
     pub scale: f64,
     /// Seed for the load variation and streams.
     pub seed: u64,
+    /// Boundary-exchange payload per partner per iteration (defaults to
+    /// the paper-scale [`EXCHANGE_BYTES`]).
+    pub exchange_bytes: u64,
 }
 
 impl Default for SiestaConfig {
@@ -61,6 +64,7 @@ impl Default for SiestaConfig {
             variation: 0.25,
             scale: 1.0,
             seed: 0x5349_4553, // "SIES"
+            exchange_bytes: EXCHANGE_BYTES,
         }
     }
 }
@@ -158,7 +162,7 @@ impl SiestaConfig {
                     if let (Some(to), Some(from)) =
                         (self.send_peer(rank, i), self.recv_peer(rank, i))
                     {
-                        b = b.isend(to, i, EXCHANGE_BYTES).irecv(from, i).waitall();
+                        b = b.isend(to, i, self.exchange_bytes).irecv(from, i).waitall();
                     }
                     b = b.barrier();
                 }
