@@ -17,18 +17,22 @@
 //!     --kernel vanilla --noise 5
 //! ```
 
-use mtb_bench::harness::run_static;
-use mtb_core::balance::{execute_with, StaticRun};
+use mtb_bench::harness::{config_hash_static, run_static};
+use mtb_core::balance::{execute_with, prepare, StaticRun};
 use mtb_core::dynamic::DynamicBalancer;
-use mtb_core::paper_cases;
+use mtb_core::paper_cases::{self, Case};
 use mtb_core::policy::PrioritySetting;
 use mtb_mpisim::engine::RunResult;
+use mtb_mpisim::program::Program;
+use mtb_mpisim::{NullObserver, Stepping};
 use mtb_oskernel::noise::interrupt_annoyance;
 use mtb_oskernel::{CtxAddr, KernelConfig, NoiseSource};
+use mtb_snap::{read_snapshot, write_snapshot};
 use mtb_trace::{cycles_to_seconds, render_gantt, GanttConfig};
 use mtb_workloads::{BtMzConfig, MetBenchConfig, SiestaConfig};
 
 use mtb_bench::cli::{build_app, parse_opts, AppOverrides};
+use std::path::Path;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -40,6 +44,8 @@ USAGE:
     mtb sweep --app <APP>             sweep the priority difference
     mtb lint [OPTIONS]                static analysis of programs + priorities
     mtb bench [OPTIONS]               fast-path vs reference perf report
+    mtb bisect-drift [OPTIONS]        locate the first divergent event window
+    mtb checkpoint-identity [--smoke] prove save→fresh-process-resume identity
     mtb help                          this text
 
 APPS:   metbench | btmz | siesta | synthetic
@@ -54,6 +60,26 @@ RUN OPTIONS:
     --seed <n>              workload seed
     --gantt                 render the trace Gantt chart
     --cycle-accurate        use the cycle-level core model (slow)
+    --checkpoint-every <n>  snapshot the engine every n events; an
+                            interrupted run resumes from its last valid
+                            checkpoint on the next invocation
+    --resume <file>         restore a snapshot file and run to completion
+                            (config must hash-match the snapshot)
+
+BISECT-DRIFT OPTIONS:
+    --compare <threads|stepping|fidelity>    what differs between the replays
+    --app <APP> --case <C>  configuration to replay      [default: metbench A]
+    --window <n>            events per comparison window [default: 50]
+    --scale <f>             work multiplier   [default: 1e-3; 2e-5 for fidelity]
+    `threads` must never diverge (exit nonzero if it does); `stepping`
+    and `fidelity` locate divergence-by-design.
+
+CHECKPOINT-IDENTITY:
+    For every paper case × stepping mode × core fidelity: run whole,
+    then save a snapshot at the mid-run event boundary and resume it in
+    a fresh process; fail on any record-hash mismatch. `--smoke` covers
+    metbench only. MTB_JOBS sets the intra-run thread count (results
+    are bit-identical at any value).
 
 LINT OPTIONS:
     --app <APP> --case <C>  lint one (app, case) target
@@ -85,6 +111,8 @@ fn main() -> ExitCode {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
+        Some("bisect-drift") => cmd_bisect(&args[1..]),
+        Some("checkpoint-identity") => cmd_checkpoint_identity(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{USAGE}");
             ExitCode::SUCCESS
@@ -176,6 +204,29 @@ fn cmd_run(args: &[String]) -> ExitCode {
         .with_noise(noise_for(duty));
     if flags.iter().any(|f| f == "cycle-accurate") {
         run = run.cycle_accurate();
+    }
+
+    if let Some(path) = opts.get("resume") {
+        if flags.iter().any(|f| f == "dynamic") {
+            eprintln!(
+                "--resume cannot drive the dynamic balancer (its state is not in the snapshot)"
+            );
+            return ExitCode::FAILURE;
+        }
+        return match resume_run(&run, Path::new(path)) {
+            Ok(r) => {
+                print_result(
+                    &format!("{app} case {case_name} (resumed)"),
+                    &r,
+                    flags.iter().any(|f| f == "gantt"),
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("resume failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
     }
 
     let result = if flags.iter().any(|f| f == "dynamic") {
@@ -385,4 +436,361 @@ fn cmd_sweep(args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Restore `path` into a fresh engine for `run` and drive it to
+/// completion. The snapshot's config hash must match the run's — a
+/// snapshot from a different configuration is refused, not coerced.
+fn resume_run(run: &StaticRun<'_>, path: &Path) -> Result<RunResult, String> {
+    let snap = read_snapshot(path).map_err(|e| e.to_string())?;
+    let expect = config_hash_static(run);
+    if snap.config_hash != expect {
+        return Err(format!(
+            "snapshot was taken from config {:016x}, this run is {expect:016x}",
+            snap.config_hash
+        ));
+    }
+    let mut engine = prepare(run).map_err(|e| e.to_string())?;
+    engine
+        .restore_state(&snap.state)
+        .map_err(|e| e.to_string())?;
+    eprintln!("resumed from {} at {} events", path.display(), snap.events);
+    engine
+        .step_events(&mut NullObserver, u64::MAX)
+        .map_err(|e| e.to_string())?;
+    Ok(engine.into_result())
+}
+
+fn cmd_bisect(args: &[String]) -> ExitCode {
+    let (opts, _) = match parse_opts(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let compare = match opts.get("compare").map(String::as_str) {
+        Some(c @ ("threads" | "stepping" | "fidelity")) => c,
+        Some(other) => {
+            eprintln!("--compare {other:?}: expected threads|stepping|fidelity");
+            return ExitCode::FAILURE;
+        }
+        None => {
+            eprintln!("bisect-drift needs --compare <threads|stepping|fidelity>");
+            return ExitCode::FAILURE;
+        }
+    };
+    let app = opts.get("app").map(String::as_str).unwrap_or("metbench");
+    let case_name = opts.get("case").map(String::as_str).unwrap_or("A");
+    let window: u64 = opts
+        .get("window")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
+    // The cycle model simulates every cycle an event jump covers, so the
+    // fidelity comparison defaults to a far smaller workload.
+    let default_scale = if compare == "fidelity" { 2e-5 } else { 1e-3 };
+    let scale: f64 = opts
+        .get("scale")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default_scale);
+
+    let (programs, case) = match build_app(
+        app,
+        case_name,
+        AppOverrides {
+            scale: Some(scale),
+            ..Default::default()
+        },
+    ) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let base = || {
+        StaticRun::new(&programs, case.placement.clone())
+            .with_priorities(case.priorities.clone())
+            .with_stepping(Stepping::EventHorizon)
+    };
+    let b = match compare {
+        "threads" => base().with_threads(4),
+        "stepping" => base().with_stepping(Stepping::Quantum),
+        _ => base().cycle_accurate(),
+    };
+    let report = match mtb_bench::bisect::bisect_drift(&base(), &b, window) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bisect-drift failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    print!(
+        "{app} case {case_name} (scale {scale}), A=base B={compare}: {}",
+        report.render()
+    );
+    // Thread counts must never change results; the other two comparisons
+    // locate divergence that is allowed to exist.
+    if compare == "threads" && report.divergence.is_some() {
+        eprintln!("bisect-drift: determinism violation — thread counts diverged");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// The checkpoint-identity targets: every paper case of every app.
+const CI_APPS: &[(&str, &[&str])] = &[
+    ("metbench", &["A", "B", "C", "D"]),
+    ("btmz", &["ST", "A", "B", "C", "D"]),
+    ("siesta", &["ST", "A", "B", "C", "D"]),
+];
+
+/// Build one checkpoint-identity target. Parent and children call this
+/// with the same arguments, so they reconstruct the identical run — the
+/// snapshot's config hash cross-checks that.
+fn ci_build(app: &str, case_name: &str, cycle: bool) -> Result<(Vec<Program>, Case), String> {
+    let scale = if cycle { 2e-5 } else { 1e-3 };
+    build_app(
+        app,
+        case_name,
+        AppOverrides {
+            scale: Some(scale),
+            ..Default::default()
+        },
+    )
+}
+
+fn ci_run<'a>(
+    programs: &'a [Program],
+    case: &Case,
+    stepping: Stepping,
+    cycle: bool,
+) -> StaticRun<'a> {
+    let threads = std::env::var("MTB_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(1);
+    let mut run = StaticRun::new(programs, case.placement.clone())
+        .with_priorities(case.priorities.clone())
+        .with_stepping(stepping)
+        .with_threads(threads);
+    if cycle {
+        run = run.cycle_accurate();
+    }
+    run
+}
+
+fn ci_parse(
+    opts: &std::collections::HashMap<String, String>,
+) -> Result<(String, String, Stepping, bool), String> {
+    let app = opts.get("app").cloned().ok_or("missing --app")?;
+    let case = opts.get("case").cloned().ok_or("missing --case")?;
+    let stepping = match opts.get("stepping").map(String::as_str) {
+        Some("event-horizon") => Stepping::EventHorizon,
+        Some("quantum") => Stepping::Quantum,
+        other => {
+            return Err(format!(
+                "--stepping {other:?}: expected event-horizon|quantum"
+            ))
+        }
+    };
+    let cycle = match opts.get("fidelity").map(String::as_str) {
+        Some("meso") => false,
+        Some("cycle") => true,
+        other => return Err(format!("--fidelity {other:?}: expected meso|cycle")),
+    };
+    Ok((app, case, stepping, cycle))
+}
+
+/// Child phase 1: step to the mid-run event boundary and write the
+/// snapshot. The split point is deterministic — half the total event
+/// count, probed by a full run in this same process.
+fn ci_child_save(
+    opts: &std::collections::HashMap<String, String>,
+    path: &str,
+) -> Result<(), String> {
+    let (app, case_name, stepping, cycle) = ci_parse(opts)?;
+    let (programs, case) = ci_build(&app, &case_name, cycle)?;
+    let run = || ci_run(&programs, &case, stepping, cycle);
+
+    let mut probe = prepare(&run()).map_err(|e| e.to_string())?;
+    probe
+        .step_events(&mut NullObserver, u64::MAX)
+        .map_err(|e| e.to_string())?;
+    let total = probe.events();
+    let split = (total / 2).max(1);
+
+    let mut engine = prepare(&run()).map_err(|e| e.to_string())?;
+    engine
+        .step_events(&mut NullObserver, split)
+        .map_err(|e| e.to_string())?;
+    write_snapshot(
+        Path::new(path),
+        config_hash_static(&run()),
+        &engine.save_state(),
+    )
+    .map_err(|e| e.to_string())?;
+    println!("saved at {} of {total} events", engine.events());
+    Ok(())
+}
+
+/// Child phase 2: restore the snapshot into a freshly prepared engine,
+/// finish the run, and print the record hash for the parent to compare.
+fn ci_child_restore(
+    opts: &std::collections::HashMap<String, String>,
+    path: &str,
+) -> Result<(), String> {
+    let (app, case_name, stepping, cycle) = ci_parse(opts)?;
+    let (programs, case) = ci_build(&app, &case_name, cycle)?;
+    let run = ci_run(&programs, &case, stepping, cycle);
+    let result = resume_run(&run, Path::new(path))?;
+    println!(
+        "record-hash {:016x}",
+        mtb_bench::lint::record_hash(&case, &result)
+    );
+    Ok(())
+}
+
+fn cmd_checkpoint_identity(args: &[String]) -> ExitCode {
+    let (opts, flags) = match parse_opts(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Child phases (spawned below with the same binary).
+    if let Some(path) = opts.get("save") {
+        return match ci_child_save(&opts, path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("checkpoint-identity save: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Some(path) = opts.get("restore") {
+        return match ci_child_restore(&opts, path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("checkpoint-identity restore: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("checkpoint-identity: cannot locate own binary: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let smoke = flags.iter().any(|f| f == "smoke");
+    let mut failures = 0usize;
+    let mut targets = 0usize;
+    for &(app, cases) in CI_APPS {
+        if smoke && app != "metbench" {
+            continue;
+        }
+        for &case_name in cases {
+            for (stepping, stepping_s) in [
+                (Stepping::EventHorizon, "event-horizon"),
+                (Stepping::Quantum, "quantum"),
+            ] {
+                for (cycle, fidelity_s) in [(false, "meso"), (true, "cycle")] {
+                    targets += 1;
+                    let label = format!("{app} {case_name} {stepping_s} {fidelity_s}");
+                    match ci_one_target(
+                        &exe, app, case_name, stepping, stepping_s, cycle, fidelity_s,
+                    ) {
+                        Ok(line) => println!("ok   {label}: {line}"),
+                        Err(e) => {
+                            failures += 1;
+                            eprintln!("FAIL {label}: {e}");
+                        }
+                    }
+                }
+            }
+        }
+    }
+    println!(
+        "checkpoint-identity: {}/{targets} targets identical",
+        targets - failures
+    );
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// One target: whole-run record hash in-process, then save + restore in
+/// fresh child processes, comparing the resumed record hash.
+fn ci_one_target(
+    exe: &Path,
+    app: &str,
+    case_name: &str,
+    stepping: Stepping,
+    stepping_s: &str,
+    cycle: bool,
+    fidelity_s: &str,
+) -> Result<String, String> {
+    let (programs, case) = ci_build(app, case_name, cycle)?;
+    let run = ci_run(&programs, &case, stepping, cycle);
+    let mut engine = prepare(&run).map_err(|e| e.to_string())?;
+    engine
+        .step_events(&mut NullObserver, u64::MAX)
+        .map_err(|e| e.to_string())?;
+    let whole = engine.into_result();
+    let whole_hash = mtb_bench::lint::record_hash(&case, &whole);
+
+    let snap = std::env::temp_dir().join(format!(
+        "mtb-ci-{}-{app}-{case_name}-{stepping_s}-{fidelity_s}.snap",
+        std::process::id()
+    ));
+    let child = |phase: &str| -> Result<String, String> {
+        let out = std::process::Command::new(exe)
+            .args([
+                "checkpoint-identity",
+                phase,
+                snap.to_str().ok_or("non-UTF-8 temp path")?,
+                "--app",
+                app,
+                "--case",
+                case_name,
+                "--stepping",
+                stepping_s,
+                "--fidelity",
+                fidelity_s,
+            ])
+            .output()
+            .map_err(|e| format!("spawn: {e}"))?;
+        if !out.status.success() {
+            return Err(format!(
+                "child {phase} failed: {}",
+                String::from_utf8_lossy(&out.stderr).trim()
+            ));
+        }
+        Ok(String::from_utf8_lossy(&out.stdout).trim().to_string())
+    };
+    let result = (|| {
+        let saved = child("--save")?;
+        let restored = child("--restore")?;
+        let resumed_hash = restored
+            .lines()
+            .find_map(|l| l.strip_prefix("record-hash "))
+            .ok_or_else(|| format!("restore child printed no record hash: {restored:?}"))?
+            .trim()
+            .to_string();
+        if resumed_hash != format!("{whole_hash:016x}") {
+            return Err(format!(
+                "record hash mismatch: whole {whole_hash:016x}, resumed {resumed_hash}"
+            ));
+        }
+        Ok(format!("{saved}, record-hash {whole_hash:016x}"))
+    })();
+    std::fs::remove_file(&snap).ok();
+    result
 }

@@ -23,10 +23,11 @@
 //! [`SCHEMA_VERSION`].
 
 use crate::json::Json;
-use mtb_core::balance::{execute, BalanceError, StaticRun};
+use mtb_core::balance::{execute, execute_chunked, BalanceError, CheckpointSink, StaticRun};
 use mtb_core::paper_cases::Case;
 use mtb_mpisim::engine::RunResult;
 use mtb_mpisim::program::Program;
+use mtb_mpisim::{Engine, NullObserver};
 use mtb_trace::paraver::CommEvent;
 use mtb_trace::{ProcState, RunMetrics, Timeline, TimelineBuilder};
 
@@ -49,15 +50,9 @@ use std::time::Instant;
 /// sharded stepping is bit-identical at every thread count.
 pub const SCHEMA_VERSION: u64 = 3;
 
-/// 64-bit FNV-1a — the cache's (and the per-case seed's) hash function.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
-}
+/// 64-bit FNV-1a — the cache's (and the per-case seed's) hash function,
+/// shared with the checkpoint layer so both hash domains agree.
+pub use mtb_snap::fnv1a;
 
 /// A deterministic per-case seed: a pure function of the case identity
 /// (name, priorities, placement), stable across processes and job
@@ -472,6 +467,11 @@ pub struct SweepOptions {
     /// The permit budget sweep workers are drawn from (the process-wide
     /// budget by default; tests inject private ones).
     pub budget: std::sync::Arc<mtb_pool::Budget>,
+    /// Persist a crash-recovery checkpoint every N engine events
+    /// (`--checkpoint-every N` / `MTB_CHECKPOINT_EVERY`; `None`
+    /// disables). A worker killed mid-case resumes from the latest valid
+    /// checkpoint on the next run; results are bit-identical either way.
+    pub checkpoint_every: Option<u64>,
 }
 
 fn default_run_dir() -> PathBuf {
@@ -487,6 +487,13 @@ fn default_run_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/mtb-runs")
 }
 
+fn default_checkpoint_every() -> Option<u64> {
+    std::env::var("MTB_CHECKPOINT_EVERY")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&n| n > 0)
+}
+
 impl Default for SweepOptions {
     fn default() -> SweepOptions {
         SweepOptions {
@@ -495,6 +502,7 @@ impl Default for SweepOptions {
             cache: true,
             dir: default_run_dir(),
             budget: std::sync::Arc::clone(mtb_pool::global_budget()),
+            checkpoint_every: default_checkpoint_every(),
         }
     }
 }
@@ -520,6 +528,16 @@ impl SweepOptions {
                 }
             } else if let Some(n) = a.strip_prefix("--jobs=").and_then(|v| v.parse().ok()) {
                 opts.jobs = n;
+            } else if a == "--checkpoint-every" {
+                if let Some(n) = args.peek().and_then(|v| v.parse::<u64>().ok()) {
+                    opts.checkpoint_every = (n > 0).then_some(n);
+                    args.next();
+                }
+            } else if let Some(n) = a
+                .strip_prefix("--checkpoint-every=")
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                opts.checkpoint_every = (n > 0).then_some(n);
             }
         }
         opts.jobs = opts.jobs.max(1);
@@ -603,9 +621,33 @@ impl SweepRunner {
         if !self.opts.cache {
             return None;
         }
-        let text = std::fs::read_to_string(self.record_path(hash)).ok()?;
-        let record = RunRecord::from_json(&text).ok()?;
-        (record.schema == SCHEMA_VERSION).then_some(record)
+        let path = self.record_path(hash);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                eprintln!(
+                    "harness: unreadable run record {} ({e}); discarding and re-simulating",
+                    path.display()
+                );
+                let _ = std::fs::remove_file(&path);
+                return None;
+            }
+        };
+        match RunRecord::from_json(&text) {
+            // A record from another schema generation is expected after
+            // an engine change — ignore it silently; the fresh result
+            // overwrites it. Only *corrupt* files warrant noise.
+            Ok(record) => (record.schema == SCHEMA_VERSION).then_some(record),
+            Err(why) => {
+                eprintln!(
+                    "harness: corrupt run record {} ({why}); discarding and re-simulating",
+                    path.display()
+                );
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
     }
 
     fn store_record(&self, hash: u64, record: &RunRecord) {
@@ -631,6 +673,83 @@ impl SweepRunner {
         }
     }
 
+    /// Where the crash-recovery checkpoint for configuration `hash`
+    /// lives while that case is in flight.
+    pub fn checkpoint_path(&self, hash: u64) -> PathBuf {
+        self.opts.dir.join(format!("ckpt-{hash:016x}.snap"))
+    }
+
+    /// Execute `run`, checkpointing every `checkpoint_every` events (when
+    /// enabled) and resuming from a previous worker's checkpoint if a
+    /// valid one for this exact configuration is on disk. Corrupt or
+    /// truncated checkpoints are detected by the snapshot content hash,
+    /// reported, deleted and never deserialized; the case then simply
+    /// starts over. Checkpointed, resumed and straight runs are all
+    /// bit-identical, so the cached record is the same however the case
+    /// got finished.
+    fn execute_recoverable(
+        &self,
+        run: StaticRun<'_>,
+        hash: u64,
+    ) -> Result<RunResult, BalanceError> {
+        let Some(every) = self.opts.checkpoint_every else {
+            return execute(run);
+        };
+        let path = self.checkpoint_path(hash);
+        let resume = match mtb_snap::read_snapshot(&path) {
+            Ok(snap) if snap.config_hash == hash => {
+                eprintln!(
+                    "harness: resuming {:016x} from checkpoint at {} events",
+                    hash, snap.events
+                );
+                Some(snap.state)
+            }
+            Ok(snap) => {
+                eprintln!(
+                    "harness: checkpoint {} belongs to configuration {:016x}, not {hash:016x}; ignoring",
+                    path.display(),
+                    snap.config_hash
+                );
+                None
+            }
+            Err(mtb_snap::SnapError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(why) => {
+                eprintln!(
+                    "harness: corrupt checkpoint {} ({why}); discarding and starting over",
+                    path.display()
+                );
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        };
+        struct Sink {
+            path: PathBuf,
+            hash: u64,
+        }
+        impl CheckpointSink for Sink {
+            fn on_checkpoint(&mut self, _events: u64, engine: &Engine) {
+                // Best-effort: a full disk degrades to coarser recovery.
+                if let Err(e) =
+                    mtb_snap::write_snapshot(&self.path, self.hash, &engine.save_state())
+                {
+                    eprintln!("harness: checkpoint write failed ({e}); continuing");
+                }
+            }
+        }
+        let mut sink = Sink {
+            path: path.clone(),
+            hash,
+        };
+        let result = execute_chunked(
+            run.with_checkpoint_every(every),
+            resume.as_ref(),
+            &mut NullObserver,
+            &mut sink,
+        )?;
+        let _ = std::fs::remove_file(&path);
+        Ok(result)
+    }
+
     fn account(&self, cached: bool, wall: f64) {
         let mut s = self.stats.lock().unwrap();
         s.cases_run += 1;
@@ -651,11 +770,13 @@ impl SweepRunner {
             self.account(true, t0.elapsed().as_secs_f64());
             return result;
         }
-        let result = execute(
-            StaticRun::new(programs, case.placement.clone())
-                .with_priorities(case.priorities.clone()),
-        )
-        .unwrap_or_else(|e| panic!("case {} failed: {e}", case.name));
+        let result = self
+            .execute_recoverable(
+                StaticRun::new(programs, case.placement.clone())
+                    .with_priorities(case.priorities.clone()),
+                hash,
+            )
+            .unwrap_or_else(|e| panic!("case {} failed: {e}", case.name));
         let wall = t0.elapsed().as_secs_f64();
         self.store_record(hash, &RunRecord::from_run(case, &result, wall));
         self.account(false, wall);
@@ -678,7 +799,7 @@ impl SweepRunner {
             placement: run.placement.clone(),
             priorities: run.priorities.clone(),
         };
-        let result = execute(run)?;
+        let result = self.execute_recoverable(run, hash)?;
         let wall = t0.elapsed().as_secs_f64();
         self.store_record(hash, &RunRecord::from_run(&case, &result, wall));
         self.account(false, wall);
@@ -781,6 +902,7 @@ mod tests {
             // behaviour and must not be clamped by (or interfere with)
             // the process-wide budget shared with other tests.
             budget: std::sync::Arc::new(mtb_pool::Budget::new(64)),
+            checkpoint_every: None,
         })
     }
 
@@ -858,6 +980,7 @@ mod tests {
             cache: false,
             dir: std::env::temp_dir().join("mtb-harness-budget-test"),
             budget: std::sync::Arc::clone(&budget),
+            checkpoint_every: None,
         });
         let cfg = MetBenchConfig::tiny();
         let sweep_threads = Mutex::new(std::collections::HashSet::new());
@@ -940,6 +1063,107 @@ mod tests {
         // Malformed --jobs values fall back to the default.
         let d = SweepOptions::default();
         assert_eq!(SweepOptions::from_args(args(&["--jobs", "x"])).jobs, d.jobs);
+    }
+
+    #[test]
+    fn corrupt_records_are_discarded_and_resimulated() {
+        let runner = temp_runner(1, true);
+        let cfg = MetBenchConfig::tiny();
+        let progs = cfg.programs();
+        let case = metbench_cases().remove(0);
+        let hash = config_hash(&case, &progs);
+        let clean = runner.run_case(&progs, &case);
+
+        // Truncate the record mid-JSON: the next read must notice, delete
+        // the file, re-simulate to the same result, and re-cache it.
+        let path = runner.record_path(hash);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 2]).unwrap();
+        let again = runner.run_case(&progs, &case);
+        assert_eq!(again, clean);
+        assert_eq!(
+            runner.stats().cache_hits,
+            0,
+            "a truncated record must never count as a hit"
+        );
+        let restored = std::fs::read_to_string(&path).unwrap();
+        let strip_wall = |t: &str| {
+            let mut r = RunRecord::from_json(t).unwrap();
+            r.wall_secs = 0.0;
+            r
+        };
+        assert_eq!(
+            strip_wall(&restored),
+            strip_wall(&text),
+            "the fresh record replaces the corrupt one (wall-clock aside)"
+        );
+
+        // And a hit from the restored record, to prove the cache healed.
+        let third = runner.run_case(&progs, &case);
+        assert_eq!(third, clean);
+        assert_eq!(runner.stats().cache_hits, 1);
+        let _ = std::fs::remove_dir_all(&runner.options().dir);
+    }
+
+    #[test]
+    fn interrupted_case_resumes_from_its_checkpoint() {
+        let mut tmp = temp_runner(1, true);
+        tmp.opts.checkpoint_every = Some(2);
+        let runner = tmp;
+        let cfg = MetBenchConfig::tiny();
+        let progs = cfg.programs();
+        let case = metbench_cases().remove(0);
+        let hash = config_hash(&case, &progs);
+        let clean = runner.run_case(&progs, &case);
+        let clean_record = std::fs::read_to_string(runner.record_path(hash)).unwrap();
+
+        // Simulate a worker killed mid-case: step the engine partway and
+        // leave its checkpoint on disk, with no cached record.
+        std::fs::remove_file(runner.record_path(hash)).unwrap();
+        let run = mtb_core::balance::StaticRun::new(&progs, case.placement.clone())
+            .with_priorities(case.priorities.clone());
+        let mut engine = mtb_core::balance::prepare(&run).unwrap();
+        assert!(!engine.step_events(&mut NullObserver, 3).unwrap());
+        mtb_snap::write_snapshot(&runner.checkpoint_path(hash), hash, &engine.save_state())
+            .unwrap();
+
+        let resumed = runner.run_case(&progs, &case);
+        assert_eq!(resumed, clean, "resumed case must be bit-identical");
+        let strip_wall = |t: &str| {
+            let mut r = RunRecord::from_json(t).unwrap();
+            r.wall_secs = 0.0;
+            r
+        };
+        let rerun_record = std::fs::read_to_string(runner.record_path(hash)).unwrap();
+        assert_eq!(
+            strip_wall(&rerun_record),
+            strip_wall(&clean_record),
+            "records identical too (wall-clock aside)"
+        );
+        assert!(
+            !runner.checkpoint_path(hash).exists(),
+            "checkpoint is deleted once the case completes"
+        );
+
+        // A corrupt checkpoint is discarded (never deserialized) and the
+        // case starts over — same result, checkpoint file gone.
+        std::fs::remove_file(runner.record_path(hash)).unwrap();
+        std::fs::write(runner.checkpoint_path(hash), b"MTBSNAP1 garbage").unwrap();
+        let recovered = runner.run_case(&progs, &case);
+        assert_eq!(recovered, clean);
+        assert!(!runner.checkpoint_path(hash).exists());
+        let _ = std::fs::remove_dir_all(&runner.options().dir);
+    }
+
+    #[test]
+    fn options_parse_checkpoint_every() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let o = SweepOptions::from_args(args(&["--checkpoint-every", "500"]));
+        assert_eq!(o.checkpoint_every, Some(500));
+        let o = SweepOptions::from_args(args(&["--checkpoint-every=32"]));
+        assert_eq!(o.checkpoint_every, Some(32));
+        let o = SweepOptions::from_args(args(&["--checkpoint-every", "0"]));
+        assert_eq!(o.checkpoint_every, None, "0 disables checkpointing");
     }
 
     #[test]

@@ -5,11 +5,15 @@
 //! benches for the performance-sensitive pieces. The binaries print the
 //! same rows the paper reports; `EXPERIMENTS.md` records the comparison.
 
+pub mod bisect;
 pub mod cli;
 pub mod harness;
-pub mod json;
 pub mod lint;
 pub mod perf;
+
+// The lossless JSON codec moved to the checkpoint crate (`mtb-snap`);
+// the harness's run cache keeps using it from there.
+pub use mtb_snap::json;
 
 use harness::SweepRunner;
 use mtb_core::analysis::{improvements_over, render_case_table};

@@ -6,7 +6,7 @@
 //! feedback observer (dynamic balancing, Section VIII).
 
 use crate::policy::{apply_priorities, PrioritySetting};
-use mtb_mpisim::engine::{Engine, Observer, RunResult, SimConfig, SimError, Stepping};
+use mtb_mpisim::engine::{Engine, EngineState, Observer, RunResult, SimConfig, SimError, Stepping};
 use mtb_mpisim::program::Program;
 use mtb_oskernel::{CtxAddr, KernelConfig, NoiseSource, PriorityError, Topology, WaitPolicy};
 use mtb_smtsim::chip::Fidelity;
@@ -89,6 +89,11 @@ pub struct StaticRun<'a> {
     /// are bit-identical at any setting, so this is deliberately excluded
     /// from config/record hashing.
     pub threads: usize,
+    /// Offer a checkpoint to the sink every N engine events (`None`
+    /// disables checkpointing). Pure persistence knob: the event
+    /// trajectory is identical whether or not checkpoints are taken, so
+    /// this is excluded from config/record hashing just like `threads`.
+    pub checkpoint_every: Option<u64>,
 }
 
 impl<'a> StaticRun<'a> {
@@ -106,6 +111,7 @@ impl<'a> StaticRun<'a> {
             wait_policy: WaitPolicy::default(),
             stepping: Stepping::default(),
             threads: 1,
+            checkpoint_every: None,
         }
     }
 
@@ -167,6 +173,14 @@ impl<'a> StaticRun<'a> {
     /// wall-clock knob: results are bit-identical at any value.
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
+        self
+    }
+
+    /// Offer a checkpoint to the sink every `n` engine events when run
+    /// through [`execute_chunked`]. Does not change results — only how
+    /// often the current state is offered for persistence.
+    pub fn with_checkpoint_every(mut self, n: u64) -> Self {
+        self.checkpoint_every = Some(n.max(1));
         self
     }
 
@@ -239,13 +253,21 @@ fn preflight(_run: &StaticRun<'_>) -> Result<(), BalanceError> {
     Ok(())
 }
 
-/// Execute a static balancing run.
-pub fn execute(run: StaticRun<'_>) -> Result<RunResult, BalanceError> {
-    preflight(&run)?;
+/// Build the engine for a run with priorities applied but no events
+/// stepped — the entry point for resumable/chunked execution and for the
+/// drift bisector, which steps engines in lockstep itself.
+pub fn prepare(run: &StaticRun<'_>) -> Result<Engine, BalanceError> {
+    preflight(run)?;
     let mut engine = run.build_engine()?;
     let mut settings = run.priorities.clone();
     settings.resize(run.programs.len(), PrioritySetting::Default);
     apply_priorities(engine.machine_mut(), &settings)?;
+    Ok(engine)
+}
+
+/// Execute a static balancing run.
+pub fn execute(run: StaticRun<'_>) -> Result<RunResult, BalanceError> {
+    let engine = prepare(&run)?;
     engine.try_run().map_err(BalanceError::Sim)
 }
 
@@ -255,12 +277,56 @@ pub fn execute_with(
     run: StaticRun<'_>,
     observer: &mut dyn Observer,
 ) -> Result<RunResult, BalanceError> {
-    preflight(&run)?;
-    let mut engine = run.build_engine()?;
-    let mut settings = run.priorities.clone();
-    settings.resize(run.programs.len(), PrioritySetting::Default);
-    apply_priorities(engine.machine_mut(), &settings)?;
+    let engine = prepare(&run)?;
     engine.try_run_with(observer).map_err(BalanceError::Sim)
+}
+
+/// Receives the engine each time a checkpoint boundary is crossed during
+/// [`execute_chunked`]. The sink decides what to do with it (the
+/// benchmark harness serializes via `mtb-snap`; this crate stays free of
+/// any serialization dependency).
+pub trait CheckpointSink {
+    /// Called with the engine paused at an event boundary. `events` is
+    /// the engine's event count at this boundary.
+    fn on_checkpoint(&mut self, events: u64, engine: &Engine);
+}
+
+/// A sink that drops every checkpoint offer.
+pub struct NoCheckpoint;
+
+impl CheckpointSink for NoCheckpoint {
+    fn on_checkpoint(&mut self, _events: u64, _engine: &Engine) {}
+}
+
+/// Execute a run in event chunks, offering the paused engine to `sink`
+/// every `checkpoint_every` events, optionally resuming from a
+/// previously captured state.
+///
+/// Chunked stepping visits bit-for-bit the same states as a straight
+/// run, so the result is identical to [`execute_with`] for any chunk
+/// size, any resume point, and any sink.
+pub fn execute_chunked(
+    run: StaticRun<'_>,
+    resume: Option<&EngineState>,
+    observer: &mut dyn Observer,
+    sink: &mut dyn CheckpointSink,
+) -> Result<RunResult, BalanceError> {
+    let every = run.checkpoint_every;
+    let mut engine = prepare(&run)?;
+    if let Some(state) = resume {
+        engine.restore_state(state)?;
+    }
+    let chunk = every.unwrap_or(u64::MAX).max(1);
+    loop {
+        let done = engine.step_events(observer, chunk)?;
+        if done {
+            break;
+        }
+        if every.is_some() {
+            sink.on_checkpoint(engine.events(), &engine);
+        }
+    }
+    Ok(engine.into_result())
 }
 
 #[cfg(test)]

@@ -44,7 +44,9 @@ pub mod redistribution;
 pub mod remap;
 
 pub use analysis::{characterize, CaseRow};
-pub use balance::{execute, BalanceError, StaticRun};
+pub use balance::{
+    execute, execute_chunked, prepare, BalanceError, CheckpointSink, NoCheckpoint, StaticRun,
+};
 pub use dynamic::{DynamicBalancer, DynamicConfig};
 pub use mapper::pair_by_load;
 pub use policy::PrioritySetting;

@@ -191,6 +191,53 @@ impl SyncEpochs {
     pub fn epoch(&self, idx: usize) -> Option<&EpochState> {
         self.epochs.get(idx)
     }
+
+    /// Snapshot the tracker as plain data.
+    pub fn save_state(&self) -> SyncEpochsState {
+        SyncEpochsState {
+            epochs: self.epochs.clone(),
+            next: self.next.clone(),
+        }
+    }
+
+    /// Overwrite the tracker from a snapshot taken with the same rank
+    /// count. On error the state is unspecified but safe.
+    pub fn restore_state(&mut self, s: &SyncEpochsState) -> Result<(), String> {
+        if s.next.len() != self.n_ranks {
+            return Err(format!(
+                "epoch snapshot has {} ranks, tracker has {}",
+                s.next.len(),
+                self.n_ranks
+            ));
+        }
+        for (idx, e) in s.epochs.iter().enumerate() {
+            if e.arrived.len() != e.arrival_times.len() {
+                return Err(format!(
+                    "epoch {idx}: {} arrivals but {} arrival times",
+                    e.arrived.len(),
+                    e.arrival_times.len()
+                ));
+            }
+            if let Some(&r) = e.arrived.iter().find(|&&r| r >= self.n_ranks) {
+                return Err(format!(
+                    "epoch {idx}: arrived rank {r} out of range for {} ranks",
+                    self.n_ranks
+                ));
+            }
+        }
+        self.epochs = s.epochs.clone();
+        self.next = s.next.clone();
+        Ok(())
+    }
+}
+
+/// Plain-data snapshot of a [`SyncEpochs`] tracker.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncEpochsState {
+    /// Every epoch seen so far, in order.
+    pub epochs: Vec<EpochState>,
+    /// Next epoch index each rank will join.
+    pub next: Vec<usize>,
 }
 
 #[cfg(test)]

@@ -122,6 +122,20 @@ pub struct Mailbox {
     pending_recvs: VecDeque<(Rank, Tag, usize)>,
 }
 
+/// Plain-data snapshot of one rank's matching state: its mailbox plus
+/// its pending non-blocking handles. Queue order is part of the state —
+/// matching is FIFO within a (source, tag) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommRankState {
+    /// Unmatched messages queued at this rank, in arrival-queue order.
+    pub unexpected: Vec<Message>,
+    /// Posted-but-unmatched receives as `(from, tag, handle index)`, in
+    /// posting order.
+    pub pending_recvs: Vec<(Rank, Tag, usize)>,
+    /// The rank's pending handles (isend/irecv), indexed by handle id.
+    pub handles: Vec<Handle>,
+}
+
 /// The matching engine for all ranks.
 #[derive(Debug)]
 pub struct CommState {
@@ -223,6 +237,47 @@ impl CommState {
     /// Unmatched messages queued for `rank` (diagnostics).
     pub fn unexpected_count(&self, rank: Rank) -> usize {
         self.boxes[rank].unexpected.len()
+    }
+
+    /// Snapshot every rank's matching state as plain data.
+    pub fn save_state(&self) -> Vec<CommRankState> {
+        self.boxes
+            .iter()
+            .zip(&self.handles)
+            .map(|(mbox, handles)| CommRankState {
+                unexpected: mbox.unexpected.iter().cloned().collect(),
+                pending_recvs: mbox.pending_recvs.iter().copied().collect(),
+                handles: handles.clone(),
+            })
+            .collect()
+    }
+
+    /// Overwrite the matching state from a snapshot taken on an
+    /// identically sized rank set. On error the state is unspecified but
+    /// safe.
+    pub fn restore_state(&mut self, s: &[CommRankState]) -> Result<(), String> {
+        if s.len() != self.boxes.len() {
+            return Err(format!(
+                "comm snapshot has {} ranks, engine has {}",
+                s.len(),
+                self.boxes.len()
+            ));
+        }
+        for (rank, rs) in s.iter().enumerate() {
+            for &(_, _, hidx) in &rs.pending_recvs {
+                if hidx >= rs.handles.len() {
+                    return Err(format!(
+                        "rank {rank}: pending recv references handle {hidx} \
+                         of {}",
+                        rs.handles.len()
+                    ));
+                }
+            }
+            self.boxes[rank].unexpected = rs.unexpected.iter().cloned().collect();
+            self.boxes[rank].pending_recvs = rs.pending_recvs.iter().copied().collect();
+            self.handles[rank] = rs.handles.clone();
+        }
+        Ok(())
     }
 
     /// The `(from, tag)` pairs of `rank`'s posted-but-unmatched receives,

@@ -23,17 +23,17 @@
 //! paper's priority reassignment matters. A context only goes truly idle
 //! (kernel idle loop at VERY LOW priority) when its process exits.
 
-use crate::collective::{EpochKind, SyncEpochs};
-use crate::comm::{CommState, LatencyModel, Message};
+use crate::collective::{EpochKind, SyncEpochs, SyncEpochsState};
+use crate::comm::{CommRankState, CommState, LatencyModel, Message};
 use crate::interp::{collective_signature, flatten, FlatOp};
 use crate::program::{Program, Rank, TracePhase};
 use mtb_oskernel::{
-    CtxAddr, KernelConfig, Machine, MachineError, NoiseSource, Topology, WaitPolicy,
+    CtxAddr, KernelConfig, Machine, MachineError, MachineState, NoiseSource, Topology, WaitPolicy,
 };
 use mtb_smtsim::chip::{build_cores_grouped, Fidelity};
 use mtb_trace::paraver::CommEvent;
 use mtb_trace::Cycles;
-use mtb_trace::{ProcState, RunMetrics, Timeline, TimelineBuilder};
+use mtb_trace::{Interval, ProcState, RunMetrics, Timeline, TimelineBuilder};
 use std::fmt;
 
 /// What one rank was doing when a run failed — the per-rank detail of
@@ -123,6 +123,10 @@ pub enum SimError {
         /// The configured `max_cycles`.
         limit: Cycles,
     },
+    /// A checkpoint could not be restored into this engine — shape
+    /// mismatch (different core count, fidelity, rank count, program
+    /// length) or internally inconsistent snapshot data.
+    Restore(String),
 }
 
 impl fmt::Display for SimError {
@@ -181,6 +185,7 @@ impl fmt::Display for SimError {
             SimError::MaxCycles { limit } => {
                 write!(f, "simulation exceeded max_cycles ({limit}); livelock?")
             }
+            SimError::Restore(why) => write!(f, "cannot restore checkpoint: {why}"),
         }
     }
 }
@@ -357,9 +362,10 @@ impl SimConfig {
     }
 }
 
-/// What a rank is doing, from the engine's point of view.
+/// What a rank is doing, from the engine's point of view. Public so
+/// checkpoints ([`EngineState`]) can carry it as plain data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum RankState {
+pub enum RankState {
     /// Will dispatch its next op at the current instant.
     Ready,
     /// Computing until the machine retires `target` total instructions.
@@ -432,6 +438,63 @@ impl RunResult {
     }
 }
 
+/// Plain-data snapshot of one rank's in-progress timeline builder
+/// (the raw parts of [`TimelineBuilder`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BuilderSnapshot {
+    /// Process id the builder records.
+    pub pid: usize,
+    /// Human-readable label.
+    pub label: String,
+    /// Closed intervals so far.
+    pub intervals: Vec<Interval>,
+    /// The open interval as `(since, state)`, if any.
+    pub current: Option<(Cycles, ProcState)>,
+}
+
+/// Complete mutable state of an [`Engine`] mid-run, as plain data.
+///
+/// Captures everything that changes while stepping: the machine (cores,
+/// processes, noise phase), the per-rank interpreter position and engine
+/// state, the message-matching and collective-epoch trackers, the
+/// in-progress timelines and window accumulators, and the event counter.
+/// It does *not* capture static configuration — programs, placement,
+/// latency model, topology, stepping mode — which the restore target must
+/// already have been built with ([`Engine::restore_state`] validates the
+/// shapes it can see and trusts the caller for the rest; the snapshot
+/// file layer guards the full configuration with a hash).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineState {
+    /// Machine state (cores, PCBs, context ownership, noise phase, time).
+    pub machine: MachineState,
+    /// Events (machine advances) executed so far.
+    pub events: u64,
+    /// Per-rank index of the next op to dispatch.
+    pub pc: Vec<usize>,
+    /// Per-rank engine state.
+    pub rank_states: Vec<RankState>,
+    /// The dispatch worklist (ranks turned Ready, not yet dispatched).
+    pub ready: Vec<Rank>,
+    /// Per-rank current trace phase.
+    pub phase: Vec<TracePhase>,
+    /// Per-rank message-matching state.
+    pub comm: Vec<CommRankState>,
+    /// Collective-epoch tracker state.
+    pub epochs: SyncEpochsState,
+    /// Per-rank in-progress timeline builders (`None` once finished).
+    pub builders: Vec<Option<BuilderSnapshot>>,
+    /// Per-rank finished timelines (`None` while still running).
+    pub finished: Vec<Option<Timeline>>,
+    /// Time each rank entered its current engine state.
+    pub state_since: Vec<Cycles>,
+    /// Per-rank compute-cycle accumulators since the last epoch release.
+    pub win_compute: Vec<Cycles>,
+    /// Per-rank sync-cycle accumulators since the last epoch release.
+    pub win_sync: Vec<Cycles>,
+    /// Every point-to-point message posted so far.
+    pub comm_log: Vec<CommEvent>,
+}
+
 /// The system simulator.
 pub struct Engine {
     machine: Machine,
@@ -461,6 +524,9 @@ pub struct Engine {
     win_compute: Vec<Cycles>,
     win_sync: Vec<Cycles>,
     comm_log: Vec<CommEvent>,
+    /// Events (machine advances) executed so far — the unit checkpoints
+    /// and the drift bisector count in.
+    events: u64,
 }
 
 impl Engine {
@@ -590,6 +656,7 @@ impl Engine {
             win_compute: vec![0; n],
             win_sync: vec![0; n],
             comm_log: Vec::new(),
+            events: 0,
         })
     }
 
@@ -602,6 +669,118 @@ impl Engine {
     /// Immutable machine access.
     pub fn machine(&self) -> &Machine {
         &self.machine
+    }
+
+    /// Snapshot every piece of mutable run state as plain data. Restoring
+    /// the snapshot into an engine built from the same programs and
+    /// configuration ([`Engine::restore_state`]) and stepping on is
+    /// bit-identical to never having stopped.
+    pub fn save_state(&self) -> EngineState {
+        EngineState {
+            machine: self.machine.save_state(),
+            events: self.events,
+            pc: self.pc.clone(),
+            rank_states: self.state.clone(),
+            ready: self.ready.clone(),
+            phase: self.phase.clone(),
+            comm: self.comm.save_state(),
+            epochs: self.epochs.save_state(),
+            builders: self
+                .builders
+                .iter()
+                .map(|b| {
+                    b.as_ref().map(|b| {
+                        let (pid, label, intervals, current) = b.save_parts();
+                        BuilderSnapshot {
+                            pid,
+                            label,
+                            intervals,
+                            current,
+                        }
+                    })
+                })
+                .collect(),
+            finished: self.finished.clone(),
+            state_since: self.state_since.clone(),
+            win_compute: self.win_compute.clone(),
+            win_sync: self.win_sync.clone(),
+            comm_log: self.comm_log.clone(),
+        }
+    }
+
+    /// Overwrite the engine's mutable state from a snapshot taken on an
+    /// engine built from the same programs and configuration. Validates
+    /// every shape it can observe (rank counts, pc bounds, machine
+    /// geometry, tracker consistency); on `Err` the engine is in an
+    /// unspecified but safe state and must not be stepped further.
+    pub fn restore_state(&mut self, s: &EngineState) -> Result<(), SimError> {
+        let n = self.n_ranks;
+        let expect_n = |what: &str, len: usize| {
+            if len != n {
+                Err(SimError::Restore(format!(
+                    "snapshot {what} covers {len} ranks, engine has {n}"
+                )))
+            } else {
+                Ok(())
+            }
+        };
+        expect_n("pc", s.pc.len())?;
+        expect_n("rank states", s.rank_states.len())?;
+        expect_n("phases", s.phase.len())?;
+        expect_n("builders", s.builders.len())?;
+        expect_n("finished timelines", s.finished.len())?;
+        expect_n("state_since", s.state_since.len())?;
+        expect_n("win_compute", s.win_compute.len())?;
+        expect_n("win_sync", s.win_sync.len())?;
+        for (rank, &pc) in s.pc.iter().enumerate() {
+            if pc > self.ops[rank].len() {
+                return Err(SimError::Restore(format!(
+                    "rank {rank}: pc {pc} exceeds program length {}",
+                    self.ops[rank].len()
+                )));
+            }
+        }
+        if let Some(&r) = s.ready.iter().find(|&&r| r >= n) {
+            return Err(SimError::Restore(format!(
+                "ready worklist names rank {r}, engine has {n}"
+            )));
+        }
+        let mut builders = Vec::with_capacity(n);
+        for (rank, b) in s.builders.iter().enumerate() {
+            builders.push(match b {
+                Some(b) => Some(
+                    TimelineBuilder::from_parts(
+                        b.pid,
+                        b.label.clone(),
+                        b.intervals.clone(),
+                        b.current,
+                    )
+                    .map_err(|e| SimError::Restore(format!("rank {rank} builder: {e}")))?,
+                ),
+                None => None,
+            });
+        }
+        self.machine
+            .restore_state(&s.machine)
+            .map_err(SimError::Restore)?;
+        self.comm
+            .restore_state(&s.comm)
+            .map_err(SimError::Restore)?;
+        self.epochs
+            .restore_state(&s.epochs)
+            .map_err(SimError::Restore)?;
+        self.builders = builders;
+        self.events = s.events;
+        self.pc = s.pc.clone();
+        self.state = s.rank_states.clone();
+        self.ready = s.ready.clone();
+        self.phase = s.phase.clone();
+        self.finished = s.finished.clone();
+        self.state_since = s.state_since.clone();
+        self.win_compute = s.win_compute.clone();
+        self.win_sync = s.win_sync.clone();
+        self.comm_log = s.comm_log.clone();
+        Ok(())
     }
 
     /// Run to completion without an observer. Panicking wrapper around
@@ -630,10 +809,27 @@ impl Engine {
     /// wait-for cycle and per-rank snapshots) and a cycle-budget overrun
     /// becomes [`SimError::MaxCycles`], instead of panicking.
     pub fn try_run_with(mut self, observer: &mut dyn Observer) -> Result<RunResult, SimError> {
+        let done = self.step_events(observer, u64::MAX)?;
+        debug_assert!(done, "u64::MAX events is effectively unbounded");
+        Ok(self.into_result())
+    }
+
+    /// Execute at most `max` events (machine advances), dispatching ready
+    /// ranks before each one. Returns `Ok(true)` when every rank is done,
+    /// `Ok(false)` when the budget ran out first. Calling again continues
+    /// exactly where the previous call stopped — `step_events(k)` then
+    /// `step_events(m)` visits bit-for-bit the same states as
+    /// `step_events(k + m)` — which is what makes "after event n" a valid
+    /// checkpoint boundary.
+    pub fn step_events(&mut self, observer: &mut dyn Observer, max: u64) -> Result<bool, SimError> {
+        let mut stepped: u64 = 0;
         loop {
             self.dispatch_ready(observer);
             if self.all_done() {
-                break;
+                return Ok(true);
+            }
+            if stepped >= max {
+                return Ok(false);
             }
             let now = self.machine.now();
             if now > self.max_cycles {
@@ -656,8 +852,22 @@ impl Engine {
             };
             self.machine.advance(dt);
             self.resolve_completions();
+            self.events += 1;
+            stepped += 1;
         }
+    }
 
+    /// Events (machine advances) executed so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Consume a finished engine (every rank [`RankState::Done`]) into its
+    /// [`RunResult`].
+    ///
+    /// # Panics
+    /// Panics if any rank has not finished.
+    pub fn into_result(self) -> RunResult {
         let end = self.machine.now();
         let timelines: Vec<Timeline> = self
             .finished
@@ -665,7 +875,7 @@ impl Engine {
             .map(|t| t.expect("all ranks finished"))
             .collect();
         let metrics = RunMetrics::from_timelines(&timelines);
-        Ok(RunResult {
+        RunResult {
             retired: (0..self.n_ranks).map(|r| self.machine.retired(r)).collect(),
             interrupt_cycles: (0..self.n_ranks)
                 .map(|r| self.machine.pcb(r).map_or(0, |p| p.interrupt_cycles))
@@ -680,7 +890,7 @@ impl Engine {
             total_cycles: end,
             timelines,
             metrics,
-        })
+        }
     }
 
     fn all_done(&self) -> bool {
@@ -1559,6 +1769,87 @@ mod tests {
             .try_run()
             .unwrap_err();
         assert_eq!(err, SimError::MaxCycles { limit: 10 });
+    }
+
+    #[test]
+    fn save_restore_resumes_bit_identically() {
+        let mk_engine = || {
+            let prog = |n: u64| {
+                ProgramBuilder::new()
+                    .repeat(4, move |b| {
+                        b.compute(WorkSpec::new(wl(1.7), n))
+                            .isend((n % 2) as usize, 1, 256)
+                            .irecv((n % 2) as usize, 1)
+                            .waitall()
+                            .barrier()
+                    })
+                    .build()
+            };
+            let mut cfg = SimConfig::power5(2);
+            cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
+            cfg.noise
+                .push(NoiseSource::timer(CtxAddr::from_cpu(0), 7777, 111));
+            Engine::new(&[prog(30_000), prog(60_001)], cfg)
+        };
+        let whole = mk_engine().run();
+
+        // Run a prefix, snapshot, restore into a FRESH engine built from
+        // the same inputs, and run the remainder there.
+        let mut first = mk_engine();
+        let done = first.step_events(&mut NullObserver, 25).unwrap();
+        assert!(!done, "split point must fall mid-run");
+        let snap = first.save_state();
+        drop(first);
+
+        let mut second = mk_engine();
+        second.restore_state(&snap).unwrap();
+        assert_eq!(second.save_state(), snap, "restore is lossless");
+        let done = second.step_events(&mut NullObserver, u64::MAX).unwrap();
+        assert!(done);
+        assert_eq!(second.into_result(), whole);
+    }
+
+    #[test]
+    fn chunked_stepping_matches_single_run() {
+        let prog = |n: u64| {
+            ProgramBuilder::new()
+                .repeat(3, move |b| b.compute(WorkSpec::new(wl(2.0), n)).barrier())
+                .build()
+        };
+        let mk = || {
+            let mut cfg = SimConfig::power5(2);
+            cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
+            Engine::new(&[prog(20_000), prog(40_000)], cfg)
+        };
+        let whole = mk().run();
+        let mut chunked = mk();
+        while !chunked.step_events(&mut NullObserver, 3).unwrap() {}
+        assert_eq!(chunked.into_result(), whole);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_engines() {
+        let mut one = Engine::new(&[compute_prog(50_000)], SimConfig::power5(1));
+        one.step_events(&mut NullObserver, 3).unwrap();
+        let snap = one.save_state();
+
+        // A 1-rank snapshot cannot land in a 2-rank engine.
+        let mut cfg = SimConfig::power5(2);
+        cfg.placement = vec![CtxAddr::from_cpu(0), CtxAddr::from_cpu(2)];
+        let mut two = Engine::new(&[compute_prog(10), compute_prog(10)], cfg);
+        assert!(matches!(
+            two.restore_state(&snap),
+            Err(SimError::Restore(_))
+        ));
+
+        // A pc past the end of the target's program is rejected.
+        let mut small = Engine::new(&[compute_prog(10)], SimConfig::power5(1));
+        let mut bad = snap.clone();
+        bad.pc[0] = 99;
+        assert!(matches!(
+            small.restore_state(&bad),
+            Err(SimError::Restore(_))
+        ));
     }
 
     #[test]

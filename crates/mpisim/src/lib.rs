@@ -32,6 +32,9 @@ pub mod engine;
 pub mod interp;
 pub mod program;
 
-pub use comm::LatencyModel;
-pub use engine::{Engine, Observer, RankSnapshot, RankWindow, RunResult, SimConfig, SimError};
+pub use comm::{CommRankState, LatencyModel};
+pub use engine::{
+    BuilderSnapshot, Engine, EngineState, NullObserver, Observer, RankSnapshot, RankState,
+    RankWindow, RunResult, SimConfig, SimError, Stepping,
+};
 pub use program::{Program, ProgramBuilder, Rank, Stmt, Tag, TracePhase, WorkSpec};

@@ -26,7 +26,7 @@ pub mod process;
 pub mod topology;
 
 pub use kernel::{KernelConfig, KernelFlavour};
-pub use machine::{Machine, MachineError, WaitPolicy};
+pub use machine::{CtxSnapshot, Machine, MachineError, MachineState, WaitPolicy};
 pub use noise::NoiseSource;
 pub use priority_iface::{PriorityError, SetVia};
 pub use process::{CtxAddr, Pcb};

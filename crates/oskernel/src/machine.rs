@@ -49,6 +49,38 @@ impl std::fmt::Display for MachineError {
 
 impl std::error::Error for MachineError {}
 
+/// Plain-data snapshot of one context's OS-level bookkeeping
+/// (checkpointing; mirrors the machine's private per-context state).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CtxSnapshot {
+    /// The workload the pinned process wants installed.
+    pub installed: Option<Workload>,
+    /// Inside a noise window right now?
+    pub in_handler: bool,
+    /// Do retired instructions count toward progress?
+    pub counting: bool,
+}
+
+/// Plain-data snapshot of the machine's full mutable state: current time,
+/// every core's [`mtb_smtsim::CoreState`], the process table and the
+/// context bookkeeping. Static structure — kernel flavour, noise sources,
+/// wait policy, pool — is *not* captured; a restore target is built from
+/// the same configuration first ([`Machine::restore_state`] validates the
+/// shape).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineState {
+    /// Simulated time.
+    pub now: Cycles,
+    /// Per-core model state, in core-index order.
+    pub cores: Vec<mtb_smtsim::CoreState>,
+    /// Process control blocks, ascending pid.
+    pub procs: Vec<Pcb>,
+    /// `ctx_owner[core][thread] = pid`.
+    pub ctx_owner: Vec<[Option<usize>; 2]>,
+    /// Per-context bookkeeping, parallel to `cores`.
+    pub ctx_state: Vec<[CtxSnapshot; 2]>,
+}
+
 /// Per-context bookkeeping.
 #[derive(Default)]
 struct CtxState {
@@ -625,6 +657,82 @@ impl Machine {
         bounds
     }
 
+    /// Capture the machine's full mutable state (checkpointing). Restoring
+    /// it into a machine built from the same configuration reproduces the
+    /// simulation bit-identically.
+    pub fn save_state(&self) -> MachineState {
+        MachineState {
+            now: self.now,
+            cores: self.cores.iter().map(|c| c.save_state()).collect(),
+            procs: self.procs.values().cloned().collect(),
+            ctx_owner: self.ctx_owner.clone(),
+            ctx_state: self
+                .ctx_state
+                .iter()
+                .map(|pair| {
+                    [0, 1].map(|i| CtxSnapshot {
+                        installed: pair[i].installed.clone(),
+                        in_handler: pair[i].in_handler,
+                        counting: pair[i].counting,
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Overwrite the machine's mutable state from [`Machine::save_state`]
+    /// output. Fails (leaving the machine in an unspecified but safe
+    /// state) when the snapshot does not match this machine's shape —
+    /// core count, core fidelity, context addressing.
+    pub fn restore_state(&mut self, s: &MachineState) -> Result<(), String> {
+        let n = self.cores.len();
+        if s.cores.len() != n || s.ctx_owner.len() != n || s.ctx_state.len() != n {
+            return Err(format!(
+                "snapshot has {}/{}/{} cores, machine has {n}",
+                s.cores.len(),
+                s.ctx_owner.len(),
+                s.ctx_state.len()
+            ));
+        }
+        let mut procs = BTreeMap::new();
+        for pcb in &s.procs {
+            if pcb.affinity.core >= n {
+                return Err(format!(
+                    "pid {} pinned to core {} of a {n}-core machine",
+                    pcb.pid, pcb.affinity.core
+                ));
+            }
+            if procs.insert(pcb.pid, pcb.clone()).is_some() {
+                return Err(format!("duplicate pid {} in snapshot", pcb.pid));
+            }
+        }
+        for owners in &s.ctx_owner {
+            for pid in owners.iter().flatten() {
+                if !procs.contains_key(pid) {
+                    return Err(format!("context owner pid {pid} not in process table"));
+                }
+            }
+        }
+        for (core, cs) in self.cores.iter_mut().zip(&s.cores) {
+            core.restore_state(cs)?;
+        }
+        self.procs = procs;
+        self.ctx_owner = s.ctx_owner.clone();
+        self.ctx_state = s
+            .ctx_state
+            .iter()
+            .map(|pair| {
+                [0, 1].map(|i| CtxState {
+                    installed: pair[i].installed.clone(),
+                    in_handler: pair[i].in_handler,
+                    counting: pair[i].counting,
+                })
+            })
+            .collect();
+        self.now = s.now;
+        Ok(())
+    }
+
     /// Enter/exit noise windows according to the current time.
     fn sync_handler_state(&mut self) {
         for core_idx in 0..self.cores.len() {
@@ -1086,6 +1194,47 @@ mod tests {
         m.advance(1_000);
         assert_eq!(m.pcb(1).unwrap().busy_cycles, 10_000);
         assert_eq!(m.pcb(1).unwrap().spin_cycles, 5_000);
+    }
+
+    #[test]
+    fn save_restore_resumes_bit_identically() {
+        let mk = || {
+            let mut m = meso_machine(KernelConfig::patched());
+            m.spawn(0, "P1", CtxAddr::from_cpu(0)).unwrap();
+            m.spawn(1, "P2", CtxAddr::from_cpu(1)).unwrap();
+            m.run_workload(0, wl(2.5)).unwrap();
+            m.run_workload(1, wl(1.5)).unwrap();
+            m.set_priority_procfs(0, 6).unwrap();
+            m.add_noise(NoiseSource::timer(CtxAddr::from_cpu(0), 3_333, 77));
+            m
+        };
+        let mut whole = mk();
+        whole.advance(80_000);
+
+        let mut donor = mk();
+        donor.advance(31_007);
+        let snap = donor.save_state();
+
+        let mut resumed = mk();
+        resumed.advance(1_234);
+        resumed.restore_state(&snap).unwrap();
+        resumed.advance(80_000 - 31_007);
+        assert_eq!(whole.save_state(), resumed.save_state());
+        assert_eq!(whole.retired(0), resumed.retired(0));
+        assert_eq!(whole.retired(1), resumed.retired(1));
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_machines() {
+        let mut m = meso_machine(KernelConfig::patched());
+        m.spawn(0, "P1", CtxAddr::from_cpu(0)).unwrap();
+        let snap = m.save_state();
+
+        let mut bigger = Machine::new(build_cores(4, false), KernelConfig::patched());
+        assert!(bigger.restore_state(&snap).is_err());
+
+        let mut cycle = Machine::new(build_cores(2, true), KernelConfig::patched());
+        assert!(cycle.restore_state(&snap).is_err(), "fidelity mismatch");
     }
 
     #[test]

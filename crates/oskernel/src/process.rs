@@ -50,7 +50,7 @@ pub enum ProcRunState {
 }
 
 /// A process control block.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Pcb {
     /// Process id (also the MPI rank in the experiments).
     pub pid: usize,

@@ -61,6 +61,40 @@ impl BranchPredictor {
         (self.predictions, self.mispredictions)
     }
 
+    /// Full predictor state for checkpointing:
+    /// `(table, history, predictions, mispredictions)`.
+    pub fn save_state(&self) -> (Vec<u8>, u64, u64, u64) {
+        (
+            self.table.clone(),
+            self.history,
+            self.predictions,
+            self.mispredictions,
+        )
+    }
+
+    /// Restore a predictor from [`BranchPredictor::save_state`] output.
+    /// The table length must be a power of two (the index mask relies on
+    /// it).
+    pub fn restore_state(
+        table: Vec<u8>,
+        history: u64,
+        predictions: u64,
+        mispredictions: u64,
+    ) -> Result<BranchPredictor, String> {
+        if table.is_empty() || !table.len().is_power_of_two() {
+            return Err(format!(
+                "predictor table length {} is not a power of two",
+                table.len()
+            ));
+        }
+        Ok(BranchPredictor {
+            table,
+            history,
+            predictions,
+            mispredictions,
+        })
+    }
+
     /// Misprediction ratio (0 when no branches were seen).
     pub fn miss_ratio(&self) -> f64 {
         if self.predictions == 0 {

@@ -173,6 +173,50 @@ impl Cache {
         }
     }
 
+    /// Full mutable state for checkpointing:
+    /// `(ways, stamps, tick, hits, misses, cross_evictions)`. The
+    /// geometry is not included — it is rebuilt from configuration.
+    #[allow(clippy::type_complexity)]
+    pub fn save_state(&self) -> (Vec<Option<(u64, u8)>>, Vec<u64>, u64, u64, u64, u64) {
+        (
+            self.ways.clone(),
+            self.stamps.clone(),
+            self.tick,
+            self.hits,
+            self.misses,
+            self.cross_evictions,
+        )
+    }
+
+    /// Overwrite contents and statistics from [`Cache::save_state`]
+    /// output. Fails when the way/stamp arrays do not match this cache's
+    /// geometry.
+    pub fn restore_state(
+        &mut self,
+        ways: Vec<Option<(u64, u8)>>,
+        stamps: Vec<u64>,
+        tick: u64,
+        hits: u64,
+        misses: u64,
+        cross_evictions: u64,
+    ) -> Result<(), String> {
+        let n = self.cfg.sets() * self.cfg.assoc;
+        if ways.len() != n || stamps.len() != n {
+            return Err(format!(
+                "cache state has {}/{} entries, geometry needs {n}",
+                ways.len(),
+                stamps.len()
+            ));
+        }
+        self.ways = ways;
+        self.stamps = stamps;
+        self.tick = tick;
+        self.hits = hits;
+        self.misses = misses;
+        self.cross_evictions = cross_evictions;
+        Ok(())
+    }
+
     /// Forget all contents and statistics.
     pub fn reset(&mut self) {
         self.ways.fill(None);

@@ -33,6 +33,10 @@ use crate::decode::GrantLut;
 use crate::inst::{Inst, InstClass, StreamGen};
 use crate::model::{CoreModel, ThreadId, Workload};
 use crate::priority::{HwPriority, Tsr};
+use crate::state::{
+    CacheState, CoreState, CycleCoreState, CycleCtxState, PredictorState, StreamGenState,
+    UnitsState,
+};
 use crate::stats::CtxStats;
 use crate::units::{UnitConfig, UnitPool};
 use crate::Cycles;
@@ -450,6 +454,79 @@ impl SmtCore {
         h
     }
 
+    fn ctx_state(&self, i: usize) -> CycleCtxState {
+        let c = &self.ctx[i];
+        // The heap's only observable behaviour is its multiset of
+        // completion times; a sorted vector captures it canonically.
+        let mut pending: Vec<Cycles> = c.pending.iter().map(|r| r.0).collect();
+        pending.sort_unstable();
+        let (table, history, predictions, mispredictions) = c.predictor.save_state();
+        CycleCtxState {
+            priority: c.tsr.read().value(),
+            workload: c.workload.as_ref().map(|(name, gen)| {
+                let (spec, rng, cursor, pc, produced) = gen.save_state();
+                (
+                    name.clone(),
+                    StreamGenState {
+                        spec,
+                        rng,
+                        cursor,
+                        pc,
+                        produced,
+                    },
+                )
+            }),
+            dispatch: c.dispatch.iter().copied().collect(),
+            completion: c.completion.clone(),
+            seq: c.seq,
+            pending,
+            stats: c.stats,
+            rate_anchor: c.rate_anchor,
+            predictor: PredictorState {
+                table,
+                history,
+                predictions,
+                mispredictions,
+            },
+            fetch_stall_until: c.fetch_stall_until,
+        }
+    }
+
+    fn restore_ctx(&mut self, i: usize, s: &CycleCtxState) -> Result<(), String> {
+        if s.completion.len() != self.cfg.window {
+            return Err(format!(
+                "context {i}: scoreboard length {} does not match window {}",
+                s.completion.len(),
+                self.cfg.window
+            ));
+        }
+        let p = HwPriority::new(s.priority)
+            .ok_or_else(|| format!("context {i}: invalid hardware priority {}", s.priority))?;
+        let predictor = BranchPredictor::restore_state(
+            s.predictor.table.clone(),
+            s.predictor.history,
+            s.predictor.predictions,
+            s.predictor.mispredictions,
+        )?;
+        let c = &mut self.ctx[i];
+        c.tsr.force(p);
+        c.workload = s.workload.as_ref().map(|(name, g)| {
+            (
+                name.clone(),
+                StreamGen::restore_state(g.spec, g.rng, g.cursor, g.pc, g.produced),
+            )
+        });
+        c.dispatch = s.dispatch.iter().copied().collect();
+        c.completion = s.completion.clone();
+        c.seq = s.seq;
+        c.pending = s.pending.iter().map(|&t| Reverse(t)).collect();
+        c.stats = s.stats;
+        c.rate_anchor = s.rate_anchor;
+        c.predictor = predictor;
+        c.fetch_stall_until = s.fetch_stall_until;
+        Ok(())
+    }
+
     fn exec_latency(&mut self, ctx_idx: usize, inst: Inst) -> Cycles {
         match inst.class {
             InstClass::Fx => self.cfg.fx_lat,
@@ -478,6 +555,29 @@ impl SmtCore {
             }
         }
     }
+}
+
+fn cache_state(c: &Cache) -> CacheState {
+    let (ways, stamps, tick, hits, misses, cross_evictions) = c.save_state();
+    CacheState {
+        ways,
+        stamps,
+        tick,
+        hits,
+        misses,
+        cross_evictions,
+    }
+}
+
+fn restore_cache(c: &mut Cache, s: &CacheState) -> Result<(), String> {
+    c.restore_state(
+        s.ways.clone(),
+        s.stamps.clone(),
+        s.tick,
+        s.hits,
+        s.misses,
+        s.cross_evictions,
+    )
 }
 
 impl CoreModel for SmtCore {
@@ -565,6 +665,48 @@ impl CoreModel for SmtCore {
             self.ctx[0].stats.retired - before[0],
             self.ctx[1].stats.retired - before[1],
         ]
+    }
+
+    fn save_state(&self) -> CoreState {
+        let (issued_this_cycle, current_cycle, total_issued, conflicts) = self.units.save_state();
+        CoreState::Cycle(Box::new(CycleCoreState {
+            cycle: self.cycle,
+            ctx: [self.ctx_state(0), self.ctx_state(1)],
+            units: UnitsState {
+                issued_this_cycle,
+                current_cycle,
+                total_issued,
+                conflicts,
+            },
+            l1d: cache_state(&self.l1d),
+            l1i: cache_state(&self.l1i),
+            l2: cache_state(&self.l2.lock().unwrap()),
+        }))
+    }
+
+    fn restore_state(&mut self, s: &CoreState) -> Result<(), String> {
+        let CoreState::Cycle(s) = s else {
+            return Err(format!(
+                "cycle-level core cannot restore a {} snapshot",
+                s.kind()
+            ));
+        };
+        self.cycle = s.cycle;
+        for i in 0..2 {
+            self.restore_ctx(i, &s.ctx[i])?;
+        }
+        self.units.restore_state(
+            s.units.issued_this_cycle,
+            s.units.current_cycle,
+            s.units.total_issued,
+            s.units.conflicts,
+        );
+        restore_cache(&mut self.l1d, &s.l1d)?;
+        restore_cache(&mut self.l1i, &s.l1i)?;
+        // Cores sharing one L2 carry identical copies; restoring each
+        // writes the same contents, so the order does not matter.
+        restore_cache(&mut self.l2.lock().unwrap(), &s.l2)?;
+        Ok(())
     }
 
     fn retire_rate(&self, t: ThreadId) -> f64 {
@@ -1044,6 +1186,64 @@ mod tests {
         let s = core.stats(ThreadId::A);
         assert_eq!(s.slots_owned, 50_000, "ST owner owns every cycle");
         assert!(s.mem_accesses > 0);
+    }
+
+    #[test]
+    fn save_restore_resumes_bit_identically() {
+        let mk = || {
+            let mut core = SmtCore::new(CoreConfig::default());
+            core.assign(ThreadId::A, wl(StreamSpec::mem_bound(3)));
+            core.assign(ThreadId::B, wl(StreamSpec::branch_bound(4)));
+            core.set_priority(ThreadId::A, p(5));
+            core.set_priority(ThreadId::B, p(3));
+            core
+        };
+        let mut whole = mk();
+        whole.advance(30_000);
+
+        let mut donor = mk();
+        donor.advance(11_337);
+        let snap = donor.save_state();
+
+        // Restore into a core that has diverged, then run the remainder:
+        // every observable bit must match the uninterrupted run.
+        let mut resumed = mk();
+        resumed.advance(999);
+        resumed.restore_state(&snap).unwrap();
+        resumed.advance(30_000 - 11_337);
+        assert_eq!(whole.save_state(), resumed.save_state());
+        assert_eq!(whole.now(), resumed.now());
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_shapes() {
+        let mut core = SmtCore::new(CoreConfig::default());
+        core.assign(ThreadId::A, wl(StreamSpec::balanced(1)));
+        core.advance(1_000);
+        let snap = core.save_state();
+
+        // Different scoreboard window.
+        let mut small = SmtCore::new(CoreConfig {
+            window: 64,
+            ..CoreConfig::default()
+        });
+        assert!(small.restore_state(&snap).is_err());
+
+        // Different cache geometry.
+        let mut tiny_l1 = SmtCore::new(CoreConfig {
+            l1d: CacheConfig {
+                bytes: 4096,
+                line_size: 64,
+                assoc: 2,
+                hit_latency: 2,
+            },
+            ..CoreConfig::default()
+        });
+        assert!(tiny_l1.restore_state(&snap).is_err());
+
+        // Wrong fidelity.
+        let meso = crate::perfmodel::MesoCore::default();
+        assert!(core.restore_state(&meso.save_state()).is_err());
     }
 
     #[test]

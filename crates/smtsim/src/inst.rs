@@ -387,6 +387,37 @@ impl StreamGen {
         self.produced
     }
 
+    /// Full generator state for checkpointing:
+    /// `(spec, rng state, cursor, pc, produced)`.
+    pub fn save_state(&self) -> (StreamSpec, u64, u64, u64, u64) {
+        (
+            self.spec,
+            self.rng.state(),
+            self.cursor,
+            self.pc,
+            self.produced,
+        )
+    }
+
+    /// Reassemble a generator mid-stream from [`StreamGen::save_state`]
+    /// output. The restored generator continues the instruction stream
+    /// bit-identically.
+    pub fn restore_state(
+        spec: StreamSpec,
+        rng_state: u64,
+        cursor: u64,
+        pc: u64,
+        produced: u64,
+    ) -> StreamGen {
+        StreamGen {
+            spec,
+            rng: SplitMix64::new(rng_state),
+            cursor,
+            pc,
+            produced,
+        }
+    }
+
     /// Generate the next instruction.
     pub fn next_inst(&mut self) -> Inst {
         let tot = u64::from(self.spec.total_weight().max(1));

@@ -38,6 +38,7 @@ pub mod model;
 pub mod perfmodel;
 pub mod priority;
 pub mod rng;
+pub mod state;
 pub mod stats;
 pub mod units;
 
@@ -48,6 +49,7 @@ pub use inst::{InstClass, StreamSpec};
 pub use model::{CoreModel, ThreadId, WorkloadProfile};
 pub use perfmodel::MesoCore;
 pub use priority::{HwPriority, PrivilegeLevel, Tsr};
+pub use state::CoreState;
 
 /// Simulated time in processor cycles (re-exported convention shared with
 /// `mtb-trace`).

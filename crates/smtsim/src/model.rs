@@ -16,6 +16,7 @@
 
 use crate::inst::StreamSpec;
 use crate::priority::HwPriority;
+use crate::state::CoreState;
 use crate::Cycles;
 
 /// One of the two hardware contexts (SMT threads) of a core.
@@ -178,6 +179,17 @@ pub trait CoreModel: Send {
         }
         Some((n as f64 / r).ceil() as Cycles)
     }
+
+    /// Capture the core's full mutable state as plain data
+    /// (checkpointing). Restoring it into a core built from the same
+    /// configuration reproduces the simulation bit-identically.
+    fn save_state(&self) -> CoreState;
+
+    /// Overwrite the core's mutable state from [`CoreModel::save_state`]
+    /// output. Fails (leaving the core in an unspecified but safe state)
+    /// when the snapshot's fidelity or shape does not match this core's
+    /// configuration.
+    fn restore_state(&mut self, s: &CoreState) -> Result<(), String>;
 }
 
 #[cfg(test)]

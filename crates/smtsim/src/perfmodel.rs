@@ -32,6 +32,7 @@
 use crate::decode::{decode_share, decode_share_linear};
 use crate::model::{CoreModel, ThreadId, Workload};
 use crate::priority::HwPriority;
+use crate::state::{CoreState, MesoCoreState, MesoCtxState};
 use crate::Cycles;
 
 /// Which priority-to-decode-share law the model applies (EXT-5 ablation).
@@ -348,6 +349,46 @@ impl CoreModel for MesoCore {
         }
     }
 
+    fn save_state(&self) -> CoreState {
+        CoreState::Meso(Box::new(MesoCoreState {
+            cycle: self.cycle,
+            ctx: [0, 1].map(|i| {
+                let c = &self.ctx[i];
+                MesoCtxState {
+                    priority: c.priority.value(),
+                    workload: c.workload.clone(),
+                    carry: c.carry,
+                    anchor_cycle: c.anchor_cycle,
+                    anchor_retired: c.anchor_retired,
+                    retired: c.retired,
+                }
+            }),
+        }))
+    }
+
+    fn restore_state(&mut self, s: &CoreState) -> Result<(), String> {
+        let CoreState::Meso(s) = s else {
+            return Err(format!(
+                "mesoscale core cannot restore a {} snapshot",
+                s.kind()
+            ));
+        };
+        self.cycle = s.cycle;
+        for (c, cs) in self.ctx.iter_mut().zip(&s.ctx) {
+            c.priority = HwPriority::new(cs.priority)
+                .ok_or_else(|| format!("invalid hardware priority {}", cs.priority))?;
+            c.workload = cs.workload.clone();
+            c.carry = cs.carry;
+            c.anchor_cycle = cs.anchor_cycle;
+            c.anchor_retired = cs.anchor_retired;
+            c.retired = cs.retired;
+        }
+        // Rates are a pure function of the restored contexts; recompute
+        // lazily exactly as after any configuration change.
+        self.dirty = true;
+        Ok(())
+    }
+
     fn cycles_to_retire(&self, t: ThreadId, n: u64) -> Option<Cycles> {
         let i = t.index();
         if !self.ctx[i].live() {
@@ -550,6 +591,36 @@ mod tests {
         core.assign(ThreadId::A, metload(2.5));
         core.set_priority(ThreadId::A, p(0));
         assert_eq!(core.cycles_to_retire(ThreadId::A, 10), None);
+    }
+
+    #[test]
+    fn save_restore_resumes_bit_identically() {
+        let mut whole = pair(2.5, 2.65, 4, 6);
+        whole.advance(17_003);
+        whole.set_priority(ThreadId::A, p(6));
+        whole.advance(12_997);
+
+        let mut donor = pair(2.5, 2.65, 4, 6);
+        donor.advance(9_001);
+        let snap = donor.save_state();
+
+        let mut resumed = pair(2.5, 2.65, 4, 6);
+        resumed.advance(123);
+        resumed.restore_state(&snap).unwrap();
+        resumed.advance(17_003 - 9_001);
+        resumed.set_priority(ThreadId::A, p(6));
+        resumed.advance(12_997);
+
+        assert_eq!(whole.save_state(), resumed.save_state());
+        assert_eq!(whole.retired(ThreadId::A), resumed.retired(ThreadId::A));
+        assert_eq!(whole.retired(ThreadId::B), resumed.retired(ThreadId::B));
+    }
+
+    #[test]
+    fn restore_rejects_wrong_fidelity() {
+        let mut core = MesoCore::default();
+        let cycle = crate::core::SmtCore::new(crate::core::CoreConfig::default());
+        assert!(core.restore_state(&cycle.save_state()).is_err());
     }
 
     #[test]

@@ -43,6 +43,13 @@ impl SplitMix64 {
     pub fn split(&mut self) -> SplitMix64 {
         SplitMix64::new(self.next_u64())
     }
+
+    /// The raw generator state (checkpointing). Feeding it back through
+    /// [`SplitMix64::new`] reproduces the stream exactly: the state *is*
+    /// the seed at every step.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
 }
 
 #[cfg(test)]

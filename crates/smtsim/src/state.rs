@@ -1,0 +1,171 @@
+//! Plain-data snapshots of core state for checkpoint/restore.
+//!
+//! Every mutable field a core model accumulates during simulation has a
+//! mirror here as ordinary owned data — no `Arc`, no trait objects, no
+//! generator internals. A core turns itself into one of these via
+//! [`crate::model::CoreModel::save_state`] and is rebuilt bit-identically
+//! by [`crate::model::CoreModel::restore_state`]; the `mtb-snap` crate
+//! serializes them. Static configuration (cache geometry, unit counts,
+//! decode tables) is deliberately *not* captured: a restore target is
+//! always constructed from the same configuration first, and restore
+//! validates the state against it.
+
+use crate::inst::{Inst, StreamSpec};
+use crate::model::Workload;
+use crate::stats::CtxStats;
+use crate::Cycles;
+
+/// Mid-stream state of a [`crate::inst::StreamGen`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamGenState {
+    /// The generating spec (needed to rebuild the distribution tables).
+    pub spec: StreamSpec,
+    /// Raw SplitMix64 state.
+    pub rng: u64,
+    /// Data-walk cursor.
+    pub cursor: u64,
+    /// Next code address.
+    pub pc: u64,
+    /// Instructions generated so far.
+    pub produced: u64,
+}
+
+/// State of a [`crate::branch::BranchPredictor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PredictorState {
+    /// 2-bit saturating counters.
+    pub table: Vec<u8>,
+    /// Global history register.
+    pub history: u64,
+    /// Predictions made.
+    pub predictions: u64,
+    /// Predictions that were wrong.
+    pub mispredictions: u64,
+}
+
+/// Contents and statistics of a [`crate::cache::Cache`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheState {
+    /// `sets x assoc` tag/owner entries.
+    pub ways: Vec<Option<(u64, u8)>>,
+    /// LRU stamps, parallel to `ways`.
+    pub stamps: Vec<u64>,
+    /// LRU clock.
+    pub tick: u64,
+    /// Hit count.
+    pub hits: u64,
+    /// Miss count.
+    pub misses: u64,
+    /// Cross-owner evictions.
+    pub cross_evictions: u64,
+}
+
+/// State of a [`crate::units::UnitPool`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct UnitsState {
+    /// Ports taken in the current cycle, per class.
+    pub issued_this_cycle: [u8; 4],
+    /// Cycle the port counters refer to.
+    pub current_cycle: Cycles,
+    /// Total issues per class.
+    pub total_issued: [u64; 4],
+    /// Rejected issue attempts per class.
+    pub conflicts: [u64; 4],
+}
+
+/// One hardware context of the cycle-level [`crate::core::SmtCore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleCtxState {
+    /// Hardware priority (0..=7).
+    pub priority: u8,
+    /// Installed workload: name plus mid-stream generator state.
+    pub workload: Option<(String, StreamGenState)>,
+    /// Dispatch-buffer entries `(instruction, sequence number)`.
+    pub dispatch: Vec<(Inst, u64)>,
+    /// Completion scoreboard ring (length = configured window).
+    pub completion: Vec<Cycles>,
+    /// Next sequence number to decode.
+    pub seq: u64,
+    /// Outstanding completion times, ascending (the heap's multiset).
+    pub pending: Vec<Cycles>,
+    /// Performance counters.
+    pub stats: CtxStats,
+    /// `(cycle, retired)` at the last configuration change.
+    pub rate_anchor: (Cycles, u64),
+    /// Branch-predictor state.
+    pub predictor: PredictorState,
+    /// Decode blocked until this cycle.
+    pub fetch_stall_until: Cycles,
+}
+
+/// Full mutable state of a cycle-level [`crate::core::SmtCore`].
+///
+/// The shared L2 is captured *per core*: when two cores share one L2
+/// domain each snapshot carries an identical copy, and restoring both
+/// writes the same contents twice (idempotent).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleCoreState {
+    /// Current cycle.
+    pub cycle: Cycles,
+    /// Both hardware contexts.
+    pub ctx: [CycleCtxState; 2],
+    /// Execution-unit pool.
+    pub units: UnitsState,
+    /// Private L1 data cache.
+    pub l1d: CacheState,
+    /// Private L1 instruction cache.
+    pub l1i: CacheState,
+    /// The (possibly shared) L2 this core is attached to.
+    pub l2: CacheState,
+}
+
+/// One context of the mesoscale [`crate::perfmodel::MesoCore`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MesoCtxState {
+    /// Hardware priority (0..=7).
+    pub priority: u8,
+    /// Installed workload (plain data: name, spec, profile).
+    pub workload: Option<Workload>,
+    /// Fractional instructions at the last re-anchor.
+    pub carry: f64,
+    /// Cycle of the last re-anchor.
+    pub anchor_cycle: Cycles,
+    /// Retired count at the last re-anchor.
+    pub anchor_retired: u64,
+    /// Total retired.
+    pub retired: u64,
+}
+
+/// Full mutable state of a [`crate::perfmodel::MesoCore`].
+///
+/// The cached rates and dirty flag are not captured: restore marks the
+/// core dirty and the rates are recomputed from the restored contexts —
+/// `throughputs()` is a pure function of them, so the recomputation is
+/// bit-exact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MesoCoreState {
+    /// Current cycle.
+    pub cycle: Cycles,
+    /// Both contexts.
+    pub ctx: [MesoCtxState; 2],
+}
+
+/// State of any [`crate::model::CoreModel`] implementation, tagged by
+/// fidelity. Restoring requires a target core of the matching fidelity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreState {
+    /// Mesoscale model state.
+    Meso(Box<MesoCoreState>),
+    /// Cycle-level model state.
+    Cycle(Box<CycleCoreState>),
+}
+
+impl CoreState {
+    /// Short fidelity tag, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            CoreState::Meso(_) => "meso",
+            CoreState::Cycle(_) => "cycle",
+        }
+    }
+}

@@ -88,6 +88,33 @@ impl UnitPool {
     pub fn conflicts(&self) -> [u64; 4] {
         self.conflicts
     }
+
+    /// Full mutable state for checkpointing:
+    /// `(issued_this_cycle, current_cycle, total_issued, conflicts)`.
+    /// The configuration is not included — it is rebuilt from the core
+    /// config on restore.
+    pub fn save_state(&self) -> ([u8; 4], Cycles, [u64; 4], [u64; 4]) {
+        (
+            self.issued_this_cycle,
+            self.current_cycle,
+            self.total_issued,
+            self.conflicts,
+        )
+    }
+
+    /// Overwrite the mutable state from [`UnitPool::save_state`] output.
+    pub fn restore_state(
+        &mut self,
+        issued_this_cycle: [u8; 4],
+        current_cycle: Cycles,
+        total_issued: [u64; 4],
+        conflicts: [u64; 4],
+    ) {
+        self.issued_this_cycle = issued_this_cycle;
+        self.current_cycle = current_cycle;
+        self.total_issued = total_issued;
+        self.conflicts = conflicts;
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,210 @@
+//! Framed on-disk snapshot format with hash-before-parse reads and
+//! atomic writes.
+//!
+//! Layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic           b"MTBSNAP1"
+//!      8     4  schema version  u32 (SNAP_SCHEMA_VERSION)
+//!     12     8  config hash     u64 (caller-supplied; identifies the run)
+//!     20     8  events          u64 (engine event count at capture)
+//!     28     8  payload length  u64 (bytes of JSON that follow the header)
+//!     36     8  payload hash    u64 (FNV-1a of the payload bytes)
+//!     44     …  payload         canonical JSON of the EngineState
+//! ```
+//!
+//! Reads verify magic, schema, length and payload hash **before** the
+//! JSON is parsed — a truncated or bit-flipped file is rejected without
+//! ever reaching the decoder. Writes go to a temporary sibling, are
+//! fsynced, and renamed into place, so a crash mid-write can never leave
+//! a half-written file under the final name. The config hash is not a
+//! validity check here: the *caller* compares it against the hash of the
+//! configuration it is about to restore into, refusing cross-config
+//! restores up front.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::codec::{decode_engine_state, encode_engine_state};
+use crate::fnv1a;
+use crate::json::Json;
+use mtb_mpisim::EngineState;
+
+/// Leading magic bytes of every snapshot file.
+pub const SNAP_MAGIC: [u8; 8] = *b"MTBSNAP1";
+
+/// Version of the snapshot framing + payload schema. Bump on any change
+/// to the header layout or the canonical JSON encoding.
+pub const SNAP_SCHEMA_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 8 + 8;
+
+/// Why a snapshot file could not be read (or written).
+#[derive(Debug)]
+pub enum SnapError {
+    /// Filesystem-level failure.
+    Io(std::io::Error),
+    /// The file does not start with [`SNAP_MAGIC`] — not a snapshot.
+    BadMagic,
+    /// The file is a snapshot, but from an incompatible schema.
+    BadSchema {
+        /// Schema version found in the file header.
+        found: u32,
+    },
+    /// The file ends before the header-declared payload does.
+    Truncated,
+    /// The payload bytes do not hash to the header's content hash.
+    HashMismatch {
+        /// Hash recorded in the header at write time.
+        expected: u64,
+        /// Hash of the payload bytes actually on disk.
+        found: u64,
+    },
+    /// The payload hashed correctly but failed to parse or decode —
+    /// only possible if the writer itself produced a malformed payload.
+    Decode(String),
+}
+
+impl std::fmt::Display for SnapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapError::Io(e) => write!(f, "io error: {e}"),
+            SnapError::BadMagic => write!(f, "not a snapshot file (bad magic)"),
+            SnapError::BadSchema { found } => write!(
+                f,
+                "snapshot schema {found} is not supported (expected {SNAP_SCHEMA_VERSION})"
+            ),
+            SnapError::Truncated => write!(f, "snapshot file is truncated"),
+            SnapError::HashMismatch { expected, found } => write!(
+                f,
+                "snapshot payload hash mismatch: header says {expected:#018x}, payload hashes to {found:#018x}"
+            ),
+            SnapError::Decode(why) => write!(f, "snapshot payload is malformed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapError {}
+
+impl From<std::io::Error> for SnapError {
+    fn from(e: std::io::Error) -> Self {
+        SnapError::Io(e)
+    }
+}
+
+/// A verified, decoded snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Caller-supplied hash identifying the run configuration this state
+    /// belongs to. Compare against your own config hash before restoring.
+    pub config_hash: u64,
+    /// Engine event count at the moment the snapshot was taken.
+    pub events: u64,
+    /// The captured engine state.
+    pub state: EngineState,
+}
+
+/// Serialize `state` and write it atomically to `path`.
+///
+/// The bytes are written to a process-unique temporary sibling, fsynced,
+/// and renamed over `path`; the containing directory is fsynced
+/// best-effort so the rename itself survives a crash. Readers therefore
+/// only ever observe either the previous snapshot or the complete new
+/// one — never a partial write.
+pub fn write_snapshot(path: &Path, config_hash: u64, state: &EngineState) -> Result<(), SnapError> {
+    let payload = encode_engine_state(state).render().into_bytes();
+    let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+    bytes.extend_from_slice(&SNAP_MAGIC);
+    bytes.extend_from_slice(&SNAP_SCHEMA_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&config_hash.to_le_bytes());
+    bytes.extend_from_slice(&state.events.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+    bytes.extend_from_slice(&payload);
+
+    let tmp = path.with_extension(format!("tmp.{}", std::process::id()));
+    if let Some(dir) = path.parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut f = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(&tmp)?;
+    let res = f.write_all(&bytes).and_then(|()| f.sync_all());
+    drop(f);
+    if let Err(e) = res {
+        let _ = fs::remove_file(&tmp);
+        return Err(SnapError::Io(e));
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        let _ = fs::remove_file(&tmp);
+        return Err(SnapError::Io(e));
+    }
+    // Persist the rename itself; not all filesystems support opening a
+    // directory for sync, so failures here are non-fatal.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Read, verify and decode a snapshot from `path`.
+///
+/// Verification order: magic → schema version → declared length →
+/// content hash → JSON parse → state decode. The payload is never parsed
+/// unless its bytes hash to the header's content hash, so corruption is
+/// caught by arithmetic, not by the decoder's error paths.
+pub fn read_snapshot(path: &Path) -> Result<Snapshot, SnapError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+
+    if bytes.len() < HEADER_LEN {
+        return if bytes.len() >= 8 && bytes[..8] != SNAP_MAGIC {
+            Err(SnapError::BadMagic)
+        } else {
+            Err(SnapError::Truncated)
+        };
+    }
+    if bytes[..8] != SNAP_MAGIC {
+        return Err(SnapError::BadMagic);
+    }
+    let le_u32 = |off: usize| u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+    let le_u64 = |off: usize| u64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+    let schema = le_u32(8);
+    if schema != SNAP_SCHEMA_VERSION {
+        return Err(SnapError::BadSchema { found: schema });
+    }
+    let config_hash = le_u64(12);
+    let events = le_u64(20);
+    let payload_len = le_u64(28) as usize;
+    let expected = le_u64(36);
+
+    let payload = bytes
+        .get(HEADER_LEN..HEADER_LEN + payload_len)
+        .ok_or(SnapError::Truncated)?;
+    let found = fnv1a(payload);
+    if found != expected {
+        return Err(SnapError::HashMismatch { expected, found });
+    }
+
+    let text = std::str::from_utf8(payload)
+        .map_err(|e| SnapError::Decode(format!("payload is not UTF-8: {e}")))?;
+    let json = Json::parse(text).map_err(SnapError::Decode)?;
+    let state = decode_engine_state(&json).map_err(SnapError::Decode)?;
+    if state.events != events {
+        return Err(SnapError::Decode(format!(
+            "header says {events} events but payload state has {}",
+            state.events
+        )));
+    }
+    Ok(Snapshot {
+        config_hash,
+        events,
+        state,
+    })
+}

@@ -1,8 +1,8 @@
 //! A minimal JSON value, writer and parser.
 //!
-//! The run cache (`harness` module) persists structured run records to
-//! disk; the workspace builds offline, so instead of `serde_json` this is
-//! a small hand-rolled codec covering exactly what the records need:
+//! The benchmark run cache and the checkpoint layer persist structured
+//! data to disk; the workspace builds offline, so instead of `serde_json`
+//! this is a small hand-rolled codec covering exactly what they need:
 //! objects, arrays, strings, booleans, null, unsigned integers and
 //! finite floats.
 //!

@@ -91,6 +91,24 @@ impl Timeline {
         (iv.start <= t && t < iv.end).then_some(iv.state)
     }
 
+    /// Reassemble a timeline from raw parts (checkpoint restore). The
+    /// intervals must satisfy the builder invariants — contiguous,
+    /// ordered, non-empty — or an error describing the violation is
+    /// returned.
+    pub fn from_parts(
+        pid: usize,
+        label: String,
+        intervals: Vec<Interval>,
+    ) -> Result<Timeline, String> {
+        let t = Timeline {
+            pid,
+            label,
+            intervals,
+        };
+        t.check_invariants()?;
+        Ok(t)
+    }
+
     /// Verify the internal invariants: intervals are non-empty, contiguous
     /// and ordered. Returns a description of the first violation, if any.
     /// Builders uphold these by construction; this is used by tests and
@@ -195,6 +213,56 @@ impl TimelineBuilder {
     /// Time at which the currently open interval began.
     pub fn open_since(&self) -> Option<Cycles> {
         self.current.map(|(t, _)| t)
+    }
+
+    /// Decompose the builder into its raw parts for checkpointing:
+    /// `(pid, label, closed intervals, open (since, state))`.
+    pub fn save_parts(&self) -> (usize, String, Vec<Interval>, Option<(Cycles, ProcState)>) {
+        (
+            self.pid,
+            self.label.clone(),
+            self.intervals.clone(),
+            self.current,
+        )
+    }
+
+    /// Reassemble a builder from [`TimelineBuilder::save_parts`] output.
+    /// The closed intervals must satisfy the timeline invariants and the
+    /// open interval (when present) must start at or after the last
+    /// closed end.
+    pub fn from_parts(
+        pid: usize,
+        label: String,
+        intervals: Vec<Interval>,
+        current: Option<(Cycles, ProcState)>,
+    ) -> Result<TimelineBuilder, String> {
+        for w in intervals.windows(2) {
+            if w[0].end != w[1].start {
+                return Err(format!(
+                    "gap/overlap between intervals ending {} and starting {}",
+                    w[0].end, w[1].start
+                ));
+            }
+        }
+        for iv in &intervals {
+            if iv.start >= iv.end {
+                return Err(format!("empty/negative interval at {}", iv.start));
+            }
+        }
+        if let (Some(last), Some((since, _))) = (intervals.last(), current) {
+            if since < last.end {
+                return Err(format!(
+                    "open interval at {} precedes closed end {}",
+                    since, last.end
+                ));
+            }
+        }
+        Ok(TimelineBuilder {
+            pid,
+            label,
+            intervals,
+            current,
+        })
     }
 
     /// State of the currently open interval.
