@@ -1,17 +1,18 @@
 //! Sharded chip stepping: `Chip::advance_all` with one worker thread vs
-//! a pool, on the two workload regimes that bracket the win. Frontend-
-//! bound cores decode every cycle, so each shard carries maximal work
-//! and the pool's per-window barrier is best amortized; latency-bound
-//! cores fast-forward through quiet stretches, shrinking the work per
-//! shard and exposing the scatter/merge overhead instead.
+//! a persistent sharded runner, on the two workload regimes that bracket
+//! the win. Frontend-bound cores decode every cycle, so each epoch
+//! carries maximal work and the runner's one-dispatch-per-epoch cost is
+//! best amortized; latency-bound cores fast-forward through quiet
+//! stretches, shrinking the work per epoch and exposing the residual
+//! mailbox/merge overhead instead.
 //!
-//! On a single-CPU host the pooled rows measure pure overhead (the
+//! On a single-CPU host the sharded rows measure pure overhead (the
 //! workers time-slice one core); the interesting numbers come from
 //! multi-core runners. Output identity across thread counts is asserted
 //! by the `parallel_identity` test suite, not here.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
-use mtb_pool::{Budget, Pool};
+use mtb_pool::{Budget, ShardedRunner};
 use mtb_smtsim::chip::{Chip, ChipConfig};
 use mtb_smtsim::inst::StreamSpec;
 use mtb_smtsim::model::{CoreModel, ThreadId, Workload};
@@ -20,7 +21,8 @@ use std::sync::Arc;
 
 /// Cores per chip: 8 cores in 4 L2 domains = 4 independent shards.
 const CORES: usize = 8;
-/// Advance window per iteration (one sharded scatter/merge round).
+/// Advance window per iteration (one epoch: dispatch, shard-private
+/// stepping, merge).
 const WINDOW: u64 = 20_000;
 
 type SpecFn = fn(u64) -> StreamSpec;
@@ -32,10 +34,10 @@ fn loaded_chip(spec: SpecFn, threads: usize) -> Chip {
         threads: 1,
         core: CoreConfig::default(),
     });
-    // Draw workers from a private budget so the bench measures the pool,
-    // not whatever MTB_JOBS happens to allow.
+    // Draw workers from a private budget so the bench measures the
+    // runner, not whatever MTB_JOBS happens to allow.
     if threads > 1 {
-        chip.set_pool(Some(Pool::with_budget(
+        chip.set_runner(Some(ShardedRunner::with_budget(
             threads,
             Arc::new(Budget::new(threads)),
         )));

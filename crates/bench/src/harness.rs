@@ -48,7 +48,14 @@ use std::time::Instant;
 /// shared by every core, which changes cycle-fidelity results on >2-core
 /// machines. Intra-run `threads` deliberately does NOT enter any hash:
 /// sharded stepping is bit-identical at every thread count.
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4: epoch stepping — `Machine::advance` segments each shard at the
+/// shard's *own* noise boundaries (identical at every thread count, but
+/// shifting noise-adjacent results relative to v3's machine-global
+/// segmentation) — and records carry a `notes` field (structured runtime
+/// notes such as a sharding collapse; topology-derived, so still
+/// thread-count-invariant).
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// 64-bit FNV-1a — the cache's (and the per-case seed's) hash function,
 /// shared with the checkpoint layer so both hash domains agree.
@@ -169,6 +176,10 @@ pub struct RunRecord {
     pub spin_cycles: Vec<u64>,
     /// Total execution time in cycles.
     pub total_cycles: u64,
+    /// Structured runtime notes (stable `MTB-*` codes with explanations),
+    /// e.g. a sharding collapse. Configuration-derived, so identical at
+    /// every thread count.
+    pub notes: Vec<String>,
     /// Full per-rank timelines.
     pub timelines: Vec<TimelineRecord>,
     /// Full communication log.
@@ -198,6 +209,7 @@ impl RunRecord {
             busy_cycles: result.busy_cycles.clone(),
             spin_cycles: result.spin_cycles.clone(),
             total_cycles: result.total_cycles,
+            notes: result.notes.clone(),
             timelines: result
                 .timelines
                 .iter()
@@ -279,6 +291,7 @@ impl RunRecord {
                 })
                 .collect(),
             total_cycles: self.total_cycles,
+            notes: self.notes.clone(),
         }
     }
 
@@ -299,6 +312,7 @@ impl RunRecord {
             ("busy_cycles".into(), uints(&self.busy_cycles)),
             ("spin_cycles".into(), uints(&self.spin_cycles)),
             ("total_cycles".into(), Json::UInt(self.total_cycles)),
+            ("notes".into(), strs(&self.notes)),
             (
                 "timelines".into(),
                 Json::Arr(
@@ -446,6 +460,7 @@ impl RunRecord {
             busy_cycles: uints("busy_cycles")?,
             spin_cycles: uints("spin_cycles")?,
             total_cycles: field("total_cycles")?.as_u64().ok_or("bad total_cycles")?,
+            notes: strs("notes")?,
             timelines,
             comm,
         })
@@ -635,10 +650,21 @@ impl SweepRunner {
             }
         };
         match RunRecord::from_json(&text) {
+            Ok(record) if record.schema == SCHEMA_VERSION => Some(record),
             // A record from another schema generation is expected after
-            // an engine change — ignore it silently; the fresh result
-            // overwrites it. Only *corrupt* files warrant noise.
-            Ok(record) => (record.schema == SCHEMA_VERSION).then_some(record),
+            // an engine change, but leaving it on disk means a cache dir
+            // shared across versions grows without bound (stale hashes
+            // are never requested again). Delete it like a corrupt one.
+            Ok(record) => {
+                eprintln!(
+                    "harness: stale run record {} (schema v{}, current v{SCHEMA_VERSION}); \
+                     deleting and re-simulating",
+                    path.display(),
+                    record.schema
+                );
+                let _ = std::fs::remove_file(&path);
+                None
+            }
             Err(why) => {
                 eprintln!(
                     "harness: corrupt run record {} ({why}); discarding and re-simulating",
@@ -994,16 +1020,29 @@ mod tests {
                 .lock()
                 .unwrap()
                 .insert(std::thread::current().id());
-            // Each case also wants intra-run stepping threads; the pool
+            // Each case also wants intra-run stepping threads; epochs
             // must only be granted what the sweep workers left over.
-            let pool = mtb_pool::Pool::with_budget(8, std::sync::Arc::clone(&budget));
-            assert!(
-                budget.live() <= budget.total(),
-                "live {} > budget {}",
+            let mut runner =
+                mtb_pool::ShardedRunner::with_budget(8, std::sync::Arc::clone(&budget));
+            let before = budget.live();
+            let inner = std::sync::Arc::clone(&budget);
+            runner.run_epoch((0..4).collect::<Vec<usize>>(), |_, _| {
+                assert!(
+                    inner.live() <= inner.total(),
+                    "live {} > budget {}",
+                    inner.live(),
+                    inner.total()
+                );
+            });
+            // The satellite regression: between epochs the runner holds
+            // no permits (the old Pool held them for its whole life,
+            // starving sweep-level run slots).
+            assert_eq!(
                 budget.live(),
-                budget.total()
+                before,
+                "idle runner must hold no permits between epochs"
             );
-            drop(pool);
+            drop(runner);
             cfg.programs()
         });
         assert_eq!(runs.len(), 8);
@@ -1167,7 +1206,7 @@ mod tests {
     }
 
     #[test]
-    fn stale_schema_records_are_ignored() {
+    fn stale_schema_records_are_deleted_and_resimulated() {
         let runner = temp_runner(1, true);
         let cfg = MetBenchConfig::tiny();
         let progs = cfg.programs();
@@ -1186,6 +1225,27 @@ mod tests {
         let r2 = again.run_case(&progs, &case);
         assert_eq!(again.stats().cache_hits, 0, "stale schema must not hit");
         assert_eq!(r2, result);
+        // The stale file was deleted and replaced by a current-schema
+        // record, so a versioned cache dir cannot grow without bound.
+        let on_disk =
+            RunRecord::from_json(&std::fs::read_to_string(runner.record_path(hash)).unwrap())
+                .unwrap();
+        assert_eq!(
+            on_disk.schema, SCHEMA_VERSION,
+            "stale record replaced by a fresh one"
+        );
         let _ = std::fs::remove_dir_all(&runner.options().dir);
+
+        // Deletion happens even when nothing overwrites the slot: a
+        // cache-enabled load of a stale record removes the file itself.
+        let runner2 = temp_runner(1, true);
+        std::fs::create_dir_all(&runner2.options().dir).unwrap();
+        std::fs::write(runner2.record_path(hash), record.to_json()).unwrap();
+        assert!(runner2.load_record(hash).is_none());
+        assert!(
+            !runner2.record_path(hash).exists(),
+            "stale record deleted on load"
+        );
+        let _ = std::fs::remove_dir_all(&runner2.options().dir);
     }
 }

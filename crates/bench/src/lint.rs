@@ -256,6 +256,16 @@ mod tests {
     use super::*;
 
     #[test]
+    fn shard_collapse_code_matches_between_runtime_and_linter() {
+        // The runtime note in run records and the static lint must carry
+        // the same stable code, so tooling can match either source.
+        assert_eq!(
+            mtb_oskernel::SHARD_COLLAPSE_CODE,
+            mtb_verify::codes::SHARD_COLLAPSE
+        );
+    }
+
+    #[test]
     fn every_paper_case_lints_without_errors() {
         let outcomes = lint_targets(ALL_TARGETS).unwrap();
         for o in &outcomes {

@@ -373,7 +373,7 @@ fn scaling_sweeps(smoke: bool, entries: &mut Vec<BenchEntry>) {
 
     // Work scales calibrated per workload so the heaviest rank executes
     // ~1M instructions under --smoke (~5M in the full run): enough for
-    // the per-window barrier cost to amortize, small enough for CI.
+    // the one-dispatch-per-epoch cost to amortize, small enough for CI.
     let boost = if smoke { 1.0 } else { 5.0 };
 
     let mb = MetBenchConfig {

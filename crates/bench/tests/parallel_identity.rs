@@ -2,19 +2,29 @@
 //! for any workload, priority assignment, and stepping mode, the full
 //! `RunRecord` hash is identical at 1, 2, 4, and 8 worker threads.
 //!
-//! This is the load-bearing guarantee of the sharded stepping layer —
-//! worker threads may only change wall-clock, never output. The sharder
-//! assigns whole L2 domains to workers and merges retirement counts into
-//! pre-sized slots, so there is no order in which threads can interleave
-//! that is visible to the simulation. A failure here means a shard
-//! boundary leaked (e.g. two cores sharing an L2 landed on different
-//! workers) and would show up as irreproducible paper tables.
+//! This is the load-bearing guarantee of the epoch-sharded stepping
+//! layer — worker threads may only change wall-clock, never output. The
+//! coordinator computes each epoch's merge point deterministically,
+//! whole L2 domains step privately to it on pinned workers, and the
+//! merge folds per-shard accounting in shard order, so there is no
+//! order in which threads can interleave that is visible to the
+//! simulation. A failure here means a shard boundary leaked (e.g. two
+//! cores sharing an L2 landed on different workers) and would show up
+//! as irreproducible paper tables.
+//!
+//! Besides the property tests, deterministic tests below pin the epoch
+//! boundary edge cases: an epoch bound landing exactly on a checkpoint
+//! boundary, the single-shard degenerate machine, more executors than
+//! shards (and uneven shard-to-executor mappings), and kill-resume
+//! under epoch stepping.
 
 use mtb_bench::lint::record_hash;
-use mtb_core::balance::{execute, StaticRun};
+use mtb_core::balance::{execute, execute_chunked, prepare, StaticRun};
 use mtb_core::paper_cases::Case;
 use mtb_core::policy::PrioritySetting;
+use mtb_core::NoCheckpoint;
 use mtb_mpisim::engine::Stepping;
+use mtb_mpisim::NullObserver;
 use mtb_oskernel::CtxAddr;
 use mtb_workloads::MetBenchConfig;
 
@@ -143,6 +153,174 @@ proptest! {
         prop_assert!(
             hashes.iter().all(|h| *h == hashes[0]),
             "meso record hash drifted across jobs {JOBS:?}: {hashes:x?}"
+        );
+    }
+}
+
+/// A small cycle-fidelity workload for the deterministic edge-case
+/// tests below.
+fn edge_cfg(seed: u64) -> MetBenchConfig {
+    MetBenchConfig {
+        iterations: 2,
+        scale: 2e-7,
+        heavy_ranks: vec![1],
+        seed,
+        ..MetBenchConfig::default()
+    }
+}
+
+fn edge_case(placement: &[CtxAddr], prios: &[PrioritySetting]) -> Case {
+    Case {
+        name: "parallel-identity-edge",
+        placement: placement.to_vec(),
+        priorities: prios.to_vec(),
+    }
+}
+
+/// Epoch bound exactly on a checkpoint boundary: with
+/// `checkpoint_every(1)` every single engine event window ends at a
+/// checkpoint, so each epoch's merge point coincides with a forced
+/// checkpoint merge. The chunked run must equal the straight run at
+/// every thread count.
+#[test]
+fn epoch_bound_on_checkpoint_boundary_identical_across_jobs() {
+    ensure_workers();
+    let cfg = edge_cfg(0xC0FFEE);
+    let programs = cfg.programs();
+    let placement: Vec<CtxAddr> = (0..4).map(|r| CtxAddr::from_cpu(2 * r)).collect();
+    let prios: Vec<PrioritySetting> = vec![PrioritySetting::ProcFs(5); 4];
+    let case = edge_case(&placement, &prios);
+    let mk = |jobs: usize| {
+        StaticRun::new(&programs, placement.clone())
+            .with_priorities(prios.clone())
+            .on_cluster(2, 2)
+            .with_stepping(Stepping::EventHorizon)
+            .cycle_accurate()
+            .with_threads(jobs)
+    };
+    let straight = record_hash(&case, &execute(mk(1)).expect("straight run"));
+    for jobs in JOBS {
+        let chunked = execute_chunked(
+            mk(jobs).with_checkpoint_every(1),
+            None,
+            &mut NullObserver,
+            &mut NoCheckpoint,
+        )
+        .expect("chunked run");
+        assert_eq!(
+            record_hash(&case, &chunked),
+            straight,
+            "checkpoint-per-event run drifted at {jobs} jobs"
+        );
+    }
+}
+
+/// Single-shard degenerate machine: one node, two cores in one L2
+/// domain — the shard plan has exactly one shard, the parallel path is
+/// skipped, and extra jobs must change nothing.
+#[test]
+fn single_shard_machine_identical_across_jobs() {
+    ensure_workers();
+    let cfg = edge_cfg(0xB0A7);
+    let programs = cfg.programs();
+    // SMT-paired placement: 4 ranks on the 4 hardware contexts of 2 cores.
+    let placement: Vec<CtxAddr> = (0..4).map(CtxAddr::from_cpu).collect();
+    let prios: Vec<PrioritySetting> = vec![PrioritySetting::ProcFs(4); 4];
+    let case = edge_case(&placement, &prios);
+    let hashes: Vec<u64> = JOBS
+        .iter()
+        .map(|&jobs| {
+            let run = StaticRun::new(&programs, placement.clone())
+                .with_priorities(prios.clone())
+                .on_cluster(1, 2)
+                .with_stepping(Stepping::EventHorizon)
+                .cycle_accurate()
+                .with_threads(jobs);
+            record_hash(&case, &execute(run).expect("run failed"))
+        })
+        .collect();
+    assert!(
+        hashes.iter().all(|h| *h == hashes[0]),
+        "single-shard machine drifted across jobs {JOBS:?}: {hashes:x?}"
+    );
+}
+
+/// Uneven shard-to-executor mappings: 4 single-core nodes give 4 shards;
+/// 3 executors leave one executor with two shards, and 8 executors leave
+/// more executors than shards (some workers idle through the epoch).
+#[test]
+fn uneven_executor_mappings_identical() {
+    ensure_workers();
+    let cfg = edge_cfg(0x5EED);
+    let programs = cfg.programs();
+    let placement: Vec<CtxAddr> = (0..4).map(|r| CtxAddr::from_cpu(2 * r)).collect();
+    let prios: Vec<PrioritySetting> = vec![PrioritySetting::ProcFs(3); 4];
+    let case = edge_case(&placement, &prios);
+    let hashes: Vec<u64> = [1usize, 2, 3, 8]
+        .iter()
+        .map(|&jobs| {
+            let run = StaticRun::new(&programs, placement.clone())
+                .with_priorities(prios.clone())
+                .on_cluster(4, 1)
+                .with_stepping(Stepping::Quantum)
+                .with_threads(jobs);
+            record_hash(&case, &execute(run).expect("run failed"))
+        })
+        .collect();
+    assert!(
+        hashes.iter().all(|h| *h == hashes[0]),
+        "uneven executor mapping drifted across jobs [1, 2, 3, 8]: {hashes:x?}"
+    );
+}
+
+/// Kill-resume under epoch stepping: step a few events, snapshot, drop
+/// the engine mid-run, rebuild from scratch, restore, and finish — at
+/// every thread count the result must equal the straight single-shot
+/// run. Checkpoint boundaries are forced merge points, so no shard
+/// carries private state across the snapshot.
+#[test]
+fn kill_resume_under_epoch_stepping_identical_across_jobs() {
+    ensure_workers();
+    let cfg = edge_cfg(0xDEAD);
+    let programs = cfg.programs();
+    let placement: Vec<CtxAddr> = (0..4).map(|r| CtxAddr::from_cpu(2 * r)).collect();
+    let prios: Vec<PrioritySetting> = vec![
+        PrioritySetting::ProcFs(5),
+        PrioritySetting::ProcFs(2),
+        PrioritySetting::ProcFs(5),
+        PrioritySetting::ProcFs(2),
+    ];
+    let case = edge_case(&placement, &prios);
+    let mk = |jobs: usize| {
+        StaticRun::new(&programs, placement.clone())
+            .with_priorities(prios.clone())
+            .on_cluster(2, 2)
+            .with_stepping(Stepping::EventHorizon)
+            .cycle_accurate()
+            .with_threads(jobs)
+    };
+    let straight = record_hash(&case, &execute(mk(1)).expect("straight run"));
+    for jobs in JOBS {
+        let mut first = prepare(&mk(jobs)).expect("prepare failed");
+        let done = first
+            .step_events(&mut NullObserver, 5)
+            .expect("step failed");
+        let result = if done {
+            first.into_result()
+        } else {
+            let state = first.save_state();
+            drop(first); // the "kill": the original engine and its workers die
+            let mut second = prepare(&mk(jobs)).expect("re-prepare failed");
+            second.restore_state(&state).expect("restore failed");
+            assert!(second
+                .step_events(&mut NullObserver, u64::MAX)
+                .expect("finish failed"));
+            second.into_result()
+        };
+        assert_eq!(
+            record_hash(&case, &result),
+            straight,
+            "kill-resume drifted at {jobs} jobs"
         );
     }
 }

@@ -85,9 +85,12 @@ pub struct StaticRun<'a> {
     /// Time-advance strategy ([`Stepping::Auto`] by default: event jumps
     /// for mesoscale fidelity, quantum stepping for cycle fidelity).
     pub stepping: Stepping,
-    /// Intra-run worker threads for machine stepping (default 1). Results
-    /// are bit-identical at any setting, so this is deliberately excluded
-    /// from config/record hashing.
+    /// Intra-run worker threads for machine stepping (default 1). Each
+    /// engine event window is one *epoch*: shards step privately to the
+    /// window's deterministic merge point, then the coordinator merges
+    /// their accounting. Permits are acquired per epoch and released
+    /// after it, and results are bit-identical at any setting, so this
+    /// is deliberately excluded from config/record hashing.
     pub threads: usize,
     /// Offer a checkpoint to the sink every N engine events (`None`
     /// disables checkpointing). Pure persistence knob: the event
@@ -304,7 +307,10 @@ impl CheckpointSink for NoCheckpoint {
 ///
 /// Chunked stepping visits bit-for-bit the same states as a straight
 /// run, so the result is identical to [`execute_with`] for any chunk
-/// size, any resume point, and any sink.
+/// size, any resume point, and any sink. Under epoch-based sharded
+/// stepping every checkpoint boundary is also a forced merge point —
+/// shards never hold private state across a boundary — so a snapshot
+/// taken here restores identically at any thread count.
 pub fn execute_chunked(
     run: StaticRun<'_>,
     resume: Option<&EngineState>,

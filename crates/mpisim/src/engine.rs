@@ -331,13 +331,17 @@ pub struct SimConfig {
     /// Time-advance strategy; see [`Stepping`].
     pub stepping: Stepping,
     /// Intra-run worker threads for machine stepping (1 = sequential).
-    /// Between events the machines/cores are independent, so each advance
-    /// window shards them across workers; message delivery and collective
-    /// release stay on the coordinating thread at the barrier. Extra
-    /// threads are drawn from the global permit budget (so sweep-level and
-    /// run-level parallelism compose without oversubscription) and results
-    /// are bit-identical at any setting — `threads` therefore does *not*
-    /// enter any record/config hash.
+    /// Each advance window is one **epoch** whose bound is fixed before
+    /// any core moves (earliest pending event, kernel quantum, or
+    /// checkpoint boundary — nothing a core can change mid-epoch), so
+    /// share-group shards step privately on persistent pinned workers
+    /// and the coordinator merges per-shard accounting once per epoch;
+    /// message delivery and collective release stay on the coordinator
+    /// at the merge point. Extra threads are drawn from the global permit
+    /// budget *per epoch* (so sweep-level and run-level parallelism
+    /// compose without oversubscription, and an idle run holds no
+    /// permits) and results are bit-identical at any setting — `threads`
+    /// therefore does *not* enter any record/config hash.
     pub threads: usize,
 }
 
@@ -415,6 +419,11 @@ pub struct RunResult {
     pub comm_log: Vec<CommEvent>,
     /// Total execution time in cycles.
     pub total_cycles: Cycles,
+    /// Structured runtime notes (stable `MTB-*` codes with explanations),
+    /// e.g. a sharding collapse caused by a non-contiguous placement.
+    /// Derived from the configuration alone — never from thread count or
+    /// schedule — so they are safe to include in record hashes.
+    pub notes: Vec<String>,
 }
 
 impl RunResult {
@@ -888,6 +897,7 @@ impl Engine {
                 .collect(),
             comm_log: self.comm_log,
             total_cycles: end,
+            notes: self.machine.runtime_notes(),
             timelines,
             metrics,
         }

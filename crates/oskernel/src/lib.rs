@@ -26,7 +26,9 @@ pub mod process;
 pub mod topology;
 
 pub use kernel::{KernelConfig, KernelFlavour};
-pub use machine::{CtxSnapshot, Machine, MachineError, MachineState, WaitPolicy};
+pub use machine::{
+    CtxSnapshot, Machine, MachineError, MachineState, WaitPolicy, SHARD_COLLAPSE_CODE,
+};
 pub use noise::NoiseSource;
 pub use priority_iface::{PriorityError, SetVia};
 pub use process::{CtxAddr, Pcb};

@@ -5,12 +5,17 @@
 //! (as the paper's experiments pin MPI ranks to CPUs), a kernel flavour
 //! governing priority behaviour, and a set of noise sources.
 //!
-//! Time advances through [`Machine::advance`], which segments the interval
-//! at noise boundaries: while a noise window is active on a context, the
-//! pinned process is suspended (it retires nothing and accumulates
-//! `interrupt_cycles`), and — on a vanilla kernel — the context's hardware
-//! priority is clobbered to MEDIUM and *stays there* afterwards, which is
-//! precisely why the paper had to patch the kernel (Section VI).
+//! Time advances through [`Machine::advance`]. Each call is one **epoch**:
+//! the interval `[now, now + dt)` is split into share-group shards that
+//! step privately — segmenting at their *own* noise boundaries, entering
+//! and exiting handler windows for their own contexts, and accumulating
+//! per-context deltas into scratch — and the coordinator merges the
+//! accounting into the process table at the single merge point at the
+//! end. While a noise window is active on a context, the pinned process
+//! is suspended (it retires nothing and accumulates `interrupt_cycles`),
+//! and — on a vanilla kernel — the context's hardware priority is
+//! clobbered to MEDIUM and *stays there* afterwards, which is precisely
+//! why the paper had to patch the kernel (Section VI).
 
 use std::collections::BTreeMap;
 
@@ -18,7 +23,7 @@ use crate::kernel::KernelConfig;
 use crate::noise::NoiseSource;
 use crate::priority_iface::{validate, PriorityError, SetVia};
 use crate::process::{CtxAddr, Pcb, ProcRunState};
-use mtb_pool::Pool;
+use mtb_pool::ShardedRunner;
 use mtb_smtsim::model::{CoreModel, Workload};
 use mtb_smtsim::{HwPriority, PrivilegeLevel, ThreadId};
 use mtb_trace::Cycles;
@@ -64,7 +69,7 @@ pub struct CtxSnapshot {
 /// Plain-data snapshot of the machine's full mutable state: current time,
 /// every core's [`mtb_smtsim::CoreState`], the process table and the
 /// context bookkeeping. Static structure — kernel flavour, noise sources,
-/// wait policy, pool — is *not* captured; a restore target is built from
+/// wait policy, runner — is *not* captured; a restore target is built from
 /// the same configuration first ([`Machine::restore_state`] validates the
 /// shape).
 #[derive(Debug, Clone, PartialEq)]
@@ -79,6 +84,16 @@ pub struct MachineState {
     pub ctx_owner: Vec<[Option<usize>; 2]>,
     /// Per-context bookkeeping, parallel to `cores`.
     pub ctx_state: Vec<[CtxSnapshot; 2]>,
+}
+
+/// Per-context accounting deltas accumulated shard-privately during one
+/// epoch and merged into the PCBs by the coordinator at the merge point.
+#[derive(Debug, Clone, Copy, Default)]
+struct CtxAcct {
+    retired: u64,
+    busy: Cycles,
+    spin: Cycles,
+    irq: Cycles,
 }
 
 /// Per-context bookkeeping.
@@ -164,11 +179,18 @@ pub struct Machine {
     noise: Vec<NoiseSource>,
     wait_policy: WaitPolicy,
     now: Cycles,
-    /// Worker pool for sharded core stepping (None = sequential).
-    pool: Option<Pool>,
-    /// Reused per-core retire buffer for [`Machine::advance`].
-    retired_scratch: Vec<[u64; 2]>,
+    /// Epoch runner for sharded core stepping (None = sequential).
+    runner: Option<ShardedRunner>,
+    /// Reused per-context accounting buffer for [`Machine::advance`].
+    acct_scratch: Vec<[CtxAcct; 2]>,
 }
+
+/// The stable diagnostic code emitted when a non-contiguous share-group
+/// layout collapses sharded stepping to a single shard. The same string
+/// is published as `mtb_verify::diag::codes::SHARD_COLLAPSE` (the two are
+/// asserted equal by a bench test); it lives here too because `mtb-verify`
+/// depends on this crate, not the other way around.
+pub const SHARD_COLLAPSE_CODE: &str = "MTB-SHARD-COLLAPSE";
 
 impl Machine {
     /// Build a machine over the given cores and kernel.
@@ -185,8 +207,8 @@ impl Machine {
             noise: Vec::new(),
             wait_policy: WaitPolicy::default(),
             now: 0,
-            pool: None,
-            retired_scratch: Vec::with_capacity(n),
+            runner: None,
+            acct_scratch: Vec::with_capacity(n),
         };
         // Idle contexts start at the kernel's idle priority so they donate
         // their decode bandwidth (Section VI-A case 3).
@@ -203,17 +225,17 @@ impl Machine {
         self.now
     }
 
-    /// Request `threads` executors for core stepping, drawn from the
-    /// global permit budget (1 = sequential, drop any pool). Results are
-    /// bit-identical at any setting — see [`Machine::advance`].
+    /// Request `threads` executors for epoch stepping, drawing per-epoch
+    /// permits from the global budget (1 = sequential, drop any runner).
+    /// Results are bit-identical at any setting — see [`Machine::advance`].
     pub fn set_parallelism(&mut self, threads: usize) {
-        self.pool = (threads > 1).then(|| Pool::new(threads));
+        self.runner = (threads > 1).then(|| ShardedRunner::new(threads));
     }
 
-    /// As [`Machine::set_parallelism`] but with an explicit pool (tests
+    /// As [`Machine::set_parallelism`] but with an explicit runner (tests
     /// with private budgets).
-    pub fn set_pool(&mut self, pool: Option<Pool>) {
-        self.pool = pool;
+    pub fn set_runner(&mut self, runner: Option<ShardedRunner>) {
+        self.runner = runner;
     }
 
     /// The kernel configuration in force.
@@ -534,108 +556,129 @@ impl Machine {
     /// Advance simulated time by `dt` cycles, delivering noise windows and
     /// accumulating per-process progress.
     ///
-    /// Within each noise-free segment the cores are independent except
-    /// through their advertised [`CoreModel::share_group`]s, so with a
-    /// pool attached ([`Machine::set_parallelism`]) the segment is sharded
-    /// across workers: each shard advances its cores in index order and
-    /// writes into its own pre-sized slice of a scratch buffer. All
-    /// bookkeeping that crosses cores — noise-handler transitions and the
-    /// per-process accounting below — runs on the coordinating thread in
-    /// core order, so the observable state is bit-identical at any worker
-    /// count.
+    /// The interval is one **epoch**: `end = now + dt` is a deterministic
+    /// merge point fixed before any core moves (the caller — the event
+    /// engine — derives `dt` from pending events, the kernel quantum, or
+    /// a checkpoint boundary, none of which a core can change mid-epoch).
+    /// Cores are grouped into shards by [`CoreModel::share_group`]
+    /// (shared-resource domains stay together), and each shard steps
+    /// privately through the whole epoch — segmenting at the noise
+    /// boundaries of *its own* contexts, flipping its own handler state,
+    /// and accumulating per-context deltas into its own scratch slice.
+    /// At the merge point the coordinator folds the deltas into the
+    /// process table in core order.
+    ///
+    /// Shards never read or write another shard's state, and the shard
+    /// plan depends only on the core topology — never on the thread
+    /// count — so the result is bit-identical at any parallelism,
+    /// including the sequential path (which steps the same shards in
+    /// index order). With a runner attached ([`Machine::set_parallelism`])
+    /// the whole epoch costs one dispatch and one merge wait, however
+    /// many noise segments it contains.
     pub fn advance(&mut self, dt: Cycles) {
-        let end = self.now + dt;
-        while self.now < end {
-            self.sync_handler_state();
-            let nb = self
-                .next_boundary(self.now)
-                .map_or(end, |b| b.min(end))
-                .max(self.now + 1);
-            let seg = nb - self.now;
+        let start = self.now;
+        let end = start + dt;
+        let (bounds, _) = Self::shard_plan(&self.cores);
+        let Machine {
+            cores,
+            kernel,
+            procs,
+            ctx_owner,
+            ctx_state,
+            noise,
+            runner,
+            acct_scratch,
+            ..
+        } = self;
+        acct_scratch.clear();
+        acct_scratch.resize(cores.len(), [CtxAcct::default(); 2]);
 
-            Self::advance_cores(&mut self.cores, &mut self.retired_scratch, &self.pool, seg);
-            for core_idx in 0..self.cores.len() {
-                let retired = self.retired_scratch[core_idx];
-                for t in ThreadId::BOTH {
-                    if let Some(pid) = self.ctx_owner[core_idx][t.index()] {
-                        let st = &self.ctx_state[core_idx][t.index()];
-                        let counting = st.counting;
-                        let occupied = st.installed.is_some();
-                        let in_handler = st.in_handler;
-                        let pcb = self.procs.get_mut(&pid).expect("owner pid exists");
-                        if counting {
-                            pcb.retired += retired[t.index()];
-                        }
-                        if in_handler && pcb.state == ProcRunState::Running {
-                            pcb.interrupt_cycles += seg;
-                        } else if occupied {
-                            if counting {
-                                pcb.busy_cycles += seg;
-                            } else {
-                                pcb.spin_cycles += seg;
-                            }
-                        }
-                    }
-                }
-            }
-            self.now = nb;
-        }
-        self.sync_handler_state();
-    }
-
-    /// Advance every core by `seg`, writing per-core retire counts into
-    /// `out[core]`. Cores are grouped into shards by
-    /// [`CoreModel::share_group`] (shared-resource domains stay together
-    /// and advance in index order) and the shards scatter over the pool;
-    /// without a pool — or when everything shares one domain — this is the
-    /// plain sequential loop.
-    #[allow(clippy::type_complexity)]
-    fn advance_cores(
-        cores: &mut [Box<dyn CoreModel>],
-        out: &mut Vec<[u64; 2]>,
-        pool: &Option<Pool>,
-        seg: Cycles,
-    ) {
-        out.clear();
-        out.resize(cores.len(), [0, 0]);
-        let sequential = |cores: &mut [Box<dyn CoreModel>], out: &mut [[u64; 2]]| {
-            for (core, slot) in cores.iter_mut().zip(out.iter_mut()) {
-                *slot = core.advance(seg);
-            }
-        };
-        match pool {
-            Some(pool) if pool.threads() > 1 => {
-                let bounds = Self::shard_bounds(cores);
-                if bounds.len() <= 2 {
-                    sequential(cores, out);
-                    return;
-                }
-                let mut shards: Vec<(&mut [Box<dyn CoreModel>], &mut [[u64; 2]])> = Vec::new();
-                let (mut cs, mut os): (&mut [Box<dyn CoreModel>], &mut [[u64; 2]]) =
-                    (cores, &mut out[..]);
-                for w in bounds.windows(2) {
-                    let len = w[1] - w[0];
-                    let (ch, cr) = cs.split_at_mut(len);
-                    let (oh, or) = os.split_at_mut(len);
-                    shards.push((ch, oh));
-                    cs = cr;
-                    os = or;
-                }
-                pool.scatter(shards, |_, (shard, slots)| {
-                    for (core, slot) in shard.iter_mut().zip(slots.iter_mut()) {
-                        *slot = core.advance(seg);
-                    }
+        let use_runner = matches!(runner, Some(r) if r.threads() > 1) && bounds.len() > 2;
+        if use_runner {
+            let runner = runner.as_mut().expect("checked above");
+            let mut shards: Vec<Shard<'_>> = Vec::with_capacity(bounds.len() - 1);
+            let mut cs: &mut [Box<dyn CoreModel>] = cores;
+            let mut ss: &mut [[CtxState; 2]] = ctx_state;
+            let mut accts: &mut [[CtxAcct; 2]] = acct_scratch;
+            let mut owners: &[[Option<usize>; 2]] = ctx_owner;
+            let mut base = 0;
+            for w in bounds.windows(2) {
+                let len = w[1] - w[0];
+                let (ch, cr) = cs.split_at_mut(len);
+                let (sh, sr) = ss.split_at_mut(len);
+                let (ah, ar) = accts.split_at_mut(len);
+                let (oh, or) = owners.split_at(len);
+                shards.push(Shard {
+                    base,
+                    cores: ch,
+                    ctx_state: sh,
+                    acct: ah,
+                    ctx_owner: oh,
+                    procs,
+                    noise,
+                    kernel,
                 });
+                cs = cr;
+                ss = sr;
+                accts = ar;
+                owners = or;
+                base += len;
             }
-            _ => sequential(cores, out),
+            runner.run_epoch(shards, |_, mut shard| shard.advance_epoch(start, end));
+        } else {
+            let mut base = 0;
+            let mut cs: &mut [Box<dyn CoreModel>] = cores;
+            let mut ss: &mut [[CtxState; 2]] = ctx_state;
+            let mut accts: &mut [[CtxAcct; 2]] = acct_scratch;
+            let mut owners: &[[Option<usize>; 2]] = ctx_owner;
+            for w in bounds.windows(2) {
+                let len = w[1] - w[0];
+                let (ch, cr) = cs.split_at_mut(len);
+                let (sh, sr) = ss.split_at_mut(len);
+                let (ah, ar) = accts.split_at_mut(len);
+                let (oh, or) = owners.split_at(len);
+                let mut shard = Shard {
+                    base,
+                    cores: ch,
+                    ctx_state: sh,
+                    acct: ah,
+                    ctx_owner: oh,
+                    procs,
+                    noise,
+                    kernel,
+                };
+                shard.advance_epoch(start, end);
+                cs = cr;
+                ss = sr;
+                accts = ar;
+                owners = or;
+                base += len;
+            }
         }
+
+        // The merge point: fold per-context deltas into the PCBs, in core
+        // order (deterministic regardless of how the epoch was scheduled).
+        for (core_idx, pair) in acct_scratch.iter().enumerate() {
+            for t in ThreadId::BOTH {
+                if let Some(pid) = ctx_owner[core_idx][t.index()] {
+                    let a = pair[t.index()];
+                    let pcb = procs.get_mut(&pid).expect("owner pid exists");
+                    pcb.retired += a.retired;
+                    pcb.busy_cycles += a.busy;
+                    pcb.spin_cycles += a.spin;
+                    pcb.interrupt_cycles += a.irq;
+                }
+            }
+        }
+        self.now = end;
     }
 
-    /// Shard boundaries (as a fencepost list `[0, ..., n]`) grouping
-    /// consecutive cores of the same share group. If a share group ever
-    /// appeared non-contiguously the whole machine collapses to one shard
-    /// — correctness over speed.
-    fn shard_bounds(cores: &[Box<dyn CoreModel>]) -> Vec<usize> {
+    /// The shard plan: boundaries (as a fencepost list `[0, ..., n]`)
+    /// grouping consecutive cores of the same share group, plus whether a
+    /// non-contiguous share group forced a collapse to one machine-wide
+    /// shard (correctness over speed). The plan depends only on the core
+    /// topology, never on the thread count.
+    fn shard_plan(cores: &[Box<dyn CoreModel>]) -> (Vec<usize>, bool) {
         let mut bounds = vec![0];
         let mut seen: Vec<usize> = Vec::new();
         for i in 1..cores.len() {
@@ -647,14 +690,37 @@ impl Machine {
                 }
                 if let Some(g) = cur {
                     if seen.contains(&g) {
-                        return vec![0, cores.len()];
+                        return (vec![0, cores.len()], true);
                     }
                 }
                 bounds.push(i);
             }
         }
         bounds.push(cores.len());
-        bounds
+        (bounds, false)
+    }
+
+    /// True when a non-contiguous share-group layout forces
+    /// [`Machine::advance`] to run as one shard, so intra-run threads buy
+    /// nothing. A property of the core topology alone — independent of
+    /// whether a runner is attached or how many threads it has.
+    pub fn sharding_degraded(&self) -> bool {
+        Self::shard_plan(&self.cores).1
+    }
+
+    /// Structured notes about this machine's runtime configuration,
+    /// suitable for embedding in a run record. Currently the only note is
+    /// [`SHARD_COLLAPSE_CODE`]. Derived from topology alone, so the notes
+    /// are identical at every thread count and safe to hash.
+    pub fn runtime_notes(&self) -> Vec<String> {
+        let mut notes = Vec::new();
+        if self.sharding_degraded() {
+            notes.push(format!(
+                "{SHARD_COLLAPSE_CODE}: non-contiguous share groups collapse sharded \
+                 stepping to one shard; --jobs cannot speed this run up"
+            ));
+        }
+        notes
     }
 
     /// Capture the machine's full mutable state (checkpointing). Restoring
@@ -732,59 +798,130 @@ impl Machine {
         self.now = s.now;
         Ok(())
     }
+}
 
-    /// Enter/exit noise windows according to the current time.
-    fn sync_handler_state(&mut self) {
-        for core_idx in 0..self.cores.len() {
-            for t in ThreadId::BOTH {
+/// One shard of an epoch: a contiguous run of cores (whole share-group
+/// domains) with exclusive mutable access to their models, context state
+/// and accounting scratch, plus shared read access to the process table,
+/// noise sources and kernel configuration. Everything a shard mutates it
+/// owns, which is what makes the epoch schedule-independent.
+struct Shard<'a> {
+    /// Global index of the first core in this shard; the slices below are
+    /// indexed shard-locally.
+    base: usize,
+    cores: &'a mut [Box<dyn CoreModel>],
+    ctx_state: &'a mut [[CtxState; 2]],
+    acct: &'a mut [[CtxAcct; 2]],
+    ctx_owner: &'a [[Option<usize>; 2]],
+    procs: &'a BTreeMap<usize, Pcb>,
+    noise: &'a [NoiseSource],
+    kernel: &'a KernelConfig,
+}
+
+impl Shard<'_> {
+    fn owns(&self, core: usize) -> bool {
+        (self.base..self.base + self.cores.len()).contains(&core)
+    }
+
+    /// The next time >= `t` at which a noise source targeting this shard
+    /// changes state.
+    fn next_boundary(&self, t: Cycles) -> Option<Cycles> {
+        self.noise
+            .iter()
+            .filter(|s| self.owns(s.target.core))
+            .map(|s| s.next_boundary(t))
+            .min()
+    }
+
+    /// Step this shard privately from `start` to the epoch bound `end`,
+    /// segmenting at the shard's own noise boundaries and accumulating
+    /// per-context deltas into the scratch slice.
+    fn advance_epoch(&mut self, start: Cycles, end: Cycles) {
+        let mut t = start;
+        while t < end {
+            self.sync_handlers(t);
+            let nb = self.next_boundary(t).map_or(end, |b| b.min(end)).max(t + 1);
+            let seg = nb - t;
+            for k in 0..self.cores.len() {
+                let retired = self.cores[k].advance(seg);
+                for th in ThreadId::BOTH {
+                    let ti = th.index();
+                    let Some(pid) = self.ctx_owner[k][ti] else {
+                        continue;
+                    };
+                    let st = &self.ctx_state[k][ti];
+                    let running = self.procs[&pid].state == ProcRunState::Running;
+                    let a = &mut self.acct[k][ti];
+                    if st.counting {
+                        a.retired += retired[ti];
+                    }
+                    if st.in_handler && running {
+                        a.irq += seg;
+                    } else if st.installed.is_some() {
+                        if st.counting {
+                            a.busy += seg;
+                        } else {
+                            a.spin += seg;
+                        }
+                    }
+                }
+            }
+            t = nb;
+        }
+        self.sync_handlers(end);
+    }
+
+    /// Enter/exit noise windows for this shard's contexts at time `t`.
+    fn sync_handlers(&mut self, t: Cycles) {
+        for k in 0..self.cores.len() {
+            for th in ThreadId::BOTH {
                 let addr = CtxAddr {
-                    core: core_idx,
-                    thread: t,
+                    core: self.base + k,
+                    thread: th,
                 };
                 let active = self
                     .noise
                     .iter()
-                    .any(|s| s.target == addr && s.active_at(self.now));
-                let in_handler = self.ctx_state[core_idx][t.index()].in_handler;
+                    .any(|s| s.target == addr && s.active_at(t));
+                let in_handler = self.ctx_state[k][th.index()].in_handler;
                 if active && !in_handler {
-                    self.enter_handler(addr);
+                    self.enter_handler(k, th);
                 } else if !active && in_handler {
-                    self.exit_handler(addr);
+                    self.exit_handler(k, th);
                 }
             }
         }
     }
 
-    fn enter_handler(&mut self, addr: CtxAddr) {
-        let st = &mut self.ctx_state[addr.core][addr.thread.index()];
+    fn enter_handler(&mut self, k: usize, thread: ThreadId) {
+        let st = &mut self.ctx_state[k][thread.index()];
         st.in_handler = true;
         // The pinned process stops making progress for the window.
-        self.cores[addr.core].clear(addr.thread);
+        self.cores[k].clear(thread);
         // Stock kernels reset the hardware priority to MEDIUM on handler
         // entry (Section VI-A); the patch removed that code.
         if self.kernel.flavour.resets_priority_on_interrupt() {
-            self.cores[addr.core].set_priority(addr.thread, self.kernel.handler_priority);
+            self.cores[k].set_priority(thread, self.kernel.handler_priority);
         }
     }
 
-    fn exit_handler(&mut self, addr: CtxAddr) {
-        let ti = addr.thread.index();
-        self.ctx_state[addr.core][ti].in_handler = false;
-        let installed = self.ctx_state[addr.core][ti].installed.clone();
+    fn exit_handler(&mut self, k: usize, thread: ThreadId) {
+        let ti = thread.index();
+        self.ctx_state[k][ti].in_handler = false;
+        let installed = self.ctx_state[k][ti].installed.clone();
         match installed {
             Some(w) => {
-                let pid = self.ctx_owner[addr.core][ti].expect("installed implies owner");
+                let pid = self.ctx_owner[k][ti].expect("installed implies owner");
                 let wish = self.procs[&pid].hmt_priority;
-                self.cores[addr.core].assign(addr.thread, w);
+                self.cores[k].assign(thread, w);
                 // Vanilla: the kernel does not know the previous priority,
                 // so the context stays at the handler value. Patched: the
                 // wish survives.
-                self.cores[addr.core]
-                    .set_priority(addr.thread, self.kernel.priority_after_interrupt(wish));
+                self.cores[k].set_priority(thread, self.kernel.priority_after_interrupt(wish));
             }
             None => {
-                self.cores[addr.core].clear(addr.thread);
-                self.cores[addr.core].set_priority(addr.thread, self.kernel.idle_priority);
+                self.cores[k].clear(thread);
+                self.cores[k].set_priority(thread, self.kernel.idle_priority);
             }
         }
     }
@@ -979,7 +1116,7 @@ mod tests {
         assert_eq!(run(), run());
     }
 
-    /// Sharded stepping must be bit-identical to sequential stepping for
+    /// Epoch stepping must be bit-identical at every thread count for
     /// both fidelities, including across noise-boundary segmentation.
     #[test]
     fn parallel_advance_matches_sequential() {
@@ -996,7 +1133,10 @@ mod tests {
                 let cores = build_cores_grouped(4, &fidelity, 2);
                 let mut m = Machine::new(cores, KernelConfig::patched());
                 if threads > 1 {
-                    m.set_pool(Some(Pool::with_budget(threads, Arc::new(Budget::new(16)))));
+                    m.set_runner(Some(ShardedRunner::with_budget(
+                        threads,
+                        Arc::new(Budget::new(16)),
+                    )));
                 }
                 for cpu in 0..8 {
                     m.spawn(cpu, format!("P{cpu}"), CtxAddr::from_cpu(cpu))
@@ -1020,6 +1160,66 @@ mod tests {
                 assert_eq!(run(t), base, "drift at {t} threads ({fidelity:?})");
             }
         }
+    }
+
+    /// A non-contiguous share-group layout must collapse sharding (for
+    /// correctness), surface through [`Machine::sharding_degraded`], and
+    /// put the stable `MTB-SHARD-COLLAPSE` code in the runtime notes —
+    /// while a contiguous layout reports nothing.
+    #[test]
+    fn non_contiguous_share_groups_degrade_and_are_reported() {
+        use mtb_smtsim::cache::Cache;
+        use mtb_smtsim::core::SharedCache;
+        use mtb_smtsim::{CoreConfig, SmtCore};
+        use std::sync::{Arc, Mutex};
+
+        let cfg = CoreConfig::default();
+        let mk_interleaved = || -> Vec<Box<dyn CoreModel>> {
+            let a: SharedCache = Arc::new(Mutex::new(Cache::new(cfg.l2)));
+            let b: SharedCache = Arc::new(Mutex::new(Cache::new(cfg.l2)));
+            (0..4)
+                .map(|i| {
+                    let l2 = if i % 2 == 0 { &a } else { &b };
+                    Box::new(SmtCore::with_l2(cfg.clone(), i as u8, Arc::clone(l2)))
+                        as Box<dyn CoreModel>
+                })
+                .collect()
+        };
+
+        let degraded = Machine::new(mk_interleaved(), KernelConfig::patched());
+        assert!(degraded.sharding_degraded());
+        let notes = degraded.runtime_notes();
+        assert_eq!(notes.len(), 1);
+        assert!(
+            notes[0].starts_with(SHARD_COLLAPSE_CODE),
+            "note leads with the stable code: {}",
+            notes[0]
+        );
+
+        // Topology-only: attaching a runner must not change the notes
+        // (they are hashed into run records).
+        let mut with_runner = Machine::new(mk_interleaved(), KernelConfig::patched());
+        with_runner.set_parallelism(4);
+        assert_eq!(with_runner.runtime_notes(), notes);
+
+        let contiguous = Machine::new(
+            mtb_smtsim::chip::build_cores_grouped(
+                4,
+                &mtb_smtsim::chip::Fidelity::Cycle(cfg.clone()),
+                2,
+            ),
+            KernelConfig::patched(),
+        );
+        assert!(!contiguous.sharding_degraded());
+        assert!(contiguous.runtime_notes().is_empty());
+
+        // And the collapsed machine still advances correctly (one shard).
+        let mut m = Machine::new(mk_interleaved(), KernelConfig::patched());
+        m.spawn(0, "P0", CtxAddr::from_cpu(0)).unwrap();
+        m.run_workload(0, Workload::from_spec("w", StreamSpec::balanced(1)))
+            .unwrap();
+        m.advance(5_000);
+        assert!(m.retired(0) > 0);
     }
 
     #[test]

@@ -7,13 +7,15 @@
 //! Larger configurations ([`ChipConfig::cores`] > 2) model a board of
 //! such chips: cores are grouped into L2 domains of
 //! [`ChipConfig::cores_per_l2`] cores each. Domains are independent, so
-//! [`Chip::advance_all`] can shard them across an [`mtb_pool::Pool`];
-//! cores *inside* a domain always advance sequentially in index order,
-//! which keeps every statistic bit-identical at any thread count.
+//! [`Chip::advance_all`] can run them as one epoch on an
+//! [`mtb_pool::ShardedRunner`] (persistent shard-pinned workers, one
+//! mailbox post per call); cores *inside* a domain always advance
+//! sequentially in index order, which keeps every statistic
+//! bit-identical at any thread count.
 
 use std::sync::{Arc, Mutex};
 
-use mtb_pool::Pool;
+use mtb_pool::ShardedRunner;
 
 use crate::cache::Cache;
 use crate::core::{CoreConfig, SharedCache, SmtCore};
@@ -54,7 +56,7 @@ pub struct Chip {
     cores: Vec<SmtCore>,
     l2s: Vec<SharedCache>,
     cores_per_l2: usize,
-    pool: Option<Pool>,
+    runner: Option<ShardedRunner>,
     /// Reused return buffer for [`Chip::advance_all`] (hot path: one call
     /// per engine quantum — no per-call allocation).
     retired_scratch: Vec<[u64; 2]>,
@@ -75,20 +77,21 @@ impl Chip {
             })
             .collect();
         let retired_scratch = Vec::with_capacity(cores.len());
-        let pool = (cfg.threads > 1).then(|| Pool::new(cfg.threads));
+        let runner = (cfg.threads > 1).then(|| ShardedRunner::new(cfg.threads));
         Chip {
             cores,
             l2s,
             cores_per_l2: group,
-            pool,
+            runner,
             retired_scratch,
         }
     }
 
-    /// Attach (or detach) a worker pool for [`Chip::advance_all`]. Results
-    /// are identical with or without one; only wall-clock time changes.
-    pub fn set_pool(&mut self, pool: Option<Pool>) {
-        self.pool = pool;
+    /// Attach (or detach) an epoch runner for [`Chip::advance_all`].
+    /// Results are identical with or without one; only wall-clock time
+    /// changes.
+    pub fn set_runner(&mut self, runner: Option<ShardedRunner>) {
+        self.runner = runner;
     }
 
     /// Number of cores.
@@ -120,27 +123,29 @@ impl Chip {
     /// instruction pairs (borrowed from an internal scratch buffer that is
     /// overwritten by the next call).
     ///
-    /// With a pool attached, independent L2 domains advance on separate
-    /// workers; each domain writes into its own pre-sized slice of the
-    /// scratch buffer, so the merge order — and therefore every statistic
-    /// and record hash — is fixed regardless of worker count or schedule.
+    /// With a runner attached, the call is one epoch: independent L2
+    /// domains step privately on shard-pinned workers and the caller
+    /// returns at the merge point. Each domain writes into its own
+    /// pre-sized slice of the scratch buffer, so the merge order — and
+    /// therefore every statistic and record hash — is fixed regardless of
+    /// worker count or schedule.
     pub fn advance_all(&mut self, cycles: Cycles) -> &[[u64; 2]] {
         let Chip {
             cores,
             retired_scratch,
             cores_per_l2,
-            pool,
+            runner,
             ..
         } = self;
         retired_scratch.clear();
         retired_scratch.resize(cores.len(), [0, 0]);
-        match pool {
-            Some(pool) if pool.threads() > 1 && cores.len() > *cores_per_l2 => {
+        match runner {
+            Some(runner) if runner.threads() > 1 && cores.len() > *cores_per_l2 => {
                 let shards: Vec<(&mut [SmtCore], &mut [[u64; 2]])> = cores
                     .chunks_mut(*cores_per_l2)
                     .zip(retired_scratch.chunks_mut(*cores_per_l2))
                     .collect();
-                pool.scatter(shards, |_, (domain, out)| {
+                runner.run_epoch(shards, |_, (domain, out)| {
                     for (core, slot) in domain.iter_mut().zip(out.iter_mut()) {
                         *slot = core.advance(cycles);
                     }
@@ -354,7 +359,7 @@ mod tests {
         assert_eq!(distinct.len(), 4, "8 cores form 4 L2 domains");
     }
 
-    /// An 8-core chip driven with and without pool workers, in several
+    /// An 8-core chip driven with and without epoch workers, in several
     /// advance-window patterns: every statistic must be bit-identical.
     #[test]
     fn parallel_advance_all_is_bit_identical() {
@@ -373,7 +378,7 @@ mod tests {
             // Workers must actually exist even on a loaded machine: draw
             // from a private, roomy budget.
             if threads > 1 {
-                chip.set_pool(Some(Pool::with_budget(
+                chip.set_runner(Some(ShardedRunner::with_budget(
                     threads,
                     std::sync::Arc::new(Budget::new(16)),
                 )));

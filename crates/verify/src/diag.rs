@@ -73,6 +73,44 @@ pub mod codes {
     /// A priority pair the decode-share model predicts will *invert* the
     /// compute imbalance (the paper's case-D hazard).
     pub const PRIO_INVERT: &str = "MTB-PRIO-INVERT";
+    /// A non-contiguous share-group (L2-domain) placement collapses the
+    /// machine's sharded stepping to a single shard: the run stays
+    /// correct but `--jobs` buys no intra-run speedup. The same string is
+    /// `mtb_oskernel::SHARD_COLLAPSE_CODE` (the runtime note embedded in
+    /// run records).
+    pub const SHARD_COLLAPSE: &str = "MTB-SHARD-COLLAPSE";
+}
+
+/// Check a per-core share-group layout (`groups[i]` = core *i*'s shared
+/// domain, `None` = independent) for the non-contiguous placement that
+/// forces the machine to advance as one shard. Returns the
+/// [`codes::SHARD_COLLAPSE`] warning when a domain reappears after a
+/// different domain interrupted it.
+pub fn check_share_groups(groups: &[Option<usize>]) -> Option<Diagnostic> {
+    let mut seen: Vec<usize> = Vec::new();
+    for i in 1..groups.len() {
+        let prev = groups[i - 1];
+        let cur = groups[i];
+        if cur.is_none() || cur != prev {
+            if let Some(g) = prev {
+                seen.push(g);
+            }
+            if let Some(g) = cur {
+                if seen.contains(&g) {
+                    return Some(Diagnostic::new(
+                        codes::SHARD_COLLAPSE,
+                        Severity::Warning,
+                        format!(
+                            "share group of core {i} already appeared earlier, \
+                             non-contiguously: sharded stepping collapses to one \
+                             shard and --jobs cannot speed this run up"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    None
 }
 
 /// One finding.
@@ -231,6 +269,26 @@ mod tests {
         assert_eq!(r.count(Severity::Error), 1);
         assert!(r.has_code(codes::DEADLOCK_CYCLE));
         assert!(!r.has_code(codes::PRIO_DIFF));
+    }
+
+    #[test]
+    fn share_group_check_flags_only_non_contiguous_layouts() {
+        // Contiguous pairs: fine.
+        assert_eq!(
+            check_share_groups(&[Some(1), Some(1), Some(2), Some(2)]),
+            None
+        );
+        // Independent cores: fine.
+        assert_eq!(check_share_groups(&[None, None, None]), None);
+        // One machine-wide domain: fine (legitimately one shard).
+        assert_eq!(check_share_groups(&[Some(9), Some(9), Some(9)]), None);
+        // Interleaved domains: the collapse hazard.
+        let d = check_share_groups(&[Some(1), Some(2), Some(1), Some(2)])
+            .expect("interleaved domains must be flagged");
+        assert_eq!(d.code, codes::SHARD_COLLAPSE);
+        assert_eq!(d.severity, Severity::Warning);
+        // A domain split by an independent core also collapses.
+        assert!(check_share_groups(&[Some(1), None, Some(1)]).is_some());
     }
 
     #[test]

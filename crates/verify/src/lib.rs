@@ -28,7 +28,7 @@ pub mod comm;
 pub mod diag;
 pub mod prio;
 
-pub use diag::{codes, Diagnostic, Report, Severity};
+pub use diag::{check_share_groups, codes, Diagnostic, Report, Severity};
 pub use prio::{CaseSpec, PrioritySpec, RankLoad};
 
 use mtb_mpisim::Program;
