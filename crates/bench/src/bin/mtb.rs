@@ -43,6 +43,7 @@ USAGE:
     mtb tables [N|all]                regenerate paper tables (default: all)
     mtb sweep --app <APP>             sweep the priority difference
     mtb lint [OPTIONS]                static analysis of programs + priorities
+    mtb suggest [OPTIONS]             rank (placement, priority) plans statically
     mtb bench [OPTIONS]               fast-path vs reference perf report
     mtb bisect-drift [OPTIONS]        locate the first divergent event window
     mtb checkpoint-identity [--smoke] prove save→fresh-process-resume identity
@@ -89,6 +90,17 @@ LINT OPTIONS:
     --selftest              determinism check: --jobs 1 vs --jobs N record hashes
     --jobs <n>              worker count the selftest compares against  [default: 8]
 
+SUGGEST OPTIONS:
+    --app <APP|all>         search one app or all four     [default: all]
+    --top <n>               plans to print per app         [default: 5]
+    --scale <f>             work multiplier for profile inference / validation
+    --validate              simulate the evaluation ladder and gate on the
+                            predicted-vs-simulated Spearman rank correlation
+                            (>= 0.9 per app) and on the top plan matching or
+                            beating the paper's best static setting
+    --json                  machine-readable output on stdout
+    --out <path>            also write the JSON document to a file
+
 BENCH OPTIONS:
     --smoke                 CI-sized cycle counts (seconds, not minutes)
     --out <path>            report destination        [default: BENCH_sim.json]
@@ -110,6 +122,7 @@ fn main() -> ExitCode {
         Some("tables") => cmd_tables(&args[1..]),
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
+        Some("suggest") => cmd_suggest(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("bisect-drift") => cmd_bisect(&args[1..]),
         Some("checkpoint-identity") => cmd_checkpoint_identity(&args[1..]),
@@ -793,4 +806,90 @@ fn ci_one_target(
     })();
     std::fs::remove_file(&snap).ok();
     result
+}
+
+fn cmd_suggest(args: &[String]) -> ExitCode {
+    use mtb_bench::suggest;
+
+    let (opts, flags) = match parse_opts(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let apps: Vec<&str> = match opts.get("app").map(String::as_str) {
+        None | Some("all") => suggest::SUGGEST_APPS.to_vec(),
+        Some(app) => vec![app],
+    };
+    let top: usize = opts.get("top").and_then(|s| s.parse().ok()).unwrap_or(5);
+    let ov = AppOverrides {
+        scale: opts.get("scale").and_then(|s| s.parse().ok()),
+        iterations: opts.get("iterations").and_then(|s| s.parse().ok()),
+        seed: opts.get("seed").and_then(|s| s.parse().ok()),
+    };
+    let json = flags.iter().any(|f| f == "json");
+    let out_path = opts.get("out").map(Path::new);
+
+    if flags.iter().any(|f| f == "validate") {
+        let mut validations = Vec::new();
+        for app in &apps {
+            match suggest::validate_app(app, ov) {
+                Ok(v) => validations.push(v),
+                Err(e) => {
+                    eprintln!("suggest --validate {app}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        let doc = suggest::validations_to_json(&validations);
+        if let Some(path) = out_path {
+            if let Err(e) = std::fs::write(path, doc.render()) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if json {
+            println!("{}", doc.render());
+        } else {
+            print!("{}", suggest::validations_to_text(&validations));
+        }
+        return if validations.iter().all(suggest::AppValidation::passes) {
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "calibration gate FAILED: rank correlation < {} or the top \
+                 plan loses to the paper's best setting",
+                suggest::MIN_RANK_CORRELATION
+            );
+            ExitCode::FAILURE
+        };
+    }
+
+    let mut docs = Vec::new();
+    for app in &apps {
+        match suggest::suggest(app, ov) {
+            Ok(s) => {
+                docs.push(suggest::suggestion_to_json(&s, top));
+                if !json {
+                    print!("{}", suggest::suggestion_to_text(&s, top));
+                }
+            }
+            Err(e) => {
+                eprintln!("suggest {app}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let doc = mtb_bench::json::Json::Arr(docs);
+    if json {
+        println!("{}", doc.render());
+    }
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(path, doc.render()) {
+            eprintln!("cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -10,8 +10,8 @@ use mtb_workloads::{BtMzConfig, MetBenchConfig, SiestaConfig};
 use std::collections::HashMap;
 
 /// Parse `--key value` pairs and bare `--flag`s (flags: `dynamic`,
-/// `gantt`, `cycle-accurate`, `no-cache`, and the lint flags `json`,
-/// `all-cases`, `selftest`). `--jobs N` and `--no-cache` are also read
+/// `gantt`, `cycle-accurate`, `no-cache`, the lint flags `json`,
+/// `all-cases`, `selftest`, and the suggest flag `validate`). `--jobs N` and `--no-cache` are also read
 /// by the global sweep harness
 /// ([`crate::harness::SweepOptions::from_env`]); they are accepted here
 /// so the driver's own parser does not reject them.
@@ -25,7 +25,7 @@ pub fn parse_opts(args: &[String]) -> Result<(HashMap<String, String>, Vec<Strin
         };
         match key {
             "dynamic" | "gantt" | "cycle-accurate" | "no-cache" | "json" | "all-cases"
-            | "selftest" | "smoke" => flags.push(key.to_string()),
+            | "selftest" | "smoke" | "validate" => flags.push(key.to_string()),
             _ => {
                 let v = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
                 opts.insert(key.to_string(), v.clone());
@@ -173,6 +173,14 @@ mod tests {
             parse_opts(&args(&["--app", "btmz", "--jobs", "4", "--no-cache"])).unwrap();
         assert_eq!(opts.get("jobs").map(String::as_str), Some("4"));
         assert!(flags.contains(&"no-cache".to_string()));
+    }
+
+    #[test]
+    fn parses_suggest_flags() {
+        let (opts, flags) =
+            parse_opts(&args(&["--app", "all", "--validate", "--top", "3"])).unwrap();
+        assert!(flags.contains(&"validate".to_string()));
+        assert_eq!(opts.get("top").map(String::as_str), Some("3"));
     }
 
     #[test]

@@ -5,11 +5,14 @@
 //! benches for the performance-sensitive pieces. The binaries print the
 //! same rows the paper reports; `EXPERIMENTS.md` records the comparison.
 
+#![forbid(unsafe_code)]
+
 pub mod bisect;
 pub mod cli;
 pub mod harness;
 pub mod lint;
 pub mod perf;
+pub mod suggest;
 
 // The lossless JSON codec moved to the checkpoint crate (`mtb-snap`);
 // the harness's run cache keeps using it from there.

@@ -266,6 +266,39 @@ mod tests {
     }
 
     #[test]
+    fn lint_code_catalog_matches_the_documented_table() {
+        // EXPERIMENTS.md's lint-code catalog and `codes::ALL` must list
+        // exactly the same codes — a new code without documentation (or
+        // stale documentation for a removed code) fails here.
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../EXPERIMENTS.md");
+        let doc = std::fs::read_to_string(path).expect("EXPERIMENTS.md readable");
+        let catalog_start = doc
+            .find("### Lint-code catalog")
+            .expect("catalog section present");
+        let catalog = &doc[catalog_start..];
+        let catalog_end = catalog[4..].find("### ").map_or(catalog.len(), |i| i + 4);
+        let table = &catalog[..catalog_end];
+        let documented: Vec<&str> = table
+            .lines()
+            .filter_map(|l| l.strip_prefix("| `"))
+            .filter_map(|l| l.split('`').next())
+            .collect();
+        for code in mtb_verify::codes::ALL {
+            assert!(
+                documented.contains(code),
+                "{code} is implemented but missing from the EXPERIMENTS.md catalog"
+            );
+        }
+        for code in &documented {
+            assert!(
+                mtb_verify::codes::ALL.contains(code),
+                "{code} is documented but no longer implemented"
+            );
+        }
+        assert_eq!(documented.len(), mtb_verify::codes::ALL.len());
+    }
+
+    #[test]
     fn every_paper_case_lints_without_errors() {
         let outcomes = lint_targets(ALL_TARGETS).unwrap();
         for o in &outcomes {

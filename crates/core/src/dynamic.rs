@@ -71,7 +71,7 @@ impl DynamicConfig {
         let mut report = Report::new();
         if self.max_diff > mtb_verify::prio::DEFAULT_MAX_DIFF {
             report.push(Diagnostic::new(
-                codes::PRIO_DIFF,
+                codes::CTRL_DIFF,
                 Severity::Warning,
                 format!(
                     "max_diff {} exceeds the bounded-difference limit {} — beyond it \
@@ -83,7 +83,7 @@ impl DynamicConfig {
         }
         if !(0.0..=1.0).contains(&self.ewma) || self.ewma.is_nan() {
             report.push(Diagnostic::new(
-                codes::PRIO_DIFF,
+                codes::CTRL_EWMA,
                 Severity::Error,
                 format!(
                     "ewma {} is outside [0, 1]: smoothing would diverge",
@@ -93,7 +93,7 @@ impl DynamicConfig {
         }
         if self.threshold < 1.0 {
             report.push(Diagnostic::new(
-                codes::PRIO_DIFF,
+                codes::CTRL_THRASH,
                 Severity::Warning,
                 format!(
                     "threshold {} is below 1.0: every pair counts as imbalanced and \
@@ -104,7 +104,7 @@ impl DynamicConfig {
         }
         if self.strong_threshold < self.threshold {
             report.push(Diagnostic::new(
-                codes::PRIO_DIFF,
+                codes::CTRL_THRASH,
                 Severity::Warning,
                 format!(
                     "strong_threshold {} is below threshold {}: the weak tier is \
@@ -113,9 +113,18 @@ impl DynamicConfig {
                 ),
             ));
         }
+        if self.cooloff == 0 {
+            report.push(Diagnostic::new(
+                codes::CTRL_THRASH,
+                Severity::Warning,
+                "cooloff 0 disables the settling window: the controller can \
+                 re-adjust every epoch and oscillate around the balance point"
+                    .to_string(),
+            ));
+        }
         if self.revert_tolerance < 0.0 {
             report.push(Diagnostic::new(
-                codes::PRIO_DIFF,
+                codes::CTRL_REVERT,
                 Severity::Warning,
                 format!(
                     "revert_tolerance {} is negative: every adjustment is reverted \
@@ -490,7 +499,7 @@ mod tests {
     #[cfg(feature = "verify")]
     #[test]
     fn config_lint_flags_unsafe_tunables() {
-        use mtb_verify::Severity;
+        use mtb_verify::{codes, Severity};
         assert!(DynamicConfig::default().lint().diagnostics.is_empty());
         let bad = DynamicConfig {
             max_diff: 5,
@@ -498,10 +507,19 @@ mod tests {
             strong_threshold: 0.5,
             ewma: 1.5,
             revert_tolerance: -0.1,
-            cooloff: 8,
+            cooloff: 0,
         };
         let r = bad.lint();
         assert_eq!(r.count(Severity::Error), 1, "{r}");
-        assert_eq!(r.count(Severity::Warning), 4, "{r}");
+        assert_eq!(r.count(Severity::Warning), 5, "{r}");
+        for code in [
+            codes::CTRL_DIFF,
+            codes::CTRL_EWMA,
+            codes::CTRL_THRASH,
+            codes::CTRL_REVERT,
+        ] {
+            assert!(r.has_code(code), "missing {code}: {r}");
+        }
+        assert!(!r.has_code(codes::PRIO_DIFF), "{r}");
     }
 }

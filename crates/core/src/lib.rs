@@ -32,6 +32,8 @@
 //! * [`analysis`] — turns a run into the paper's characterization rows
 //!   (Comp %, Sync %, Imb %, execution time).
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod balance;
 pub mod dynamic;

@@ -6,6 +6,8 @@
 //! `cargo bench`: each benchmark runs a short warmup, then reports the
 //! minimum and mean wall-clock time per iteration over a fixed sample.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 /// Opaque value barrier — prevents the optimizer from deleting the

@@ -26,6 +26,8 @@
 //! Everything is deterministic: identical configurations produce
 //! bit-identical results.
 
+#![forbid(unsafe_code)]
+
 pub mod collective;
 pub mod comm;
 pub mod engine;

@@ -18,6 +18,8 @@
 //!   cores driven under a kernel, with processes pinned to hardware
 //!   contexts, noise delivery and progress accounting.
 
+#![forbid(unsafe_code)]
+
 pub mod kernel;
 pub mod machine;
 pub mod noise;

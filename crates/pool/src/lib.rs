@@ -34,6 +34,11 @@
 //! shard inline, with zero synchronization). Scheduling affects only
 //! wall-clock time.
 
+// The one crate in the workspace allowed to use `unsafe` (scoped
+// shared-memory hand-off between the epoch driver and its workers);
+// every block must say why it is sound.
+#![deny(clippy::undocumented_unsafe_blocks)]
+
 use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};

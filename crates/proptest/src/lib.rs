@@ -19,6 +19,8 @@
 //! `proptest-regressions` files are read or written), and there is **no
 //! shrinking** (the failing inputs are printed verbatim instead).
 
+#![forbid(unsafe_code)]
+
 pub mod collection;
 pub mod prelude;
 pub mod strategy;

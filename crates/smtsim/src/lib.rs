@@ -27,6 +27,8 @@
 //! Everything is deterministic: no wall clock, no global state, seeded
 //! stream generation.
 
+#![forbid(unsafe_code)]
+
 pub mod branch;
 pub mod cache;
 pub mod calibrate;

@@ -26,6 +26,8 @@
 //! hash, exactly as it is excluded from run-record hashes — parallelism
 //! never changes results.
 
+#![forbid(unsafe_code)]
+
 pub mod codec;
 pub mod file;
 pub mod json;

@@ -16,6 +16,8 @@
 //! table-compatible reporting; absolute seconds are not meaningful in a
 //! simulation, only their ratios are.
 
+#![forbid(unsafe_code)]
+
 pub mod energy;
 pub mod gantt;
 pub mod metrics;

@@ -79,6 +79,59 @@ pub mod codes {
     /// `mtb_oskernel::SHARD_COLLAPSE_CODE` (the runtime note embedded in
     /// run records).
     pub const SHARD_COLLAPSE: &str = "MTB-SHARD-COLLAPSE";
+    /// Two high-ILP ranks co-scheduled on one SMT core with overlapping
+    /// unit mixes: both want more than the fair decode share, so pairing
+    /// each with a low-ILP rank is predicted to be faster (ILP-aware
+    /// co-scheduling).
+    pub const ILP_CONFLICT: &str = "MTB-ILP-CONFLICT";
+    /// The predicted bottleneck rank does not share a core with a short
+    /// rank, wasting the decode slots the short rank's early finish
+    /// would donate.
+    pub const BOTTLENECK_UNPAIRED: &str = "MTB-BOTTLENECK-UNPAIRED";
+    /// A strictly better `(placement, priorities)` plan exists in the
+    /// static search space (`mtb suggest` ranks it).
+    pub const PLAN_DOMINATED: &str = "MTB-PLAN-DOMINATED";
+    /// The dynamic balancer's `max_diff` exceeds the bounded-difference
+    /// limit: the decode-share model predicts the penalized thread
+    /// collapses superlinearly beyond it (Table IV case D).
+    pub const CTRL_DIFF: &str = "MTB-CTRL-DIFF";
+    /// The dynamic balancer's EWMA smoothing factor is outside `[0, 1]`
+    /// (diverges) or so close to 1 the controller never reacts.
+    pub const CTRL_EWMA: &str = "MTB-CTRL-EWMA";
+    /// Controller gain/hysteresis ranges predicted to thrash: an
+    /// imbalance threshold below 1.0 chases noise, an inverted strong
+    /// threshold makes a tier unreachable, a zero cool-off re-adjusts a
+    /// just-reverted pair immediately.
+    pub const CTRL_THRASH: &str = "MTB-CTRL-THRASH";
+    /// A negative revert tolerance reverts every adjustment and freezes
+    /// pairs immediately — the controller starves itself.
+    pub const CTRL_REVERT: &str = "MTB-CTRL-REVERT";
+
+    /// Every stable code, for the catalog-drift test: each entry must
+    /// appear in EXPERIMENTS.md's lint-code catalog and vice versa.
+    pub const ALL: &[&str] = &[
+        DEADLOCK_CYCLE,
+        UNMATCHED_RECV,
+        UNMATCHED_SEND,
+        ORPHAN_IRECV,
+        COLLECTIVE_MISMATCH,
+        RANK_RANGE,
+        SELF_SEND,
+        WAITALL_EMPTY,
+        EMPTY_LOOP,
+        PRIO_ILLEGAL,
+        PRIO_STARVE,
+        PRIO_DIFF,
+        PRIO_INVERT,
+        SHARD_COLLAPSE,
+        ILP_CONFLICT,
+        BOTTLENECK_UNPAIRED,
+        PLAN_DOMINATED,
+        CTRL_DIFF,
+        CTRL_EWMA,
+        CTRL_THRASH,
+        CTRL_REVERT,
+    ];
 }
 
 /// Check a per-core share-group layout (`groups[i]` = core *i*'s shared

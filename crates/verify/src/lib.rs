@@ -17,19 +17,32 @@
 //!   configured kernel interface, priority-0/1 starvation semantics,
 //!   bounded-difference violations, and the decode-share *inversion*
 //!   prediction over the case's same-core pairs.
+//! * [`profile`] — resource-profile inference: per-sync-epoch unit mix,
+//!   boundedness and ILP class abstracted from each rank's statement
+//!   stream.
+//! * [`plan`] — the static makespan model over `(placement,
+//!   priority-plan)` space, the plan search `mtb suggest` ranks, and the
+//!   model-driven placement lints (`MTB-ILP-CONFLICT`,
+//!   `MTB-BOTTLENECK-UNPAIRED`, `MTB-PLAN-DOMINATED`).
 //! * [`diag`] — severities, stable `MTB-*` lint codes, spans, and the
 //!   [`Report`] all passes write into.
 //!
 //! Entry points: [`verify_programs`] (comm only), [`verify_case`]
-//! (priorities only), [`verify`] (both, deriving per-rank loads from the
-//! programs).
+//! (priorities only), [`verify`] (both, deriving per-rank loads and
+//! profiles from the programs).
+
+#![forbid(unsafe_code)]
 
 pub mod comm;
 pub mod diag;
+pub mod plan;
 pub mod prio;
+pub mod profile;
 
 pub use diag::{check_share_groups, codes, Diagnostic, Report, Severity};
+pub use plan::{enumerate_plans, predict, Plan, Prediction};
 pub use prio::{CaseSpec, PrioritySpec, RankLoad};
+pub use profile::{infer_profiles, Boundedness, IlpClass, RankProfile};
 
 use mtb_mpisim::Program;
 
@@ -46,11 +59,14 @@ pub fn verify_case(case: &CaseSpec, loads: &[RankLoad]) -> Report {
 
 /// Full verification of a `(programs, case)` pair: communication checks
 /// plus priority lints, with per-rank loads derived from the programs'
-/// concrete flattening.
+/// concrete flattening, and the model-driven placement advisories over
+/// the inferred resource profiles.
 pub fn verify(programs: &[Program], case: &CaseSpec) -> Report {
     let mut report = comm::check_programs(programs);
     let loads = comm::rank_loads(programs);
     report.merge(prio::check_case(case, &loads));
+    let profiles = profile::infer_profiles(programs);
+    report.merge(plan::check_plan(case, &profiles));
     report
 }
 

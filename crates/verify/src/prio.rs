@@ -193,7 +193,7 @@ pub fn check_case(case: &CaseSpec, loads: &[RankLoad]) -> Report {
 /// vanilla kernel user-settable priorities decay back to MEDIUM at the
 /// first interrupt, so pair dynamics behave as 4 (the legality Error is
 /// reported separately).
-fn effective(case: &CaseSpec, rank: usize) -> u8 {
+pub(crate) fn effective(case: &CaseSpec, rank: usize) -> u8 {
     let spec = case
         .priorities
         .get(rank)
@@ -213,7 +213,7 @@ fn effective(case: &CaseSpec, rank: usize) -> u8 {
 }
 
 /// Same-core rank pairs, placement order.
-fn core_pairs(placement: &[CtxAddr]) -> Vec<(usize, usize)> {
+pub(crate) fn core_pairs(placement: &[CtxAddr]) -> Vec<(usize, usize)> {
     let mut pairs = Vec::new();
     for i in 0..placement.len() {
         for j in (i + 1)..placement.len() {
@@ -227,7 +227,7 @@ fn core_pairs(placement: &[CtxAddr]) -> Vec<(usize, usize)> {
 
 /// Decode-share throughputs of a profile pair at a priority pair,
 /// through the same mesoscale equations the engine uses.
-fn pair_rates(a: &WorkloadProfile, b: &WorkloadProfile, pa: u8, pb: u8) -> (f64, f64) {
+pub(crate) fn pair_rates(a: &WorkloadProfile, b: &WorkloadProfile, pa: u8, pb: u8) -> (f64, f64) {
     let mut core = MesoCore::new(MesoConfig::default());
     core.assign(
         ThreadId::A,
@@ -254,7 +254,7 @@ fn spin_profile() -> WorkloadProfile {
 /// finishes, then the survivor runs against the finisher's spin loop.
 /// Returns `(makespan, last_to_finish)` where `last_to_finish` is 0 for
 /// thread a, 1 for b. `None` when a rate is zero (starved pair).
-fn makespan(la: &RankLoad, lb: &RankLoad, pa: u8, pb: u8) -> Option<(f64, usize)> {
+pub(crate) fn makespan(la: &RankLoad, lb: &RankLoad, pa: u8, pb: u8) -> Option<(f64, usize)> {
     let (ra, rb) = pair_rates(&la.profile, &lb.profile, pa, pb);
     if ra <= 0.0 || rb <= 0.0 {
         return None;

@@ -22,6 +22,8 @@
 //!   BT-MZ extremely so, SIESTA is memory-bound and therefore only mildly
 //!   priority-sensitive.
 
+#![forbid(unsafe_code)]
+
 pub mod btmz;
 pub mod loads;
 pub mod metbench;

@@ -37,6 +37,8 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured comparison of every table and figure.
 
+#![forbid(unsafe_code)]
+
 // Full sub-crate access under stable names.
 pub use mtb_core as balance;
 pub use mtb_mpisim as mpi;
