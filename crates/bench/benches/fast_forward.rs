@@ -3,13 +3,25 @@
 //! `mtb bench` report sweeps. Latency-bound (serialized pointer chases)
 //! is where skipping pays; frontend-bound decodes every cycle and bounds
 //! the fast path's bookkeeping overhead.
+//!
+//! Two companion groups probe the decode-bound hot engine specifically:
+//! `steady` drives both contexts frontend-bound across every grant-table
+//! template (all 64 priority pairs), the regime where the hot engine's
+//! per-window state rebuild is amortized worst; `accounting` isolates
+//! the slot-ownership accounting strategies — ranged census over whole
+//! grant periods (what the hot engine flushes per slice) against the
+//! per-cycle table lookup the reference path performs.
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use mtb_smtsim::decode::{grant_census_range, GrantLut, GRANT_PERIOD};
 use mtb_smtsim::inst::StreamSpec;
 use mtb_smtsim::model::{CoreModel, ThreadId, Workload};
 use mtb_smtsim::{CoreConfig, HwPriority, SmtCore};
 
 const CYCLES: u64 = 50_000;
+
+/// Cycles per priority pair in the steady sweep; 64 pairs per iteration.
+const STEADY_SLICE: u64 = 512;
 
 type SpecFn = fn(u64) -> StreamSpec;
 
@@ -47,5 +59,82 @@ fn bench_fast_forward(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fast_forward);
+/// Decode-bound steady regime: both contexts frontend-bound, walking all
+/// 64 `(prio_a, prio_b)` grant templates. Every `set_priority` call ends
+/// the hot engine's window, so this measures steady-state decode *and*
+/// the cost of re-entering the fast path under each template.
+fn bench_steady_decode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("steady_decode");
+    g.throughput(Throughput::Elements(STEADY_SLICE * 64));
+    for (name, fast) in [("fast", true), ("reference", false)] {
+        g.bench_function(name, |bench| {
+            let mut core = core(StreamSpec::frontend_bound, fast);
+            bench.iter(|| {
+                for pa in 0..8u8 {
+                    for pb in 0..8u8 {
+                        let a = HwPriority::new(pa).expect("0..8 is valid");
+                        let b = HwPriority::new(pb).expect("0..8 is valid");
+                        core.set_priority(ThreadId::A, a);
+                        core.set_priority(ThreadId::B, b);
+                        black_box(core.advance(STEADY_SLICE));
+                    }
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Slot-ownership accounting: per-slice ranged census (closed-form over
+/// whole grant periods, what the hot engine flushes once per window)
+/// vs the per-cycle grant-table lookup the reference path performs.
+/// Both walk the same 64-pair × `STEADY_SLICE`-cycle schedule and
+/// produce identical totals.
+fn bench_accounting(c: &mut Criterion) {
+    let mut g = c.benchmark_group("accounting");
+    g.throughput(Throughput::Elements(STEADY_SLICE * 64));
+    let pairs: Vec<(HwPriority, HwPriority)> = (0..8u8)
+        .flat_map(|pa| (0..8u8).map(move |pb| (pa, pb)))
+        .map(|(pa, pb)| {
+            (
+                HwPriority::new(pa).expect("0..8 is valid"),
+                HwPriority::new(pb).expect("0..8 is valid"),
+            )
+        })
+        .collect();
+    g.bench_function("per_slice", |bench| {
+        bench.iter(|| {
+            let mut tot = (0u64, 0u64);
+            for &(a, b) in &pairs {
+                let (sa, sb) = grant_census_range(a, b, 0, STEADY_SLICE);
+                tot.0 += sa;
+                tot.1 += sb;
+            }
+            black_box(tot)
+        })
+    });
+    g.bench_function("per_cycle", |bench| {
+        let lut = GrantLut::new();
+        bench.iter(|| {
+            let mut tot = (0u64, 0u64);
+            for &(a, b) in &pairs {
+                let tpl = lut.period(a, b);
+                for cycle in 0..STEADY_SLICE {
+                    let sg = tpl[(cycle % GRANT_PERIOD) as usize];
+                    tot.0 += u64::from(sg.owner == Some(ThreadId::A));
+                    tot.1 += u64::from(sg.owner == Some(ThreadId::B));
+                }
+            }
+            black_box(tot)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fast_forward,
+    bench_steady_decode,
+    bench_accounting
+);
 criterion_main!(benches);

@@ -44,6 +44,15 @@ const CORE_CYCLES: u64 = 2_000_000;
 /// Simulated cycles per core-sweep row under `--smoke`.
 const CORE_CYCLES_SMOKE: u64 = 150_000;
 
+/// Timed repetitions per path in each measured entry. Both paths run
+/// once untimed first (paging code in and settling frequency scaling),
+/// then the timed repetitions interleave fast and reference and keep
+/// the per-path minimum. Interleaving cancels slow machine-state drift
+/// between the two paths; the minimum discards scheduler noise, which
+/// at millisecond scale is large enough to invert a ratio near 1.0
+/// (single-shot timing read the table5-btmz ST case as 0.9×).
+const TIMING_REPS: usize = 3;
+
 /// Intra-run worker-thread counts the scaling sweeps measure, and the
 /// sweep each lands in. The reference is always the same run at 1 thread.
 const SCALING_THREADS: [(usize, &str); 3] =
@@ -245,14 +254,17 @@ fn core_workload(spec: StreamSpec, name: &str) -> Workload {
     Workload::from_spec(name, spec)
 }
 
-/// Run one core configuration through both paths and time them.
+/// Run one core configuration through both paths and time them
+/// (warmup + interleaved min-of-[`TIMING_REPS`]; the warmup runs a
+/// tenth of the measured length — enough to fault in both paths'
+/// working sets without doubling sweep cost).
 fn core_entry(
     sweep: &'static str,
     specs: [Option<StreamSpec>; 2],
     (pa, pb): (u8, u8),
     cycles: u64,
 ) -> BenchEntry {
-    let run = |fast: bool| -> (f64, CtxStats, CtxStats, [u64; 2]) {
+    let run = |fast: bool, n: u64| -> (f64, CtxStats, CtxStats, [u64; 2]) {
         let cfg = CoreConfig {
             fast_forward: fast,
             ..CoreConfig::default()
@@ -267,7 +279,7 @@ fn core_entry(
         core.set_priority(ThreadId::A, HwPriority::new(pa).expect("valid priority"));
         core.set_priority(ThreadId::B, HwPriority::new(pb).expect("valid priority"));
         let t0 = Instant::now();
-        let retired = core.advance(cycles);
+        let retired = core.advance(n);
         let wall = t0.elapsed().as_secs_f64();
         (
             wall,
@@ -276,8 +288,14 @@ fn core_entry(
             retired,
         )
     };
-    let (wall_fast, fa, fb, fr) = run(true);
-    let (wall_ref, ra, rb, rr) = run(false);
+    run(true, cycles / 10 + 1);
+    run(false, cycles / 10 + 1);
+    let (mut wall_fast, fa, fb, fr) = run(true, cycles);
+    let (mut wall_ref, ra, rb, rr) = run(false, cycles);
+    for _ in 1..TIMING_REPS {
+        wall_fast = wall_fast.min(run(true, cycles).0);
+        wall_ref = wall_ref.min(run(false, cycles).0);
+    }
     BenchEntry {
         sweep,
         case: format!("({pa},{pb})"),
@@ -288,7 +306,10 @@ fn core_entry(
     }
 }
 
-/// Run one meso paper case through both stepping modes and time them.
+/// Run one meso paper case through both stepping modes and time them
+/// (warmup + interleaved min-of-[`TIMING_REPS`]; these cases are
+/// millisecond-scale, so a full-length warmup is cheap and the noise
+/// floor matters most here).
 fn engine_entry(sweep: &'static str, programs: &[Program], case: &Case) -> BenchEntry {
     let run = |stepping: Stepping| {
         let t0 = Instant::now();
@@ -302,8 +323,14 @@ fn engine_entry(sweep: &'static str, programs: &[Program], case: &Case) -> Bench
         let hash = record_hash(case, &result);
         (wall, hash, result.total_cycles)
     };
-    let (wall_fast, hash_fast, cycles) = run(Stepping::EventHorizon);
-    let (wall_ref, hash_ref, _) = run(Stepping::Quantum);
+    run(Stepping::EventHorizon);
+    run(Stepping::Quantum);
+    let (mut wall_fast, hash_fast, cycles) = run(Stepping::EventHorizon);
+    let (mut wall_ref, hash_ref, _) = run(Stepping::Quantum);
+    for _ in 1..TIMING_REPS {
+        wall_fast = wall_fast.min(run(Stepping::EventHorizon).0);
+        wall_ref = wall_ref.min(run(Stepping::Quantum).0);
+    }
     BenchEntry {
         sweep,
         case: case.name.to_string(),

@@ -60,6 +60,15 @@ impl CacheConfig {
     }
 }
 
+/// Precomputed shift/mask constants for power-of-two set counts; see
+/// [`Cache::pow2_index`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Pow2Index {
+    line_shift: u32,
+    set_mask: u64,
+    set_shift: u32,
+}
+
 /// A set-associative cache with true-LRU replacement.
 ///
 /// Tags carry an *owner id* so that statistics can attribute evictions to
@@ -103,14 +112,44 @@ impl Cache {
         &self.cfg
     }
 
+    /// Shift/mask decomposition of the set/tag computation, available
+    /// when the set count is a power of two (the line size always is).
+    /// `addr >> line_shift & set_mask` and `addr >> line_shift >>
+    /// set_shift` then reproduce the division-based indexing of
+    /// [`Cache::access`] bit for bit; the cycle core's hot path hoists
+    /// this out of its inner loop.
+    pub(crate) fn pow2_index(&self) -> Option<Pow2Index> {
+        let sets = self.cfg.sets() as u64;
+        sets.is_power_of_two().then(|| Pow2Index {
+            line_shift: self.cfg.line_size.trailing_zeros(),
+            set_mask: sets - 1,
+            set_shift: sets.trailing_zeros(),
+        })
+    }
+
+    /// [`Cache::access`] with the set/tag computed by shifts instead of
+    /// divisions. `idx` must come from this cache's [`Cache::pow2_index`].
+    #[inline]
+    pub(crate) fn access_pow2(&mut self, addr: u64, owner: u8, idx: Pow2Index) -> bool {
+        let line = addr >> idx.line_shift;
+        let set = (line & idx.set_mask) as usize;
+        let tag = line >> idx.set_shift;
+        self.access_at(set, tag, owner)
+    }
+
     /// Access `addr` on behalf of `owner`. Returns `true` on hit. On miss
     /// the line is filled (evicting the LRU way of the set).
     pub fn access(&mut self, addr: u64, owner: u8) -> bool {
-        self.tick += 1;
         let line = addr / self.cfg.line_size;
         let nsets = self.cfg.sets() as u64;
         let set = (line % nsets) as usize;
         let tag = line / nsets;
+        self.access_at(set, tag, owner)
+    }
+
+    #[inline]
+    fn access_at(&mut self, set: usize, tag: u64, owner: u8) -> bool {
+        self.tick += 1;
         let base = set * self.cfg.assoc;
 
         // Hit?
@@ -346,6 +385,24 @@ mod tests {
             }
             let (_, m) = c.stats();
             prop_assert_eq!(m, 1);
+        }
+
+        /// The shift/mask path is bit-identical to the division path on
+        /// power-of-two geometries: same hit/miss answers, same final
+        /// state.
+        #[test]
+        fn prop_pow2_access_matches_division(
+            addrs in proptest::collection::vec((0u64..1_000_000, 0u8..4), 1..300)
+        ) {
+            for cfg in [CacheConfig::l1d(), CacheConfig::l1i()] {
+                let mut div = Cache::new(cfg);
+                let mut pow = Cache::new(cfg);
+                let idx = pow.pow2_index().expect("power-of-two sets");
+                for &(a, o) in &addrs {
+                    prop_assert_eq!(div.access(a, o), pow.access_pow2(a, o, idx));
+                }
+                prop_assert_eq!(div.save_state(), pow.save_state());
+            }
         }
     }
 }

@@ -12,6 +12,17 @@
 //! mailbox post per call); cores *inside* a domain always advance
 //! sequentially in index order, which keeps every statistic
 //! bit-identical at any thread count.
+//!
+//! The shared L2 is also what makes the cores' fast-forward path safe
+//! at chip level: both the per-cycle reference and the busy-window hot
+//! engine ([`crate::hot`]) take the domain's L2 mutex per access, and
+//! the cross-core interleaving of those accesses is fixed by the
+//! advance-window granularity — core `i` completes its whole window
+//! before core `i + 1` starts — not by how either core steps inside
+//! the window. A fast-forwarded core therefore presents its L2-sharing
+//! neighbours exactly the cache state the reference would, which is
+//! what lets `fast_forward` stay a pure speed knob even when domains
+//! contend for L2 capacity (enforced by the differential test below).
 
 use std::sync::{Arc, Mutex};
 
@@ -357,6 +368,77 @@ mod tests {
         }
         let distinct: std::collections::BTreeSet<_> = groups.iter().flatten().collect();
         assert_eq!(distinct.len(), 4, "8 cores form 4 L2 domains");
+    }
+
+    /// Fast-forward is a pure speed knob even across a *shared* L2:
+    /// a chip whose cores contend for one (shrunken) L2 must produce
+    /// bit-identical per-context statistics, L2 hit/miss totals,
+    /// cross-core evictions and core snapshots whether its cores run
+    /// the per-cycle reference or the fast-forward path — including
+    /// window sizes that split the cores' steady decode stretches at
+    /// odd grant-period offsets.
+    #[test]
+    fn fast_forward_matches_reference_across_shared_l2() {
+        let run = |fast: bool| {
+            let mut cfg = ChipConfig::default();
+            cfg.core.fast_forward = fast;
+            cfg.core.l2 = crate::cache::CacheConfig {
+                bytes: 64 << 10,
+                line_size: 128,
+                assoc: 8,
+                hit_latency: 13,
+            };
+            let mut chip = Chip::new(cfg);
+            let ws = 128 << 10;
+            let heavy = |seed| StreamSpec {
+                fx: 2,
+                fp: 0,
+                ls: 7,
+                br: 1,
+                dep_dist: 8,
+                working_set: ws,
+                code_kb: 8,
+                seed,
+            };
+            chip.core_mut(0)
+                .assign(ThreadId::A, Workload::from_spec("w0", heavy(1)));
+            chip.core_mut(0).assign(
+                ThreadId::B,
+                Workload::from_spec("fe", StreamSpec::frontend_bound(3)),
+            );
+            chip.core_mut(1)
+                .assign(ThreadId::A, Workload::from_spec("w1", heavy(2)));
+            chip.core_mut(1)
+                .set_priority(ThreadId::A, HwPriority::MEDIUM_HIGH);
+            // Windows chosen to end mid grant period (64) and mid steady
+            // decode stretches.
+            let mut log = Vec::new();
+            for window in [1, 63, 129, 5_000, 7, 20_000] {
+                let retired = chip.advance_all(window).to_vec();
+                log.push(retired);
+            }
+            let snaps: Vec<_> = (0..2).map(|i| chip.core(i).save_state()).collect();
+            let stats: Vec<CtxStats> = (0..2)
+                .flat_map(|i| ThreadId::BOTH.map(|t| *chip.core(i).stats(t)))
+                .collect();
+            (
+                log,
+                snaps,
+                stats,
+                chip.l2_stats(),
+                chip.l2_cross_evictions(),
+            )
+        };
+        let reference = run(false);
+        let fast = run(true);
+        assert!(
+            reference.4 > 0,
+            "the scenario must actually exercise cross-core L2 contention"
+        );
+        assert_eq!(
+            fast, reference,
+            "fast-forward must be invisible across the shared L2"
+        );
     }
 
     /// An 8-core chip driven with and without epoch workers, in several

@@ -123,24 +123,24 @@ impl Default for CoreConfig {
 }
 
 /// Per-context microarchitectural state.
-struct Ctx {
-    tsr: Tsr,
-    workload: Option<(String, StreamGen)>,
-    dispatch: VecDeque<(Inst, u64)>,
+pub(crate) struct Ctx {
+    pub(crate) tsr: Tsr,
+    pub(crate) workload: Option<(String, StreamGen)>,
+    pub(crate) dispatch: VecDeque<(Inst, u64)>,
     /// Completion cycle of instruction `seq`, ring-indexed by `seq % window`.
-    completion: Vec<Cycles>,
+    pub(crate) completion: Vec<Cycles>,
     /// Next sequence number to decode.
-    seq: u64,
+    pub(crate) seq: u64,
     /// Completion events not yet counted as retired.
-    pending: BinaryHeap<Reverse<Cycles>>,
-    stats: CtxStats,
+    pub(crate) pending: BinaryHeap<Reverse<Cycles>>,
+    pub(crate) stats: CtxStats,
     /// (cycle, retired) snapshot at the last configuration change, for
     /// steady-state rate estimation.
     rate_anchor: (Cycles, u64),
     /// Branch predictor (per hardware context, like the POWER5).
-    predictor: BranchPredictor,
+    pub(crate) predictor: BranchPredictor,
     /// Decode blocked until this cycle (mispredict redirect in flight).
-    fetch_stall_until: Cycles,
+    pub(crate) fetch_stall_until: Cycles,
 }
 
 impl Ctx {
@@ -171,18 +171,22 @@ impl Ctx {
 
 /// The cycle-level 2-way SMT core.
 pub struct SmtCore {
-    cfg: CoreConfig,
-    core_id: u8,
-    cycle: Cycles,
-    ctx: [Ctx; 2],
-    units: UnitPool,
-    l1d: Cache,
-    l1i: Cache,
-    l2: SharedCache,
+    pub(crate) cfg: CoreConfig,
+    pub(crate) core_id: u8,
+    pub(crate) cycle: Cycles,
+    pub(crate) ctx: [Ctx; 2],
+    pub(crate) units: UnitPool,
+    pub(crate) l1d: Cache,
+    pub(crate) l1i: Cache,
+    pub(crate) l2: SharedCache,
     /// Precomputed Table-II/III grant patterns (process-wide singleton,
     /// resolved once at construction so `step` avoids both the per-cycle
     /// branch recomputation and the `OnceLock` load).
-    lut: &'static GrantLut,
+    pub(crate) lut: &'static GrantLut,
+    /// Constants and reusable scratch for the busy-window hot engine;
+    /// `None` when the configuration falls outside its envelope (the
+    /// generic probe-and-step loop then serves the fast path alone).
+    pub(crate) hot: Option<Box<crate::hot::HotState>>,
 }
 
 impl SmtCore {
@@ -194,9 +198,12 @@ impl SmtCore {
 
     /// Build a core attached to a (possibly shared) L2.
     pub fn with_l2(cfg: CoreConfig, core_id: u8, l2: SharedCache) -> SmtCore {
+        let l1d = Cache::new(cfg.l1d);
+        let l1i = Cache::new(cfg.l1i);
+        let hot = crate::hot::HotState::for_config(&cfg, &l1d, &l1i);
         SmtCore {
-            l1d: Cache::new(cfg.l1d),
-            l1i: Cache::new(cfg.l1i),
+            l1d,
+            l1i,
             units: UnitPool::new(cfg.units),
             ctx: [Ctx::new(cfg.window), Ctx::new(cfg.window)],
             cfg,
@@ -204,6 +211,7 @@ impl SmtCore {
             cycle: 0,
             l2,
             lut: GrantLut::global(),
+            hot,
         }
     }
 
@@ -250,6 +258,21 @@ impl SmtCore {
     /// Branch-predictor statistics of a context (predictions, misses).
     pub fn branch_stats(&self, t: ThreadId) -> (u64, u64) {
         self.ctx[t.index()].predictor.stats()
+    }
+
+    /// Re-align the unit pool's lazy cycle marker with the reference
+    /// path after a fast-forward `advance`. The reference loop calls
+    /// `begin_cycle` every cycle, so at a checkpoint boundary its marker
+    /// always reads `end - 1`; the fast paths skip quiet stretches and
+    /// would leave it at the last *stepped* cycle. Skipped cycles issue
+    /// nothing, so rolling the marker forward (which zeroes the
+    /// per-cycle port counters exactly as the reference's empty cycles
+    /// did) makes the snapshot bit-identical; if the final cycle was
+    /// actually stepped this is a no-op and its counters survive.
+    fn sync_units_cycle(&mut self, cycles: Cycles) {
+        if cycles > 0 {
+            self.units.begin_cycle(self.cycle - 1);
+        }
     }
 
     /// One simulated cycle: decode, issue, retire.
@@ -629,6 +652,18 @@ impl CoreModel for SmtCore {
     fn advance(&mut self, cycles: Cycles) -> [u64; 2] {
         let before = [self.ctx[0].stats.retired, self.ctx[1].stats.retired];
         let end = self.cycle + cycles;
+        // Busy-window hot engine: a specialized transcription of `step`
+        // (same operation order, same quiet-window skipping) that runs on
+        // flat scratch instead of the heap-backed structures. It declines
+        // configurations outside its envelope — then the generic
+        // probe-and-step loop below serves the fast path as before.
+        if self.cfg.fast_forward && crate::hot::advance_hot(self, end) {
+            self.sync_units_cycle(cycles);
+            return [
+                self.ctx[0].stats.retired - before[0],
+                self.ctx[1].stats.retired - before[1],
+            ];
+        }
         while self.cycle < end {
             if !self.cfg.fast_forward {
                 self.step();
@@ -660,6 +695,9 @@ impl CoreModel for SmtCore {
                 s.stall_unit += k * (s.stall_unit - unit_pre);
             }
             self.cycle = horizon;
+        }
+        if self.cfg.fast_forward {
+            self.sync_units_cycle(cycles);
         }
         [
             self.ctx[0].stats.retired - before[0],
@@ -1301,6 +1339,58 @@ mod tests {
                 &chunks,
                 steal == 1,
             );
+        }
+
+        /// Interrupting a steady decode window must be invisible: a
+        /// checkpoint at an arbitrary offset *inside* the hot engine's
+        /// grant period (`periods * 64 + offset` lands mid-template),
+        /// round-tripped through `save_state`/`restore_state` into a
+        /// fresh core, must resume to the same bits as both the
+        /// uninterrupted fast run and the per-cycle reference.
+        #[test]
+        fn prop_steady_window_split_identity(
+            seed_a in 1u64..50, seed_b in 1u64..50,
+            periods in 1u64..40, offset in 0u64..64,
+            pa in 1u8..=7, pb in 1u8..=7,
+        ) {
+            use crate::decode::GRANT_PERIOD;
+            let total = 20_000;
+            let split = periods * GRANT_PERIOD + offset;
+            let mk = |fast: bool| {
+                let mut core = SmtCore::new(CoreConfig {
+                    fast_forward: fast,
+                    ..CoreConfig::default()
+                });
+                core.assign(ThreadId::A, wl(StreamSpec::frontend_bound(seed_a)));
+                core.assign(ThreadId::B, wl(StreamSpec::frontend_bound(seed_b)));
+                core.set_priority(ThreadId::A, p(pa));
+                core.set_priority(ThreadId::B, p(pb));
+                core
+            };
+            let fingerprint = |core: &SmtCore| {
+                (
+                    core.save_state(),
+                    *core.stats(ThreadId::A),
+                    *core.stats(ThreadId::B),
+                    core.now(),
+                )
+            };
+
+            let mut reference = mk(false);
+            reference.advance(total);
+
+            let mut whole = mk(true);
+            whole.advance(total);
+
+            let mut donor = mk(true);
+            donor.advance(split);
+            let snap = donor.save_state();
+            let mut resumed = mk(true);
+            resumed.restore_state(&snap).unwrap();
+            resumed.advance(total - split);
+
+            proptest::prop_assert_eq!(fingerprint(&whole), fingerprint(&reference));
+            proptest::prop_assert_eq!(fingerprint(&resumed), fingerprint(&reference));
         }
     }
 }

@@ -269,6 +269,14 @@ impl GrantLut {
     pub fn grant(&self, a: HwPriority, b: HwPriority, cycle: Cycles) -> SlotGrant {
         self.table[a.value() as usize][b.value() as usize][(cycle % GRANT_PERIOD) as usize]
     }
+
+    /// One full grant period for a fixed priority pair. Priorities only
+    /// change between `advance` windows, so a hot loop can resolve the
+    /// two outer indices once and address grants by `cycle & 63` alone.
+    #[inline]
+    pub fn period(&self, a: HwPriority, b: HwPriority) -> &[SlotGrant; GRANT_PERIOD as usize] {
+        &self.table[a.value() as usize][b.value() as usize]
+    }
 }
 
 impl Default for GrantLut {

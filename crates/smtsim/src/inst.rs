@@ -212,6 +212,30 @@ impl StreamSpec {
         self.fx + self.fp + self.ls + self.br
     }
 
+    /// Class-pick lookup table for the branch-free generator path,
+    /// available when the spec never emits branch instructions (so every
+    /// instruction consumes a statically-analyzable number of rng draws)
+    /// and the mix is small enough to tabulate. `lut[pick]` reproduces
+    /// the cascaded comparisons of the generic path bit for bit.
+    fn branch_free_lut(&self) -> Option<[InstClass; 16]> {
+        let tot = self.total_weight();
+        if self.br != 0 || self.working_set == 0 || tot == 0 || tot > 16 {
+            return None;
+        }
+        let mut lut = [InstClass::Fx; 16];
+        for (i, slot) in lut.iter_mut().enumerate().take(tot as usize) {
+            let i = i as u32;
+            *slot = if i < self.fx {
+                InstClass::Fx
+            } else if i < self.fx + self.fp {
+                InstClass::Fp
+            } else {
+                InstClass::Ls
+            };
+        }
+        Some(lut)
+    }
+
     /// Fraction of instructions in each class, indexed by
     /// [`InstClass::index`].
     pub fn fractions(&self) -> [f64; 4] {
@@ -355,6 +379,21 @@ pub const L1_BYTES: u64 = 32 << 10;
 /// Shared L2 capacity (bytes).
 pub const L2_BYTES: u64 = 1920 << 10;
 
+/// `x % m` for the generator's walk updates, where `x` is almost always
+/// already below `m` (the walks only step a few bytes past the wrap
+/// point). The conditional subtract keeps the hot path division-free
+/// and is exact for every input: the final arm is the real modulo.
+#[inline]
+fn wrap_mod(x: u64, m: u64) -> u64 {
+    if x < m {
+        x
+    } else if x - m < m {
+        x - m
+    } else {
+        x % m
+    }
+}
+
 /// Deterministic infinite instruction generator.
 #[derive(Debug, Clone)]
 pub struct StreamGen {
@@ -363,6 +402,9 @@ pub struct StreamGen {
     cursor: u64,
     pc: u64,
     produced: u64,
+    /// Class lookup for the branch-free path (`None` entries disable it);
+    /// derived from `spec`, never checkpointed.
+    lut: Option<[InstClass; 16]>,
 }
 
 impl StreamGen {
@@ -379,6 +421,7 @@ impl StreamGen {
             cursor,
             pc: 0,
             produced: 0,
+            lut: spec.branch_free_lut(),
         }
     }
 
@@ -415,11 +458,15 @@ impl StreamGen {
             cursor,
             pc,
             produced,
+            lut: spec.branch_free_lut(),
         }
     }
 
     /// Generate the next instruction.
     pub fn next_inst(&mut self) -> Inst {
+        if let Some(lut) = self.lut {
+            return self.next_inst_branch_free(&lut);
+        }
         let tot = u64::from(self.spec.total_weight().max(1));
         let pick = self.rng.below(tot) as u32;
         let class = if pick < self.spec.fx {
@@ -440,7 +487,7 @@ impl StreamGen {
             if self.rng.below(4) == 0 {
                 self.cursor = self.rng.below(self.spec.working_set);
             } else {
-                self.cursor = (self.cursor + 8) % self.spec.working_set;
+                self.cursor = wrap_mod(self.cursor + 8, self.spec.working_set);
             }
             Some(self.cursor)
         } else {
@@ -463,7 +510,7 @@ impl StreamGen {
         if class == InstClass::Br && taken {
             self.pc = self.rng.below(code_bytes) & !3;
         } else {
-            self.pc = (self.pc + 4) % code_bytes;
+            self.pc = wrap_mod(self.pc + 4, code_bytes);
         }
 
         self.produced += 1;
@@ -472,6 +519,66 @@ impl StreamGen {
             addr,
             dep,
             taken,
+            pc,
+        }
+    }
+
+    /// Branch-free transcription of [`StreamGen::next_inst`] for specs
+    /// without branch instructions (see [`StreamSpec::branch_free_lut`]).
+    ///
+    /// The generic path's class/jump branches are data-random and
+    /// mispredict roughly once per instruction, which made generation
+    /// the single largest cost of decode-bound simulation. Here every
+    /// candidate draw is evaluated speculatively via [`SplitMix64::peek`]
+    /// (a future SplitMix64 value is a pure function of the current
+    /// state), the taken values are selected with conditional moves, and
+    /// the state advances by exactly the number of draws the generic
+    /// path would have consumed — the produced stream and the rng state
+    /// walk are bit-identical, which the stream-equivalence tests pin.
+    fn next_inst_branch_free(&mut self, lut: &[InstClass; 16]) -> Inst {
+        let spec = &self.spec;
+        let tot = u64::from(spec.total_weight().max(1));
+        let pick = SplitMix64::reduce(self.rng.peek(0), tot) as usize;
+        let class = lut[pick & 15];
+        let is_ls = class == InstClass::Ls;
+        let p1 = self.rng.peek(1);
+        let p2 = self.rng.peek(2);
+        let p3 = self.rng.peek(3);
+
+        // Draw schedule (matching the generic path): pick, then for Ls a
+        // jump test and — on a jump — a target, then the dependency.
+        let jump = is_ls & (SplitMix64::reduce(p1, 4) == 0);
+        let dep_raw = if is_ls {
+            if jump {
+                p3
+            } else {
+                p2
+            }
+        } else {
+            p1
+        };
+        let mean = u64::from(spec.dep_dist.max(1));
+        let dep = (1 + SplitMix64::reduce(dep_raw, 2 * mean) as u32).min(MAX_DEP);
+
+        // `cursor` stays below the working-set size, so the walked value
+        // never reaches `wrap_mod`'s dividing arm.
+        let walked = wrap_mod(self.cursor + 8, spec.working_set);
+        let jumped = SplitMix64::reduce(p2, spec.working_set);
+        let cur = if jump { jumped } else { walked };
+        self.cursor = if is_ls { cur } else { self.cursor };
+        let addr = is_ls.then_some(cur);
+        self.rng.skip(2 + u64::from(is_ls) + u64::from(jump));
+
+        // No branch instructions: every pc step is the sequential walk.
+        let pc = self.pc;
+        let code_bytes = u64::from(spec.code_kb.max(1)) * 1024;
+        self.pc = wrap_mod(pc + 4, code_bytes);
+        self.produced += 1;
+        Inst {
+            class,
+            addr,
+            dep,
+            taken: true,
             pc,
         }
     }

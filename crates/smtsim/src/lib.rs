@@ -35,6 +35,7 @@ pub mod calibrate;
 pub mod chip;
 pub mod core;
 pub mod decode;
+pub(crate) mod hot;
 pub mod inst;
 pub mod model;
 pub mod perfmodel;

@@ -11,6 +11,17 @@ pub struct SplitMix64 {
     state: u64,
 }
 
+/// Golden-ratio state increment of SplitMix64.
+const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// The SplitMix64 output mix (finalizer) applied to a raw state value.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl SplitMix64 {
     /// Create a generator from a seed.
     pub fn new(seed: u64) -> SplitMix64 {
@@ -19,11 +30,34 @@ impl SplitMix64 {
 
     /// Next raw 64-bit value.
     pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
+        self.state = self.state.wrapping_add(GOLDEN);
+        mix(self.state)
+    }
+
+    /// The `k`-th upcoming raw value without consuming anything:
+    /// `peek(0)` is what the next [`SplitMix64::next_u64`] call would
+    /// return, `peek(1)` the one after, and so on. The state walks in a
+    /// fixed stride, so any future draw is a pure function of the
+    /// current state — callers can evaluate several candidate draws
+    /// speculatively and then [`SplitMix64::skip`] however many the
+    /// taken path actually consumes.
+    #[inline]
+    pub fn peek(&self, k: u64) -> u64 {
+        mix(self.state.wrapping_add(GOLDEN.wrapping_mul(k + 1)))
+    }
+
+    /// Consume `k` raw values without computing them.
+    #[inline]
+    pub fn skip(&mut self, k: u64) {
+        self.state = self.state.wrapping_add(GOLDEN.wrapping_mul(k));
+    }
+
+    /// The multiply-shift reduction [`SplitMix64::below`] applies, as a
+    /// pure function of a raw draw — `reduce(peek(k), b)` equals what
+    /// the `k`-th future `below(b)` call will return.
+    #[inline]
+    pub fn reduce(raw: u64, bound: u64) -> u64 {
+        ((u128::from(raw) * u128::from(bound)) >> 64) as u64
     }
 
     /// Uniform value in `[0, bound)`. `bound` must be non-zero.
@@ -31,7 +65,7 @@ impl SplitMix64 {
         debug_assert!(bound > 0);
         // Multiply-shift reduction (Lemire); bias is negligible for
         // simulation purposes and determinism is what matters.
-        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+        Self::reduce(self.next_u64(), bound)
     }
 
     /// Uniform f64 in `[0, 1)`.

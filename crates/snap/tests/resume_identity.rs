@@ -143,7 +143,10 @@ proptest! {
     fn cycle_resume_is_bit_identical(
         seed in 0u64..10_000,
         perm in 0usize..24,
-        split in 1u64..20,
+        // Wide enough that split points land throughout the run —
+        // including mid steady decode window, where the SMT cores' hot
+        // engine must exit at the boundary and rebuild on resume.
+        split in 1u64..40,
         stepping_sel in 0usize..2,
     ) {
         let p = Params {
@@ -156,6 +159,52 @@ proptest! {
         };
         assert_resume_identity(&p, split);
     }
+}
+
+/// A sink that only counts offers (no file I/O): used to force the
+/// checkpoint machinery at every boundary without measuring the disk.
+struct CountSink {
+    offers: u64,
+}
+
+impl CheckpointSink for CountSink {
+    fn on_checkpoint(&mut self, _events: u64, _engine: &Engine) {
+        self.offers += 1;
+    }
+}
+
+/// Cycle-accurate chunked execution with a checkpoint offered at EVERY
+/// event: each boundary forces the SMT cores' fast-forward engine to
+/// exit mid steady decode window (event boundaries are not aligned to
+/// the 64-cycle grant period) and re-enter afterwards. The chunked
+/// result must equal straight execution bit for bit.
+#[test]
+fn cycle_chunked_checkpoints_split_steady_windows() {
+    let cfg = SyntheticConfig {
+        base_work: 30_000,
+        iterations: 2,
+        ..Default::default()
+    };
+    let progs = cfg.programs();
+    let mk = || {
+        StaticRun::new(&progs, cfg.placement())
+            .with_priorities(vec![PrioritySetting::ProcFs(6), PrioritySetting::ProcFs(2)])
+            .cycle_accurate()
+    };
+    let straight = execute(mk()).unwrap();
+    let mut sink = CountSink { offers: 0 };
+    let chunked = execute_chunked(
+        mk().with_checkpoint_every(1),
+        None,
+        &mut NullObserver,
+        &mut sink,
+    )
+    .unwrap();
+    assert_eq!(chunked, straight);
+    assert!(
+        sink.offers > 1,
+        "per-event checkpointing must offer at every boundary"
+    );
 }
 
 /// A sink that snapshots every offer to one file, like the harness does.
