@@ -29,9 +29,9 @@ pub mod topology;
 
 pub use kernel::{KernelConfig, KernelFlavour};
 pub use machine::{
-    CtxSnapshot, Machine, MachineError, MachineState, WaitPolicy, SHARD_COLLAPSE_CODE,
+    CtxSnapshot, Machine, MachineError, MachineState, Segmentation, WaitPolicy, SHARD_COLLAPSE_CODE,
 };
-pub use noise::NoiseSource;
+pub use noise::{BoundaryCalendar, NoiseCursor, NoiseSource};
 pub use priority_iface::{PriorityError, SetVia};
 pub use process::{CtxAddr, Pcb};
 pub use topology::Topology;

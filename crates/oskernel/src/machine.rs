@@ -20,7 +20,7 @@
 use std::collections::BTreeMap;
 
 use crate::kernel::KernelConfig;
-use crate::noise::NoiseSource;
+use crate::noise::{BoundaryCalendar, NoiseSource};
 use crate::priority_iface::{validate, PriorityError, SetVia};
 use crate::process::{CtxAddr, Pcb, ProcRunState};
 use mtb_pool::ShardedRunner;
@@ -130,6 +130,30 @@ pub enum WaitPolicy {
     Block,
 }
 
+/// How [`Machine::advance`] segments an epoch at noise boundaries. Both
+/// strategies produce bit-identical observable results (state snapshots,
+/// accounting, record hashes) — the knob exists so the differential
+/// suites and benchmarks can pit one against the other. Like the thread
+/// count, it is excluded from configuration hashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Segmentation {
+    /// Event-calendar stepping (the default): per-source boundary
+    /// cursors merged through a binary heap make boundary discovery
+    /// O(log sources) and handler sync a targeted flip. A core that owns
+    /// its conflict domain outright segments only where its own two
+    /// contexts' *aggregate* handler state actually flips, so overlapped
+    /// noise windows and foreign boundaries no longer chop its
+    /// `CoreModel::advance` windows; cores sharing an L2 keep exact cut
+    /// parity with the reference so the cross-core cache-access
+    /// interleaving contract is preserved.
+    #[default]
+    Calendar,
+    /// The original implementation: every segment pays an O(sources)
+    /// linear scan for the next boundary and an O(contexts × sources)
+    /// scan to sync handler state. Kept as the differential reference.
+    Reference,
+}
+
 /// The busy-wait loop MPI blocking calls execute: a short cache-resident
 /// load/compare/branch loop. It retires nothing useful but *consumes the
 /// context's decode share* — the paper's motivation for lowering the
@@ -177,10 +201,16 @@ pub struct Machine {
     ctx_owner: Vec<[Option<usize>; 2]>,
     ctx_state: Vec<[CtxState; 2]>,
     noise: Vec<NoiseSource>,
+    /// `noise_index[core]` = indices into `noise` targeting that core,
+    /// in registration order (the calendar path's per-core source list).
+    noise_index: Vec<Vec<u32>>,
     wait_policy: WaitPolicy,
     now: Cycles,
     /// Epoch runner for sharded core stepping (None = sequential).
     runner: Option<ShardedRunner>,
+    /// Epoch segmentation strategy (not part of the observable
+    /// configuration — results are identical either way).
+    segmentation: Segmentation,
     /// Reused per-context accounting buffer for [`Machine::advance`].
     acct_scratch: Vec<[CtxAcct; 2]>,
 }
@@ -205,9 +235,11 @@ impl Machine {
                 .map(|_| [CtxState::default(), CtxState::default()])
                 .collect(),
             noise: Vec::new(),
+            noise_index: (0..n).map(|_| Vec::new()).collect(),
             wait_policy: WaitPolicy::default(),
             now: 0,
             runner: None,
+            segmentation: Segmentation::default(),
             acct_scratch: Vec::with_capacity(n),
         };
         // Idle contexts start at the kernel's idle priority so they donate
@@ -254,7 +286,19 @@ impl Machine {
             src.target.core < self.cores.len(),
             "noise target out of range"
         );
+        self.noise_index[src.target.core].push(self.noise.len() as u32);
         self.noise.push(src);
+    }
+
+    /// Choose how [`Machine::advance`] segments epochs (see
+    /// [`Segmentation`]; results are bit-identical either way).
+    pub fn set_segmentation(&mut self, s: Segmentation) {
+        self.segmentation = s;
+    }
+
+    /// The segmentation strategy in force.
+    pub fn segmentation(&self) -> Segmentation {
+        self.segmentation
     }
 
     /// Create a process pinned to `affinity`.
@@ -550,7 +594,7 @@ impl Machine {
     /// The next time >= `t` at which some noise source changes state, if
     /// any noise is configured.
     pub fn next_boundary(&self, t: Cycles) -> Option<Cycles> {
-        self.noise.iter().map(|s| s.next_boundary(t)).min()
+        self.noise.iter().filter_map(|s| s.next_boundary(t)).min()
     }
 
     /// Advance simulated time by `dt` cycles, delivering noise windows and
@@ -578,6 +622,7 @@ impl Machine {
     pub fn advance(&mut self, dt: Cycles) {
         let start = self.now;
         let end = start + dt;
+        let mode = self.segmentation;
         let (bounds, _) = Self::shard_plan(&self.cores);
         let Machine {
             cores,
@@ -586,6 +631,7 @@ impl Machine {
             ctx_owner,
             ctx_state,
             noise,
+            noise_index,
             runner,
             acct_scratch,
             ..
@@ -616,7 +662,9 @@ impl Machine {
                     ctx_owner: oh,
                     procs,
                     noise,
+                    noise_index,
                     kernel,
+                    mode,
                 });
                 cs = cr;
                 ss = sr;
@@ -645,7 +693,9 @@ impl Machine {
                     ctx_owner: oh,
                     procs,
                     noise,
+                    noise_index,
                     kernel,
+                    mode,
                 };
                 shard.advance_epoch(start, end);
                 cs = cr;
@@ -815,7 +865,36 @@ struct Shard<'a> {
     ctx_owner: &'a [[Option<usize>; 2]],
     procs: &'a BTreeMap<usize, Pcb>,
     noise: &'a [NoiseSource],
+    /// Global per-core source index (`noise_index[global core]`).
+    noise_index: &'a [Vec<u32>],
     kernel: &'a KernelConfig,
+    mode: Segmentation,
+}
+
+/// Cached per-context accounting decision, recomputed only when the
+/// context's handler state flips (the reference re-derives it from the
+/// process table on every segment).
+#[derive(Clone, Copy)]
+struct CtxMode {
+    /// Retired instructions count toward progress.
+    count: bool,
+    bucket: Bucket,
+}
+
+impl CtxMode {
+    const OFF: CtxMode = CtxMode {
+        count: false,
+        bucket: Bucket::Off,
+    };
+}
+
+/// Which PCB cycle counter a segment's length lands in.
+#[derive(Clone, Copy)]
+enum Bucket {
+    Off,
+    Irq,
+    Busy,
+    Spin,
 }
 
 impl Shard<'_> {
@@ -829,7 +908,7 @@ impl Shard<'_> {
         self.noise
             .iter()
             .filter(|s| self.owns(s.target.core))
-            .map(|s| s.next_boundary(t))
+            .filter_map(|s| s.next_boundary(t))
             .min()
     }
 
@@ -837,6 +916,17 @@ impl Shard<'_> {
     /// segmenting at the shard's own noise boundaries and accumulating
     /// per-context deltas into the scratch slice.
     fn advance_epoch(&mut self, start: Cycles, end: Cycles) {
+        match self.mode {
+            Segmentation::Calendar => self.advance_epoch_calendar(start, end),
+            Segmentation::Reference => self.advance_epoch_reference(start, end),
+        }
+    }
+
+    /// The original per-segment walk: every segment pays a linear scan
+    /// over the shard's noise for the next boundary, a full handler
+    /// re-sync, and a process-table lookup per context. Kept as the
+    /// differential reference for [`Segmentation::Calendar`].
+    fn advance_epoch_reference(&mut self, start: Cycles, end: Cycles) {
         let mut t = start;
         while t < end {
             self.sync_handlers(t);
@@ -869,6 +959,249 @@ impl Shard<'_> {
             t = nb;
         }
         self.sync_handlers(end);
+    }
+
+    /// Event-calendar stepping. The shard's cores are walked one conflict
+    /// domain at a time (a maximal run of equal `share_group`s; cores
+    /// without a group stand alone). Each domain builds per-source
+    /// boundary cursors once and merges them through a binary heap, so
+    /// discovering the next boundary is O(log sources) and handler sync
+    /// touches exactly the contexts whose cursors fired.
+    ///
+    /// Exactness: domains share no simulator state with each other, so
+    /// stepping them whole-epoch one after another instead of interleaved
+    /// per segment is invisible. A *single-core* domain additionally
+    /// merges boundaries at which no context's aggregate handler state
+    /// flips (overlapped windows, boundaries of other domains'
+    /// sources) — `CoreModel::advance` is split-invariant, and the
+    /// per-context accounting is linear in segment length under a fixed
+    /// mode, so fusing such segments changes no observable bit. A
+    /// multi-core (shared-L2) domain keeps exact cut parity with the
+    /// reference instead: the cross-core interleaving of L2 accesses is
+    /// defined by the advance-window granularity (see
+    /// `mtb_smtsim::chip`), so its windows must not be fused.
+    fn advance_epoch_calendar(&mut self, start: Cycles, end: Cycles) {
+        let mut d0 = 0;
+        while d0 < self.cores.len() {
+            let g = self.cores[d0].share_group();
+            let mut d1 = d0 + 1;
+            if g.is_some() {
+                while d1 < self.cores.len() && self.cores[d1].share_group() == g {
+                    d1 += 1;
+                }
+            }
+            self.advance_domain(d0, d1, start, end);
+            d0 = d1;
+        }
+    }
+
+    /// Step one conflict domain (shard-local cores `d0..d1`) through the
+    /// epoch. See [`Shard::advance_epoch_calendar`] for the exactness
+    /// argument.
+    fn advance_domain(&mut self, d0: usize, d1: usize, start: Cycles, end: Cycles) {
+        let single = d1 - d0 == 1;
+        let nctx = (d1 - d0) * 2;
+        let core_range = if single { d0..d1 } else { 0..self.cores.len() };
+
+        // Source-free fast path: with no boundary anywhere in the range
+        // that could cut this domain, the epoch is one fused segment and
+        // no handler state can change — skip the calendar and its
+        // scratch allocations entirely. This keeps noise-free epochs at
+        // reference cost instead of charging them calendar setup.
+        let quiet = core_range
+            .clone()
+            .all(|k| self.noise_index[self.base + k].is_empty());
+        if quiet {
+            for k in d0..d1 {
+                for th in ThreadId::BOTH {
+                    self.apply_handler_state(k, th, false);
+                }
+            }
+            let seg = end - start;
+            for k in d0..d1 {
+                let modes = [0, 1].map(|ti| {
+                    let running = self.ctx_owner[k][ti]
+                        .is_some_and(|pid| self.procs[&pid].state == ProcRunState::Running);
+                    self.ctx_mode(k, ti, running)
+                });
+                let retired = self.cores[k].advance(seg);
+                for (ti, m) in modes.into_iter().enumerate() {
+                    let a = &mut self.acct[k][ti];
+                    if m.count {
+                        a.retired += retired[ti];
+                    }
+                    match m.bucket {
+                        Bucket::Irq => a.irq += seg,
+                        Bucket::Busy => a.busy += seg,
+                        Bucket::Spin => a.spin += seg,
+                        Bucket::Off => {}
+                    }
+                }
+            }
+            return;
+        }
+
+        // Seed cursors. A single-core domain only ever cuts at its own
+        // two contexts' boundaries; a multi-core domain must cut at every
+        // boundary the *shard* owns (reference cut parity), with foreign
+        // contexts mapped to the ignore slot `nctx`.
+        let mut cal = BoundaryCalendar::with_capacity(nctx);
+        let mut counts = vec![0u32; nctx];
+        for k in core_range {
+            for &i in &self.noise_index[self.base + k] {
+                let s = &self.noise[i as usize];
+                let ti = s.target.thread.index();
+                let slot = if (d0..d1).contains(&k) {
+                    (k - d0) * 2 + ti
+                } else {
+                    nctx
+                };
+                let cur = s.cursor_at(start);
+                if slot < nctx && cur.active() {
+                    counts[slot] += 1;
+                }
+                cal.push(slot, cur);
+            }
+        }
+
+        // Epoch-start handler sync (what the reference's first
+        // `sync_handlers(t)` call does for these contexts), then cache
+        // the run state and accounting mode per context — neither can
+        // change mid-epoch except at handler flips.
+        let mut running = vec![false; nctx];
+        let mut mode = vec![CtxMode::OFF; nctx];
+        for k in d0..d1 {
+            for th in ThreadId::BOTH {
+                let ti = th.index();
+                let slot = (k - d0) * 2 + ti;
+                self.apply_handler_state(k, th, counts[slot] > 0);
+                running[slot] = self.ctx_owner[k][ti]
+                    .is_some_and(|pid| self.procs[&pid].state == ProcRunState::Running);
+                mode[slot] = self.ctx_mode(k, ti, running[slot]);
+            }
+        }
+
+        let mut t = start;
+        while t < end {
+            // Find the next cut <= end: the next boundary where some
+            // domain context's aggregate handler state flips (single-core
+            // domains fuse no-flip boundaries) or, for shared-L2 domains,
+            // simply the next owned boundary.
+            let mut cut = end;
+            while let Some(b) = cal.next_boundary() {
+                if b >= end {
+                    break;
+                }
+                let mut flipped = false;
+                let ctx_state = &self.ctx_state;
+                cal.advance_to(b, |slot, active| {
+                    if slot < nctx {
+                        if active {
+                            counts[slot] += 1;
+                        } else {
+                            counts[slot] -= 1;
+                        }
+                        let (k, ti) = (d0 + slot / 2, slot & 1);
+                        if (counts[slot] > 0) != ctx_state[k][ti].in_handler {
+                            flipped = true;
+                        }
+                    }
+                });
+                if flipped || !single {
+                    cut = b;
+                    break;
+                }
+            }
+
+            // One fused segment [t, cut) for every core of the domain.
+            let seg = cut - t;
+            for k in d0..d1 {
+                let retired = self.cores[k].advance(seg);
+                for (ti, &r) in retired.iter().enumerate() {
+                    let slot = (k - d0) * 2 + ti;
+                    let m = mode[slot];
+                    let a = &mut self.acct[k][ti];
+                    if m.count {
+                        a.retired += r;
+                    }
+                    match m.bucket {
+                        Bucket::Irq => a.irq += seg,
+                        Bucket::Busy => a.busy += seg,
+                        Bucket::Spin => a.spin += seg,
+                        Bucket::Off => {}
+                    }
+                }
+            }
+            t = cut;
+            if t < end {
+                // Apply the handler flips at the cut, refreshing the
+                // cached mode of exactly the contexts that changed.
+                for k in d0..d1 {
+                    for th in ThreadId::BOTH {
+                        let ti = th.index();
+                        let slot = (k - d0) * 2 + ti;
+                        let desired = counts[slot] > 0;
+                        if desired != self.ctx_state[k][ti].in_handler {
+                            self.apply_handler_state(k, th, desired);
+                            mode[slot] = self.ctx_mode(k, ti, running[slot]);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Epoch-end sync (the reference's trailing `sync_handlers(end)`):
+        // drain boundaries falling exactly on the epoch bound, then apply.
+        cal.advance_to(end, |slot, active| {
+            if slot < nctx {
+                if active {
+                    counts[slot] += 1;
+                } else {
+                    counts[slot] -= 1;
+                }
+            }
+        });
+        for k in d0..d1 {
+            for th in ThreadId::BOTH {
+                let slot = (k - d0) * 2 + th.index();
+                self.apply_handler_state(k, th, counts[slot] > 0);
+            }
+        }
+    }
+
+    /// The accounting decision for one context under its current handler
+    /// and installation state — the exact branch structure of the
+    /// reference walk, evaluated once instead of per segment.
+    fn ctx_mode(&self, k: usize, ti: usize, running: bool) -> CtxMode {
+        if self.ctx_owner[k][ti].is_none() {
+            return CtxMode::OFF;
+        }
+        let st = &self.ctx_state[k][ti];
+        CtxMode {
+            count: st.counting,
+            bucket: if st.in_handler && running {
+                Bucket::Irq
+            } else if st.installed.is_some() {
+                if st.counting {
+                    Bucket::Busy
+                } else {
+                    Bucket::Spin
+                }
+            } else {
+                Bucket::Off
+            },
+        }
+    }
+
+    /// Enter or exit the handler window for one context so that its
+    /// `in_handler` flag equals `active` (no-op when already equal).
+    fn apply_handler_state(&mut self, k: usize, thread: ThreadId, active: bool) {
+        let in_handler = self.ctx_state[k][thread.index()].in_handler;
+        if active && !in_handler {
+            self.enter_handler(k, thread);
+        } else if !active && in_handler {
+            self.exit_handler(k, thread);
+        }
     }
 
     /// Enter/exit noise windows for this shard's contexts at time `t`.

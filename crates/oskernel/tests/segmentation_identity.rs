@@ -1,0 +1,189 @@
+//! Differential proptest: [`Segmentation::Calendar`] must reproduce the
+//! reference per-segment walk bit for bit — full [`MachineState`]
+//! equality, not just retired counts — across random noise mixes
+//! (periodic and one-shot, overlapping, boundary-coincident), random
+//! epoch splits (including splits landing exactly on noise boundaries,
+//! the checkpoint-coincident case), both core fidelities, and both the
+//! sequential and the 4-worker sharded stepping paths.
+
+use std::sync::Arc;
+
+use mtb_oskernel::{CtxAddr, KernelConfig, Machine, NoiseSource, Segmentation};
+use mtb_pool::{Budget, ShardedRunner};
+use mtb_smtsim::chip::{build_cores_grouped, Fidelity};
+use mtb_smtsim::inst::StreamSpec;
+use mtb_smtsim::model::Workload;
+use mtb_smtsim::CoreConfig;
+use proptest::prelude::*;
+
+const CORES: usize = 4;
+
+/// One randomly drawn noise source; `kind` 3 is a one-shot window.
+#[derive(Debug, Clone)]
+struct NoiseSpec {
+    kind: u8,
+    cpu: usize,
+    period: u64,
+    cost_frac: u64,
+    phase: u64,
+}
+
+fn noise_spec() -> impl Strategy<Value = NoiseSpec> {
+    (0u8..4, 0usize..CORES * 2, 40u64..4000, 1u64..99, 0u64..6000).prop_map(
+        |(kind, cpu, period, cost_frac, phase)| NoiseSpec {
+            kind,
+            cpu,
+            period,
+            cost_frac,
+            phase,
+        },
+    )
+}
+
+fn build(spec: &NoiseSpec) -> NoiseSource {
+    let cost = (spec.period * spec.cost_frac / 100).clamp(1, spec.period - 1);
+    let target = CtxAddr::from_cpu(spec.cpu);
+    if spec.kind == 3 {
+        NoiseSource::once("once", target, spec.phase, cost)
+    } else {
+        NoiseSource {
+            name: format!("n{}", spec.kind),
+            target,
+            period: spec.period,
+            cost,
+            phase: spec.phase,
+            one_shot: false,
+        }
+    }
+}
+
+/// Run one machine to completion under the given segmentation and
+/// thread count, returning the final full state.
+#[allow(clippy::too_many_arguments)]
+fn run(
+    fidelity: &Fidelity,
+    cores_per_l2: usize,
+    noise: &[NoiseSpec],
+    epochs: &[u64],
+    seg: Segmentation,
+    threads: usize,
+) -> mtb_oskernel::MachineState {
+    let mut m = Machine::new(
+        build_cores_grouped(CORES, fidelity, cores_per_l2),
+        KernelConfig::patched(),
+    );
+    m.set_segmentation(seg);
+    if threads > 1 {
+        // A private roomy budget so workers exist even on a loaded host.
+        m.set_runner(Some(ShardedRunner::with_budget(
+            threads,
+            Arc::new(Budget::new(16)),
+        )));
+    }
+    for cpu in 0..CORES * 2 {
+        m.spawn(cpu, format!("P{cpu}"), CtxAddr::from_cpu(cpu))
+            .unwrap();
+        m.run_workload(
+            cpu,
+            Workload::from_spec("w", StreamSpec::balanced(cpu as u64 + 1)),
+        )
+        .unwrap();
+        m.set_priority_procfs(cpu, 2 + (cpu % 5) as u8).unwrap();
+    }
+    for s in noise {
+        m.add_noise(build(s));
+    }
+    for &dt in epochs {
+        m.advance(dt);
+    }
+    m.save_state()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Calendar ≡ Reference on the full machine state, at 1 and 4
+    /// workers, for random noise mixes and epoch splits. Epochs are
+    /// drawn small enough that boundaries regularly coincide with epoch
+    /// bounds (the checkpoint-coincident case) and large enough to span
+    /// many boundaries.
+    #[test]
+    fn calendar_matches_reference_bit_for_bit(
+        noise in proptest::collection::vec(noise_spec(), 0..6),
+        epochs in proptest::collection::vec(
+            // Mixed scales: tiny epochs (bounds land on boundaries),
+            // medium, and multi-boundary spans.
+            (0u8..3, 0u64..20_000).prop_map(|(k, r)| match k {
+                0 => 1 + r % 49,
+                1 => 50 + r % 450,
+                _ => 500 + r,
+            }),
+            1..6),
+        cores_per_l2 in 1usize..=2,
+        cycle in 0u8..2,
+    ) {
+        let fidelity = if cycle == 1 {
+            Fidelity::Cycle(CoreConfig::default())
+        } else {
+            Fidelity::Meso(Default::default())
+        };
+        let reference = run(&fidelity, cores_per_l2, &noise, &epochs,
+                            Segmentation::Reference, 1);
+        for threads in [1, 4] {
+            let fast = run(&fidelity, cores_per_l2, &noise, &epochs,
+                           Segmentation::Calendar, threads);
+            prop_assert_eq!(
+                &fast, &reference,
+                "calendar drifted from reference at {} threads", threads
+            );
+        }
+    }
+
+    /// Epoch splits are invisible under the calendar path: advancing in
+    /// any partition of the same total must land in the same state as
+    /// one big epoch (the property fused segments lean on).
+    #[test]
+    fn calendar_epochs_compose(
+        noise in proptest::collection::vec(noise_spec(), 0..5),
+        splits in proptest::collection::vec(1u64..8_000, 1..5),
+    ) {
+        let fidelity = Fidelity::Meso(Default::default());
+        let total: u64 = splits.iter().sum();
+        let whole = run(&fidelity, 1, &noise, &[total], Segmentation::Calendar, 1);
+        let pieces = run(&fidelity, 1, &noise, &splits, Segmentation::Calendar, 1);
+        prop_assert_eq!(&pieces, &whole, "epoch split changed the outcome");
+    }
+
+    /// Boundaries landing exactly on an epoch bound (the checkpoint-
+    /// coincident case): force sources whose period divides the epoch so
+    /// entry and exit flips hit the bound, and compare both paths.
+    #[test]
+    fn boundary_coincident_epoch_bounds_match(
+        pidx in 0usize..3,
+        cost in 1u64..99,
+        reps in 1usize..6,
+        cycle in 0u8..2,
+    ) {
+        let period = [100u64, 250, 500][pidx];
+        let fidelity = if cycle == 1 {
+            Fidelity::Cycle(CoreConfig::default())
+        } else {
+            Fidelity::Meso(Default::default())
+        };
+        // Epoch = 4 periods: flips at 0, cost, period, period+cost, ...
+        // land on segment cuts and on the epoch bound itself.
+        let noise: Vec<NoiseSpec> = (0..2)
+            .map(|i| NoiseSpec {
+                kind: 0,
+                cpu: i,
+                period,
+                cost_frac: cost,
+                phase: 0,
+            })
+            .collect();
+        let epochs = vec![period * 4; reps];
+        let reference = run(&fidelity, 2, &noise, &epochs, Segmentation::Reference, 1);
+        let fast = run(&fidelity, 2, &noise, &epochs, Segmentation::Calendar, 1);
+        prop_assert_eq!(&fast, &reference);
+    }
+}
