@@ -1,13 +1,17 @@
 //! EXT-1: the paper's future work — dynamic (automatic) priority
 //! balancing vs the best static configuration, on the workload where the
 //! paper argues it should matter most: SIESTA, whose bottleneck moves
-//! between iterations.
+//! between iterations. Shows both generations of the policy: the v1
+//! purely reactive balancer and the v2 two-level controller (plan-primed
+//! feedforward + saturation-triggered remap) that `mtb table-dynamic`
+//! gates in CI.
 
 use mtb_bench::run_case;
 use mtb_core::balance::{execute_with, StaticRun};
 use mtb_core::dynamic::{DynamicBalancer, DynamicConfig};
 use mtb_core::paper_cases::{siesta_cases, Case};
 use mtb_core::policy::PrioritySetting;
+use mtb_core::{ControllerConfig, TwoLevelController};
 use mtb_trace::cycles_to_seconds;
 use mtb_workloads::metbench::MetBenchConfig;
 use mtb_workloads::siesta::SiestaConfig;
@@ -15,31 +19,31 @@ use mtb_workloads::siesta::SiestaConfig;
 fn main() {
     println!("EXT-1 — dynamic priority balancing vs static configurations\n");
 
-    // SIESTA: reference, best static (case C), dynamic.
+    // SIESTA: reference, best static (case C), v1 reactive, v2 two-level.
     let scfg = SiestaConfig::default();
     let sprogs = scfg.programs();
     let cases = siesta_cases();
     let reference = run_case(&sprogs, &cases[0]);
     let best_static = run_case(&sprogs, &cases[2]); // case C
 
-    let mut balancer = DynamicBalancer::new(&cases[0].placement, DynamicConfig::default());
-    let dynamic = execute_with(
+    let mut reactive = DynamicBalancer::new(&cases[0].placement, DynamicConfig::default());
+    let dyn_v1 = execute_with(
         StaticRun::new(&sprogs, cases[0].placement.clone()),
-        &mut balancer,
+        &mut reactive,
     )
     .unwrap();
 
-    // Dynamic on the paper's paired mapping (mapping + feedback priorities).
-    let mut balancer2 = DynamicBalancer::new(&cases[2].placement, DynamicConfig::default());
-    let dynamic_paired = execute_with(
-        StaticRun::new(&sprogs, cases[2].placement.clone()),
-        &mut balancer2,
+    let mut ctl =
+        TwoLevelController::for_programs(&sprogs, &cases[0].placement, ControllerConfig::default());
+    let dyn_v2 = execute_with(
+        StaticRun::new(&sprogs, cases[0].placement.clone()),
+        &mut ctl,
     )
     .unwrap();
 
     let report = |label: &str, r: &mtb_mpisim::engine::RunResult| {
         println!(
-            "{label:<42} exec {:8.2}s  imbalance {:5.2}%  vs reference {:+.2}%",
+            "{label:<46} exec {:8.2}s  imbalance {:5.2}%  vs reference {:+.2}%",
             cycles_to_seconds(r.total_cycles),
             r.metrics.imbalance_pct,
             100.0 * (reference.total_cycles as f64 - r.total_cycles as f64)
@@ -47,14 +51,20 @@ fn main() {
         );
     };
     println!("SIESTA-like (40 iterations, moving bottleneck):");
-    report("  A  reference (identity, all MEDIUM)", &reference);
-    report("  C  best static (paper's hand tuning)", &best_static);
-    report("  dyn   dynamic policy, identity mapping", &dynamic);
-    println!("        ({} priority adjustments)", balancer.adjustments());
-    report("  dyn+map dynamic policy, paired mapping", &dynamic_paired);
-    println!("        ({} priority adjustments)", balancer2.adjustments());
+    report("  A    reference (identity, all MEDIUM)", &reference);
+    report("  C    best static (paper's hand tuning)", &best_static);
+    report("  v1   reactive balancer, identity mapping", &dyn_v1);
+    println!("         ({} priority adjustments)", reactive.adjustments());
+    report("  v2   two-level controller (plan-primed)", &dyn_v2);
+    println!(
+        "         ({} adjustments, {} reverts, {} remaps)",
+        ctl.adjustments(),
+        ctl.reverts(),
+        ctl.remaps()
+    );
 
-    // MetBench: static imbalance — dynamic should find case-C-like gains.
+    // MetBench: static imbalance — the controller should find
+    // case-C-like gains from the plan alone.
     println!("\nMetBench (static 4x imbalance):");
     let mcfg = MetBenchConfig::default();
     let mprogs = mcfg.programs();
@@ -64,13 +74,15 @@ fn main() {
         priorities: vec![PrioritySetting::Default; 4],
     };
     let mref = run_case(&mprogs, &mcase);
-    let mut mbal = DynamicBalancer::new(&mcfg.placement(), DynamicConfig::default());
-    let mdyn = execute_with(StaticRun::new(&mprogs, mcfg.placement()), &mut mbal).unwrap();
+    let mut mctl =
+        TwoLevelController::for_programs(&mprogs, &mcfg.placement(), ControllerConfig::default());
+    let mdyn = execute_with(StaticRun::new(&mprogs, mcfg.placement()), &mut mctl).unwrap();
     println!(
-        "  reference: {:.2}s | dynamic: {:.2}s ({:+.2}%, {} adjustments)",
+        "  reference: {:.2}s | two-level: {:.2}s ({:+.2}%, {} adjustments, {} remaps)",
         cycles_to_seconds(mref.total_cycles),
         cycles_to_seconds(mdyn.total_cycles),
         100.0 * (mref.total_cycles as f64 - mdyn.total_cycles as f64) / mref.total_cycles as f64,
-        mbal.adjustments(),
+        mctl.adjustments(),
+        mctl.remaps(),
     );
 }

@@ -44,6 +44,7 @@ USAGE:
     mtb sweep --app <APP>             sweep the priority difference
     mtb lint [OPTIONS]                static analysis of programs + priorities
     mtb suggest [OPTIONS]             rank (placement, priority) plans statically
+    mtb table-dynamic [OPTIONS]       dynamic controller vs best-static report
     mtb bench [OPTIONS]               fast-path vs reference perf report
     mtb bisect-drift [OPTIONS]        locate the first divergent event window
     mtb checkpoint-identity [--smoke] prove save→fresh-process-resume identity
@@ -101,6 +102,19 @@ SUGGEST OPTIONS:
     --json                  machine-readable output on stdout
     --out <path>            also write the JSON document to a file
 
+TABLE-DYNAMIC OPTIONS:
+    --smoke                 CI-sized workloads (scale 1e-3 unless --scale given)
+    --scale <f>             work multiplier                [default: 1.0]
+    --jobs <n>              intra-run thread count the determinism replay
+                            compares against 1   [default: MTB_JOBS, else 4]
+    --json                  machine-readable report on stdout
+    --out <path>            also write the JSON document to a file
+    Per app: the two-level controller vs the best hand-tuned paper case vs
+    the identity baseline, with decision counters and the dynamic run's
+    record hash. Exits nonzero when any app loses to its best static
+    setting beyond 2%, inverts against the identity baseline (the case-D
+    hazard), or drifts between thread counts.
+
 BENCH OPTIONS:
     --smoke                 CI-sized cycle counts (seconds, not minutes)
     --out <path>            report destination        [default: BENCH_sim.json]
@@ -123,6 +137,7 @@ fn main() -> ExitCode {
         Some("sweep") => cmd_sweep(&args[1..]),
         Some("lint") => cmd_lint(&args[1..]),
         Some("suggest") => cmd_suggest(&args[1..]),
+        Some("table-dynamic") => cmd_table_dynamic(&args[1..]),
         Some("bench") => cmd_bench(&args[1..]),
         Some("bisect-drift") => cmd_bisect(&args[1..]),
         Some("checkpoint-identity") => cmd_checkpoint_identity(&args[1..]),
@@ -806,6 +821,65 @@ fn ci_one_target(
     })();
     std::fs::remove_file(&snap).ok();
     result
+}
+
+fn cmd_table_dynamic(args: &[String]) -> ExitCode {
+    use mtb_bench::table_dynamic as td;
+
+    let (opts, flags) = match parse_opts(args) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("{e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let smoke = flags.iter().any(|f| f == "smoke");
+    let scale = opts
+        .get("scale")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if smoke { 1e-3 } else { 1.0 });
+    let ov = AppOverrides {
+        scale: Some(scale),
+        iterations: opts.get("iterations").and_then(|s| s.parse().ok()),
+        seed: opts.get("seed").and_then(|s| s.parse().ok()),
+    };
+    let jobs = opts
+        .get("jobs")
+        .cloned()
+        .or_else(|| std::env::var("MTB_JOBS").ok())
+        .and_then(|s| s.parse().ok())
+        .filter(|&n: &usize| n > 0)
+        .unwrap_or(4);
+    let cfg = mtb_core::ControllerConfig::default();
+
+    let rows = match td::run_report(ov, &cfg, jobs) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("table-dynamic: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = td::report_to_json(&rows);
+    if let Some(path) = opts.get("out") {
+        if let Err(e) = std::fs::write(path, doc.render()) {
+            eprintln!("cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if flags.iter().any(|f| f == "json") {
+        println!("{}", doc.render());
+    } else {
+        print!("{}", td::report_to_text(&rows));
+    }
+    if rows.iter().all(td::DynamicRow::passes) {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "dynamic-validate gate FAILED: a regression vs the best static \
+             setting, a case-D inversion, or thread-count drift (see report)"
+        );
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_suggest(args: &[String]) -> ExitCode {

@@ -25,6 +25,7 @@
 use crate::json::Json;
 use mtb_core::balance::{execute, execute_chunked, BalanceError, CheckpointSink, StaticRun};
 use mtb_core::paper_cases::Case;
+use mtb_core::TwoLevelController;
 use mtb_mpisim::engine::RunResult;
 use mtb_mpisim::program::Program;
 use mtb_mpisim::{Engine, NullObserver};
@@ -55,7 +56,15 @@ use std::time::Instant;
 /// segmentation) — and records carry a `notes` field (structured runtime
 /// notes such as a sharding collapse; topology-derived, so still
 /// thread-count-invariant).
-pub const SCHEMA_VERSION: u64 = 4;
+///
+/// v5: dynamic (controller-driven) runs are cacheable — their key gains a
+/// `controller` field (the controller configuration's debug form) on top
+/// of the static fields, and their records carry the controller's
+/// decision counters as a `controller:` note so cache hits reproduce the
+/// adjustments/reverts/remaps report bit for bit. Controller decisions
+/// fire only at epoch boundaries, so the records are as deterministic as
+/// static ones.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// 64-bit FNV-1a — the cache's (and the per-case seed's) hash function,
 /// shared with the checkpoint layer so both hash domains agree.
@@ -99,11 +108,9 @@ pub fn config_hash(case: &Case, programs: &[Program]) -> u64 {
     fnv1a(key.as_bytes())
 }
 
-/// The cache key for a fully-specified [`StaticRun`] (covers kernel
-/// flavour, noise, fidelity, topology and wait policy on top of the
-/// case-level fields).
-pub fn config_hash_static(run: &StaticRun<'_>) -> u64 {
-    let mut key = format!("v{SCHEMA_VERSION}-static\x1f");
+/// The static configuration fields of the cache key (everything but the
+/// schema prefix and the optional controller field).
+fn push_static_fields(key: &mut String, run: &StaticRun<'_>) {
     key.push_str(&format!(
         "{:?}\x1f{:?}\x1f{:?}\x1f{:?}\x1f{:?}\x1f{}\x1f{:?}\x1f{:?}\x1f{:?}\x1f",
         run.placement,
@@ -116,8 +123,73 @@ pub fn config_hash_static(run: &StaticRun<'_>) -> u64 {
         run.wait_policy,
         run.stepping
     ));
-    push_programs(&mut key, run.programs);
+    push_programs(key, run.programs);
+}
+
+/// The cache key for a fully-specified [`StaticRun`] (covers kernel
+/// flavour, noise, fidelity, topology and wait policy on top of the
+/// case-level fields).
+pub fn config_hash_static(run: &StaticRun<'_>) -> u64 {
+    let mut key = format!("v{SCHEMA_VERSION}-static\x1f");
+    push_static_fields(&mut key, run);
     fnv1a(key.as_bytes())
+}
+
+/// The cache key for a controller-driven (dynamic) run: the static
+/// fields plus a `controller` field describing the policy and its
+/// tunables, so any retuning of the controller invalidates its records
+/// while leaving static records untouched.
+pub fn config_hash_dynamic(run: &StaticRun<'_>, controller: &str) -> u64 {
+    let mut key = format!("v{SCHEMA_VERSION}-dynamic\x1fcontroller\x1f{controller}\x1f");
+    push_static_fields(&mut key, run);
+    fnv1a(key.as_bytes())
+}
+
+/// The two-level controller's decision counters, preserved inside a
+/// dynamic run's record (as a structured note) so cache hits report the
+/// same adjustments/reverts/remaps as the original simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ControllerStats {
+    /// Level-2 priority changes.
+    pub adjustments: usize,
+    /// Audited reverts.
+    pub reverts: usize,
+    /// Level-1 cross-core remaps.
+    pub remaps: usize,
+}
+
+impl ControllerStats {
+    const NOTE_PREFIX: &'static str = "controller:";
+
+    /// The note line stored in the run record.
+    pub fn note(&self) -> String {
+        format!(
+            "{} adjustments={} reverts={} remaps={}",
+            Self::NOTE_PREFIX,
+            self.adjustments,
+            self.reverts,
+            self.remaps
+        )
+    }
+
+    /// Recover the counters from a record's notes.
+    pub fn from_notes(notes: &[String]) -> Option<ControllerStats> {
+        let line = notes
+            .iter()
+            .find_map(|n| n.strip_prefix(Self::NOTE_PREFIX))?;
+        let mut stats = ControllerStats::default();
+        for field in line.split_whitespace() {
+            let (key, value) = field.split_once('=')?;
+            let value = value.parse().ok()?;
+            match key {
+                "adjustments" => stats.adjustments = value,
+                "reverts" => stats.reverts = value,
+                "remaps" => stats.remaps = value,
+                _ => return None,
+            }
+        }
+        Some(stats)
+    }
 }
 
 /// One timeline, flattened for the record: `(start, end, state-index)`
@@ -809,6 +881,47 @@ impl SweepRunner {
         result
     }
 
+    /// Run `run` under a fresh [`TwoLevelController`] built from
+    /// `cfg`, through the cache. Controller decisions fire only at epoch
+    /// boundaries, so the result is a pure function of `(run, cfg)` and
+    /// caching is sound (the PR 1 "never cache observer runs" rule was
+    /// about arbitrary observers; the controller's determinism contract
+    /// restores it). The record's `controller:` note preserves the
+    /// decision counters across cache hits. Crash-recovery checkpoints
+    /// are not used here: controller state is not part of a snapshot, so
+    /// a dynamic case always runs start-to-finish.
+    pub fn run_dynamic(
+        &self,
+        run: StaticRun<'_>,
+        cfg: &mtb_core::ControllerConfig,
+    ) -> Result<(RunResult, ControllerStats), BalanceError> {
+        let t0 = Instant::now();
+        let hash = config_hash_dynamic(&run, &format!("{cfg:?}"));
+        if let Some(record) = self.load_record(hash) {
+            let stats = ControllerStats::from_notes(&record.notes).unwrap_or_default();
+            let result = record.to_run_result();
+            self.account(true, t0.elapsed().as_secs_f64());
+            return Ok((result, stats));
+        }
+        let case = Case {
+            name: "dynamic",
+            placement: run.placement.clone(),
+            priorities: run.priorities.clone(),
+        };
+        let mut ctl = TwoLevelController::for_programs(run.programs, &run.placement, *cfg);
+        let mut result = mtb_core::execute_with(run, &mut ctl)?;
+        let stats = ControllerStats {
+            adjustments: ctl.adjustments(),
+            reverts: ctl.reverts(),
+            remaps: ctl.remaps(),
+        };
+        result.notes.push(stats.note());
+        let wall = t0.elapsed().as_secs_f64();
+        self.store_record(hash, &RunRecord::from_run(&case, &result, wall));
+        self.account(false, wall);
+        Ok((result, stats))
+    }
+
     /// Run a fully-specified [`StaticRun`] through the cache. Covers the
     /// extension binaries that vary kernel flavour, noise, fidelity,
     /// topology or wait policy beyond what a [`Case`] expresses.
@@ -1247,5 +1360,68 @@ mod tests {
             "stale record deleted on load"
         );
         let _ = std::fs::remove_dir_all(&runner2.options().dir);
+    }
+
+    #[test]
+    fn dynamic_runs_cache_with_their_controller_stats() {
+        let runner = temp_runner(1, true);
+        let cfg = MetBenchConfig::tiny();
+        let progs = cfg.programs();
+        let ctl = mtb_core::ControllerConfig::default();
+        let run = || mtb_core::balance::StaticRun::new(&progs, cfg.placement());
+
+        let (first, stats) = runner.run_dynamic(run(), &ctl).unwrap();
+        assert_eq!(runner.stats().cache_hits, 0, "cold cache");
+        assert!(
+            first.notes.iter().any(|n| n.starts_with("controller:")),
+            "record carries the decision counters: {:?}",
+            first.notes
+        );
+
+        let (second, stats2) = runner.run_dynamic(run(), &ctl).unwrap();
+        assert_eq!(runner.stats().cache_hits, 1, "warm cache");
+        assert_eq!(second, first, "cache hit reproduces the run bit for bit");
+        assert_eq!(stats2, stats, "counters survive the cache round-trip");
+
+        // A different controller configuration is a different cache slot.
+        let other = mtb_core::ControllerConfig {
+            pinned: true,
+            max_remaps: 0,
+            ..Default::default()
+        };
+        let _ = runner.run_dynamic(run(), &other).unwrap();
+        assert_eq!(runner.stats().cache_hits, 1, "retuned controller misses");
+
+        // And dynamic records never collide with the static slot.
+        assert_ne!(
+            config_hash_dynamic(&run(), &format!("{ctl:?}")),
+            config_hash_static(&run())
+        );
+        let _ = std::fs::remove_dir_all(&runner.options().dir);
+    }
+
+    #[test]
+    fn stale_dynamic_records_are_deleted_and_resimulated() {
+        let runner = temp_runner(1, true);
+        let cfg = MetBenchConfig::tiny();
+        let progs = cfg.programs();
+        let ctl = mtb_core::ControllerConfig::default();
+        let run = || mtb_core::balance::StaticRun::new(&progs, cfg.placement());
+        let (clean, _) = runner.run_dynamic(run(), &ctl).unwrap();
+
+        // Age the record's schema: the next run must delete it, miss the
+        // cache, and re-simulate to the same result.
+        let hash = config_hash_dynamic(&run(), &format!("{ctl:?}"));
+        let path = runner.record_path(hash);
+        let mut record = RunRecord::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        record.schema = SCHEMA_VERSION - 1;
+        std::fs::write(&path, record.to_json()).unwrap();
+
+        let (again, _) = runner.run_dynamic(run(), &ctl).unwrap();
+        assert_eq!(runner.stats().cache_hits, 0, "stale schema must not hit");
+        assert_eq!(again, clean);
+        let on_disk = RunRecord::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(on_disk.schema, SCHEMA_VERSION, "fresh record replaced it");
+        let _ = std::fs::remove_dir_all(&runner.options().dir);
     }
 }

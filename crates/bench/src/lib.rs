@@ -13,6 +13,7 @@ pub mod harness;
 pub mod lint;
 pub mod perf;
 pub mod suggest;
+pub mod table_dynamic;
 
 // The lossless JSON codec moved to the checkpoint crate (`mtb-snap`);
 // the harness's run cache keeps using it from there.

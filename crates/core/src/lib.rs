@@ -15,7 +15,10 @@
 //! * [`dynamic`] — the paper's proposed future work (Section VIII):
 //!   a policy that observes per-iteration compute/wait times and adjusts
 //!   priorities automatically, with bounded differences and hysteresis so
-//!   it cannot run into the case-D inversion.
+//!   it cannot run into the case-D inversion; and the v2 two-level
+//!   controller that equalizes progress against the static plan's
+//!   expectation and remaps ranks across cores when intra-core tuning
+//!   saturates.
 //! * [`predictor`] — a what-if model over the decode-share mathematics:
 //!   predicts per-rank speed at candidate priority pairs and picks the
 //!   pair minimizing the core's makespan.
@@ -46,10 +49,12 @@ pub mod redistribution;
 pub mod remap;
 
 pub use analysis::{characterize, CaseRow};
+pub use balance::execute_with;
 pub use balance::{
     execute, execute_chunked, prepare, BalanceError, CheckpointSink, NoCheckpoint, StaticRun,
 };
-pub use dynamic::{DynamicBalancer, DynamicConfig};
+pub use dynamic::{ControllerConfig, DynamicBalancer, DynamicConfig, TwoLevelController};
 pub use mapper::pair_by_load;
+pub use observe::ProgressModel;
 pub use policy::PrioritySetting;
 pub use predictor::{best_priority_pair, predict_pair};

@@ -10,7 +10,35 @@
 
 use crate::mapper::pair_by_load;
 use mtb_mpisim::engine::{Observer, RankWindow};
-use mtb_oskernel::Machine;
+use mtb_oskernel::{CtxAddr, Machine};
+
+/// Realize a desired placement with swaps/migrations. Iterates: find a
+/// rank sitting on the wrong context and swap it with the rank (if any)
+/// occupying its desired seat, or migrate if the seat is free. Returns
+/// the number of migrations/swaps performed. Used by both the one-shot
+/// [`AdaptiveMapper`] and the two-level controller's level-1 remap.
+pub fn realize_placement(machine: &mut Machine, desired: &[CtxAddr]) -> usize {
+    let n = desired.len();
+    let mut moves = 0;
+    for _ in 0..2 * n {
+        let Some(rank) = (0..n).find(|&r| machine.pcb(r).map(|p| p.affinity) != Some(desired[r]))
+        else {
+            break;
+        };
+        let target = desired[rank];
+        let occupant =
+            (0..n).find(|&o| o != rank && machine.pcb(o).map(|p| p.affinity) == Some(target));
+        let ok = match occupant {
+            Some(o) => machine.swap(rank, o).is_ok(),
+            None => machine.migrate(rank, target).is_ok(),
+        };
+        if !ok {
+            break;
+        }
+        moves += 1;
+    }
+    moves
+}
 
 /// Configuration of the adaptive mapper.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -102,30 +130,8 @@ impl Observer for AdaptiveMapper {
             return;
         }
         let desired = pair_by_load(&loads, cores);
-
-        // Realize the desired placement with swaps/migrations. Iterate:
-        // find a rank sitting on the wrong context and swap it with the
-        // rank (if any) occupying its desired seat, or migrate if the seat
-        // is free.
         self.remapped = true;
-        for _ in 0..2 * n {
-            let Some(rank) =
-                (0..n).find(|&r| machine.pcb(r).map(|p| p.affinity) != Some(desired[r]))
-            else {
-                break;
-            };
-            let target = desired[rank];
-            let occupant =
-                (0..n).find(|&o| o != rank && machine.pcb(o).map(|p| p.affinity) == Some(target));
-            let ok = match occupant {
-                Some(o) => machine.swap(rank, o).is_ok(),
-                None => machine.migrate(rank, target).is_ok(),
-            };
-            if !ok {
-                break;
-            }
-            self.migrations += 1;
-        }
+        self.migrations += realize_placement(machine, &desired);
     }
 }
 

@@ -106,6 +106,15 @@ pub mod codes {
     /// A negative revert tolerance reverts every adjustment and freezes
     /// pairs immediately — the controller starves itself.
     pub const CTRL_REVERT: &str = "MTB-CTRL-REVERT";
+    /// The controller's decision window is too long to converge within
+    /// the app's makespan: walking the priority ladder one audited step
+    /// per window (plus one revert/cool-off detour) needs more sync
+    /// epochs than the run has, so the policy never reaches its target.
+    pub const CTRL_LAG: &str = "MTB-CTRL-LAG";
+    /// A cross-core remap is enabled on a pinned placement: level 1 of
+    /// the two-level controller would request migrations the deployment
+    /// forbids, leaving the saturated pair stuck at its priority cap.
+    pub const CTRL_REMAP_PINNED: &str = "MTB-CTRL-REMAP-PINNED";
 
     /// Every stable code, for the catalog-drift test: each entry must
     /// appear in EXPERIMENTS.md's lint-code catalog and vice versa.
@@ -131,6 +140,8 @@ pub mod codes {
         CTRL_EWMA,
         CTRL_THRASH,
         CTRL_REVERT,
+        CTRL_LAG,
+        CTRL_REMAP_PINNED,
     ];
 }
 
